@@ -1,0 +1,390 @@
+//! AIGER interchange (ASCII `aag` format).
+//!
+//! [`write_aag`] serializes a [`MappedAig`] so external tools (ABC,
+//! aigtoaig, equivalence checkers) can consume the graphs this crate
+//! produces; [`parse_aag`] reads them back. Latches are emitted for the
+//! `dff$k` cut-point pairs, reconnecting the sequential behavior that
+//! [`crate::aigmap`] cuts for the area metric.
+
+use crate::graph::{Aig, AigLit, AigNode};
+use crate::map::MappedAig;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Errors from [`parse_aag`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseAagError {
+    /// Missing or malformed `aag M I L O A` header.
+    BadHeader(String),
+    /// A malformed body line.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Offending content.
+        content: String,
+    },
+    /// A literal exceeds the declared maximum index.
+    LiteralOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The literal.
+        literal: u64,
+    },
+}
+
+impl std::fmt::Display for ParseAagError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseAagError::BadHeader(h) => write!(f, "bad aag header: {h}"),
+            ParseAagError::BadLine { line, content } => {
+                write!(f, "bad aag line {line}: {content}")
+            }
+            ParseAagError::LiteralOutOfRange { line, literal } => {
+                write!(f, "literal {literal} out of range on line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseAagError {}
+
+/// A parsed AIGER file: graph plus port literal lists.
+#[derive(Clone, Debug)]
+pub struct AagFile {
+    /// The graph.
+    pub aig: Aig,
+    /// Input literals in file order.
+    pub inputs: Vec<AigLit>,
+    /// `(current_state, next_state)` latch pairs.
+    pub latches: Vec<(AigLit, AigLit)>,
+    /// Output literals in file order.
+    pub outputs: Vec<AigLit>,
+}
+
+/// Serializes a mapped design as ASCII AIGER (`aag`).
+///
+/// Ordering: module input ports first (flattened bit order), then one
+/// latch per flip-flop bit (`dff$k` input/output pairs), then module
+/// output ports. Symbol-table entries carry the original port names.
+pub fn write_aag(mapped: &MappedAig) -> String {
+    // AIGER numbers variables densely: 0 = const, inputs, then ANDs.
+    // Our Aig is already in that order (inputs created before ANDs is not
+    // guaranteed across map_module calls, so renumber defensively).
+    let aig = &mapped.aig;
+    let mut var_of: HashMap<u32, u64> = HashMap::new();
+    let mut next_var = 0u64;
+    var_of.insert(0, 0); // constant node
+
+    let mut inputs_flat: Vec<(String, usize, AigLit)> = Vec::new();
+    for (name, lits) in mapped.port_inputs() {
+        for (bit, &l) in lits.iter().enumerate() {
+            inputs_flat.push((name.clone(), bit, l));
+        }
+    }
+    // latch current-state bits are the dff$k pseudo-inputs
+    let mut latch_inputs: Vec<AigLit> = Vec::new();
+    let mut latch_nexts: Vec<AigLit> = Vec::new();
+    for (name, lits) in mapped.inputs() {
+        if name.starts_with("dff$") {
+            latch_inputs.extend(lits.iter().copied());
+        }
+    }
+    for (name, lits) in mapped.outputs() {
+        if name.starts_with("dff$") {
+            latch_nexts.extend(lits.iter().copied());
+        }
+    }
+    debug_assert_eq!(latch_inputs.len(), latch_nexts.len());
+
+    for (_, _, l) in &inputs_flat {
+        next_var += 1;
+        var_of.insert(l.node(), next_var);
+    }
+    for l in &latch_inputs {
+        next_var += 1;
+        var_of.insert(l.node(), next_var);
+    }
+    // ANDs in topological (index) order
+    let mut ands: Vec<(u32, AigLit, AigLit)> = Vec::new();
+    for (idx, node) in aig.nodes() {
+        if let AigNode::And(a, b) = node {
+            next_var += 1;
+            var_of.insert(idx, next_var);
+            ands.push((idx, a, b));
+        }
+    }
+
+    let lit_code = |l: AigLit, var_of: &HashMap<u32, u64>| -> u64 {
+        2 * var_of[&l.node()] + u64::from(l.is_complement())
+    };
+
+    let outputs_flat: Vec<(String, usize, AigLit)> = mapped
+        .port_outputs()
+        .iter()
+        .flat_map(|(name, lits)| {
+            lits.iter()
+                .enumerate()
+                .map(|(bit, &l)| (name.clone(), bit, l))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut out = String::new();
+    writeln!(
+        out,
+        "aag {} {} {} {} {}",
+        next_var,
+        inputs_flat.len(),
+        latch_inputs.len(),
+        outputs_flat.len(),
+        ands.len()
+    )
+    .expect("write");
+    for (_, _, l) in &inputs_flat {
+        writeln!(out, "{}", lit_code(*l, &var_of)).expect("write");
+    }
+    for (cur, next) in latch_inputs.iter().zip(&latch_nexts) {
+        writeln!(out, "{} {}", lit_code(*cur, &var_of), lit_code(*next, &var_of))
+            .expect("write");
+    }
+    for (_, _, l) in &outputs_flat {
+        writeln!(out, "{}", lit_code(*l, &var_of)).expect("write");
+    }
+    for (idx, a, b) in &ands {
+        writeln!(
+            out,
+            "{} {} {}",
+            2 * var_of[idx],
+            lit_code(*a, &var_of),
+            lit_code(*b, &var_of)
+        )
+        .expect("write");
+    }
+    // symbol table
+    for (i, (name, bit, _)) in inputs_flat.iter().enumerate() {
+        writeln!(out, "i{i} {name}[{bit}]").expect("write");
+    }
+    for (i, (name, bit, _)) in outputs_flat.iter().enumerate() {
+        writeln!(out, "o{i} {name}[{bit}]").expect("write");
+    }
+    writeln!(out, "c\nemitted by smartly-aig").expect("write");
+    out
+}
+
+/// Parses ASCII AIGER (`aag`) into a fresh graph.
+///
+/// # Errors
+///
+/// Returns [`ParseAagError`] on malformed headers, lines, or
+/// out-of-range literals.
+pub fn parse_aag(text: &str) -> Result<AagFile, ParseAagError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseAagError::BadHeader("empty file".to_string()))?;
+    let mut parts = header.split_whitespace();
+    if parts.next() != Some("aag") {
+        return Err(ParseAagError::BadHeader(header.to_string()));
+    }
+    let nums: Vec<u64> = parts.filter_map(|t| t.parse().ok()).collect();
+    if nums.len() != 5 {
+        return Err(ParseAagError::BadHeader(header.to_string()));
+    }
+    let (max_var, ni, nl, no, na) = (nums[0], nums[1], nums[2], nums[3], nums[4]);
+
+    let mut aig = Aig::new();
+    // map aag variable -> AigLit (positive)
+    let mut lit_of_var: HashMap<u64, AigLit> = HashMap::new();
+    lit_of_var.insert(0, AigLit::FALSE);
+
+    let decode = |code: u64,
+                  lit_of_var: &HashMap<u64, AigLit>,
+                  line: usize|
+     -> Result<AigLit, ParseAagError> {
+        let var = code / 2;
+        if var > max_var {
+            return Err(ParseAagError::LiteralOutOfRange {
+                line,
+                literal: code,
+            });
+        }
+        let base = lit_of_var
+            .get(&var)
+            .copied()
+            .ok_or(ParseAagError::LiteralOutOfRange {
+                line,
+                literal: code,
+            })?;
+        Ok(if code % 2 == 1 { !base } else { base })
+    };
+
+    fn take_line<'a>(
+        what: &str,
+        lines: &mut std::iter::Enumerate<std::str::Lines<'a>>,
+    ) -> Result<(usize, &'a str), ParseAagError> {
+        lines
+            .next()
+            .ok_or_else(|| ParseAagError::BadHeader(format!("truncated before {what}")))
+    }
+
+    let mut inputs = Vec::with_capacity(ni as usize);
+    let mut input_codes = Vec::new();
+    for _ in 0..ni {
+        let (n, l) = take_line("inputs", &mut lines)?;
+        let code: u64 = l.trim().parse().map_err(|_| ParseAagError::BadLine {
+            line: n + 1,
+            content: l.to_string(),
+        })?;
+        let lit = aig.add_input();
+        lit_of_var.insert(code / 2, lit);
+        input_codes.push(code);
+        inputs.push(lit);
+    }
+    let mut latch_raw = Vec::with_capacity(nl as usize);
+    for _ in 0..nl {
+        let (n, l) = take_line("latches", &mut lines)?;
+        let mut it = l.split_whitespace();
+        let cur: u64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| ParseAagError::BadLine {
+                line: n + 1,
+                content: l.to_string(),
+            })?;
+        let next: u64 = it
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| ParseAagError::BadLine {
+                line: n + 1,
+                content: l.to_string(),
+            })?;
+        let lit = aig.add_input(); // latch output behaves as an input
+        lit_of_var.insert(cur / 2, lit);
+        latch_raw.push((lit, next, n + 1));
+    }
+    let mut output_raw = Vec::with_capacity(no as usize);
+    for _ in 0..no {
+        let (n, l) = take_line("outputs", &mut lines)?;
+        let code: u64 = l.trim().parse().map_err(|_| ParseAagError::BadLine {
+            line: n + 1,
+            content: l.to_string(),
+        })?;
+        output_raw.push((code, n + 1));
+    }
+    for _ in 0..na {
+        let (n, l) = take_line("ands", &mut lines)?;
+        let mut it = l.split_whitespace();
+        let mut next_num = || -> Result<u64, ParseAagError> {
+            it.next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseAagError::BadLine {
+                    line: n + 1,
+                    content: l.to_string(),
+                })
+        };
+        let y = next_num()?;
+        let a = next_num()?;
+        let b = next_num()?;
+        let la = decode(a, &lit_of_var, n + 1)?;
+        let lb = decode(b, &lit_of_var, n + 1)?;
+        let ly = aig.and(la, lb);
+        lit_of_var.insert(y / 2, ly);
+    }
+    // resolve deferred references (next-state and outputs may point at ANDs)
+    let mut latches = Vec::with_capacity(latch_raw.len());
+    for (cur, next_code, line) in latch_raw {
+        latches.push((cur, decode(next_code, &lit_of_var, line)?));
+    }
+    let mut outputs = Vec::with_capacity(output_raw.len());
+    for (code, line) in output_raw {
+        outputs.push(decode(code, &lit_of_var, line)?);
+    }
+    Ok(AagFile {
+        aig,
+        inputs,
+        latches,
+        outputs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::aigmap;
+    use smartly_netlist::Module;
+
+    fn sample() -> MappedAig {
+        let mut m = Module::new("t");
+        let a = m.add_input("a", 2);
+        let b = m.add_input("b", 2);
+        let clk = m.add_input("clk", 1);
+        let x = m.xor(&a, &b);
+        let q = m.dff(&clk, &x);
+        let y = m.and(&q, &a);
+        m.add_output("y", &y);
+        aigmap(&m).expect("maps")
+    }
+
+    #[test]
+    fn writes_wellformed_header() {
+        let mapped = sample();
+        let text = write_aag(&mapped);
+        let first = text.lines().next().expect("header");
+        let nums: Vec<&str> = first.split_whitespace().collect();
+        assert_eq!(nums[0], "aag");
+        assert_eq!(nums.len(), 6);
+        // I = a(2) + b(2) + clk(1); L = 2 (one per dff bit)
+        assert_eq!(nums[2], "5");
+        assert_eq!(nums[3], "2");
+    }
+
+    #[test]
+    fn round_trip_preserves_function() {
+        let mapped = sample();
+        let text = write_aag(&mapped);
+        let parsed = parse_aag(&text).expect("parses back");
+        assert_eq!(parsed.inputs.len(), 5);
+        assert_eq!(parsed.latches.len(), 2);
+        assert_eq!(parsed.outputs.len(), 2);
+        // compare on all input assignments (5 real + 2 latch state = 7 bits)
+        let orig_inputs: usize = mapped.inputs().iter().map(|(_, l)| l.len()).sum();
+        assert_eq!(orig_inputs, 7);
+        let orig_roots: Vec<AigLit> = mapped
+            .outputs()
+            .iter()
+            .flat_map(|(_, l)| l.iter().copied())
+            .collect();
+        let new_roots: Vec<AigLit> = parsed
+            .outputs
+            .iter()
+            .copied()
+            .chain(parsed.latches.iter().map(|&(_, n)| n))
+            .collect();
+        for m in 0u32..(1 << 7) {
+            let bits: Vec<bool> = (0..7).map(|i| (m >> i) & 1 == 1).collect();
+            let a = mapped.aig.eval(&bits, &orig_roots);
+            let b = parsed.aig.eval(&bits, &new_roots);
+            assert_eq!(a, b, "assignment {m:07b}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_aag("").is_err());
+        assert!(parse_aag("aig 1 1 0 1 0\n2\n2\n").is_err());
+        assert!(parse_aag("aag 1 1 0 1\n").is_err());
+        assert!(matches!(
+            parse_aag("aag 1 1 0 1 0\n2\n9\n"),
+            Err(ParseAagError::LiteralOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn symbol_table_carries_port_names() {
+        let mapped = sample();
+        let text = write_aag(&mapped);
+        assert!(text.contains("i0 a[0]"));
+        assert!(text.contains("o0 y[0]"));
+    }
+}

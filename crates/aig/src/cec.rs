@@ -1,0 +1,458 @@
+//! SAT-based combinational equivalence checking (CEC).
+//!
+//! Both designs are mapped through one [`SharedMapper`], so structurally
+//! identical cones fold to the *same* AIG literal and compare for free;
+//! random simulation filters easy bugs; only genuinely rewritten cones
+//! reach the CDCL solver, one miter per differing output bit.
+
+use crate::graph::{AigLit, AigNode};
+use crate::map::{aigmap, SharedMapper};
+use smartly_netlist::{Module, NetlistError};
+use smartly_sat::{Lit, SolveResult, TseitinEncoder};
+use std::collections::HashMap;
+
+/// Options for [`check_equiv`].
+#[derive(Copy, Clone, Debug)]
+pub struct EquivOptions {
+    /// Random simulation vectors tried before SAT (cheap bug filter).
+    pub sim_vectors: usize,
+    /// Optional conflict budget per output bit (`None` = complete check).
+    pub conflict_budget: Option<u64>,
+    /// Seed for the random pre-filter.
+    pub seed: u64,
+}
+
+impl Default for EquivOptions {
+    fn default() -> Self {
+        EquivOptions {
+            sim_vectors: 64,
+            conflict_budget: None,
+            seed: 0x5eed_cafe,
+        }
+    }
+}
+
+/// Outcome of an equivalence check.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EquivResult {
+    /// All outputs proven equal.
+    Equivalent,
+    /// A differing output was found, with the input assignment exposing it.
+    NotEquivalent {
+        /// Output port (or `dff$k` cut point) that differs.
+        output: String,
+        /// Bit index within that output.
+        bit: usize,
+        /// Input values (`name` → value) demonstrating the difference.
+        counterexample: HashMap<String, u64>,
+    },
+    /// The conflict budget ran out before a verdict.
+    Unknown {
+        /// Output being checked when the budget expired.
+        output: String,
+        /// Bit index within that output.
+        bit: usize,
+    },
+}
+
+/// Checks combinational equivalence of two modules.
+///
+/// Requirements (all hold for netlists derived by the optimization passes
+/// in this workspace):
+///
+/// * identical input port names and widths,
+/// * identical output port names and widths,
+/// * identical flip-flop count, matched in cell order.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::NotFound`] on port or flip-flop mismatches, and
+/// propagates mapping errors (cyclic logic, undriven wires).
+pub fn check_equiv(
+    gold: &Module,
+    gate: &Module,
+    options: &EquivOptions,
+) -> Result<EquivResult, NetlistError> {
+    // strict interface check on the modules themselves
+    let gold_inputs: Vec<(String, u32)> = gold
+        .input_ports()
+        .map(|p| (p.name.clone(), gold.wire(p.wire).width))
+        .collect();
+    let gate_inputs: Vec<(String, u32)> = gate
+        .input_ports()
+        .map(|p| (p.name.clone(), gate.wire(p.wire).width))
+        .collect();
+    for (name, w) in &gold_inputs {
+        if !gate_inputs.iter().any(|(n, ww)| n == name && ww == w) {
+            return Err(NetlistError::NotFound {
+                module: gate.name.clone(),
+                name: format!("matching input '{name}'"),
+            });
+        }
+    }
+    for (name, w) in &gate_inputs {
+        if !gold_inputs.iter().any(|(n, ww)| n == name && ww == w) {
+            return Err(NetlistError::NotFound {
+                module: gold.name.clone(),
+                name: format!("matching input '{name}'"),
+            });
+        }
+    }
+
+    let mut sm = SharedMapper::new();
+    let outs_a = sm.map_module(gold)?;
+    let outs_b = sm.map_module(gate)?;
+
+    if outs_a.len() != outs_b.len() {
+        return Err(NetlistError::NotFound {
+            module: gate.name.clone(),
+            name: "matching output set (flip-flop counts differ?)".to_string(),
+        });
+    }
+    let out_b_map: HashMap<&str, &Vec<AigLit>> =
+        outs_b.iter().map(|(n, l)| (n.as_str(), l)).collect();
+    let mut pairs: Vec<(String, usize, AigLit, AigLit)> = Vec::new();
+    for (name, lits_a) in &outs_a {
+        let lits_b = out_b_map.get(name.as_str()).ok_or_else(|| {
+            NetlistError::NotFound {
+                module: gate.name.clone(),
+                name: format!("matching output '{name}'"),
+            }
+        })?;
+        if lits_a.len() != lits_b.len() {
+            return Err(NetlistError::NotFound {
+                module: gate.name.clone(),
+                name: format!("output '{name}' with matching width"),
+            });
+        }
+        for (bit, (&la, &lb)) in lits_a.iter().zip(lits_b.iter()).enumerate() {
+            if la != lb {
+                pairs.push((name.clone(), bit, la, lb));
+            }
+        }
+    }
+    if pairs.is_empty() {
+        return Ok(EquivResult::Equivalent); // structurally identical
+    }
+
+    // random-simulation pre-filter on the shared graph
+    if let Some((name, bit, cex)) = random_prefilter(&sm, &pairs, options) {
+        return Ok(EquivResult::NotEquivalent {
+            output: name,
+            bit,
+            counterexample: cex,
+        });
+    }
+
+    // SAT miters, sharing one incremental solver and one encoded graph
+    let mut enc = TseitinEncoder::new();
+    enc.solver_mut().set_conflict_budget(options.conflict_budget);
+    // flattened input node order → solver literal
+    let mut input_vars: Vec<Lit> = Vec::new();
+    let mut input_names: Vec<(String, usize)> = Vec::new();
+    for (name, lits) in sm.inputs() {
+        for bit in 0..lits.len() {
+            input_vars.push(enc.fresh());
+            input_names.push((name.clone(), bit));
+        }
+    }
+    let mut memo: Vec<Option<Lit>> = vec![None; sm.aig().node_count()];
+
+    for (name, bit, la, lb) in pairs {
+        let sa = encode_cone(&sm, &mut enc, &mut memo, &input_vars, la);
+        let sb = encode_cone(&sm, &mut enc, &mut memo, &input_vars, lb);
+        if sa == sb {
+            continue;
+        }
+        let miter = enc.xor(sa, sb);
+        match enc.solve_with(&[miter]) {
+            SolveResult::Unsat => {}
+            SolveResult::Unknown => {
+                return Ok(EquivResult::Unknown { output: name, bit });
+            }
+            SolveResult::Sat => {
+                let mut cex: HashMap<String, u64> = HashMap::new();
+                for ((iname, ibit), var) in input_names.iter().zip(&input_vars) {
+                    if *ibit < 64 && enc.solver().model_value(*var) == Some(true) {
+                        *cex.entry(iname.clone()).or_default() |= 1 << ibit;
+                    } else {
+                        cex.entry(iname.clone()).or_default();
+                    }
+                }
+                return Ok(EquivResult::NotEquivalent {
+                    output: name,
+                    bit,
+                    counterexample: cex,
+                });
+            }
+        }
+    }
+    Ok(EquivResult::Equivalent)
+}
+
+/// Iterative post-order Tseitin encoding of one cone of the shared graph.
+fn encode_cone(
+    sm: &SharedMapper,
+    enc: &mut TseitinEncoder,
+    memo: &mut Vec<Option<Lit>>,
+    input_vars: &[Lit],
+    root: AigLit,
+) -> Lit {
+    // input nodes are numbered in creation order; precompute lazily:
+    // node index → position among inputs. Inputs are created before any
+    // AND that uses them, so a linear scan per call would be wasteful —
+    // instead we derive the input ordinal by counting Input nodes.
+    // (memoized via the same `memo` table.)
+    let mut stack: Vec<u32> = vec![root.node()];
+    while let Some(&n) = stack.last() {
+        if memo[n as usize].is_some() {
+            stack.pop();
+            continue;
+        }
+        match sm.aig().node(AigLit::from_node(n)) {
+            AigNode::Const => {
+                memo[n as usize] = Some(enc.false_lit());
+                stack.pop();
+            }
+            AigNode::Input => {
+                let ordinal = sm
+                    .aig()
+                    .input_ordinal(n)
+                    .expect("input node has an ordinal");
+                memo[n as usize] = Some(input_vars[ordinal]);
+                stack.pop();
+            }
+            AigNode::And(a, b) => {
+                let need_a = memo[a.node() as usize].is_none();
+                let need_b = memo[b.node() as usize].is_none();
+                if need_a {
+                    stack.push(a.node());
+                }
+                if need_b {
+                    stack.push(b.node());
+                }
+                if !need_a && !need_b {
+                    let la = apply(memo[a.node() as usize].expect("encoded"), a);
+                    let lb = apply(memo[b.node() as usize].expect("encoded"), b);
+                    memo[n as usize] = Some(enc.and(la, lb));
+                    stack.pop();
+                }
+            }
+        }
+    }
+    apply(memo[root.node() as usize].expect("encoded root"), root)
+}
+
+fn apply(base: Lit, l: AigLit) -> Lit {
+    if l.is_complement() {
+        !base
+    } else {
+        base
+    }
+}
+
+/// Cheap random-vector filter on the shared graph.
+#[allow(clippy::type_complexity)]
+fn random_prefilter(
+    sm: &SharedMapper,
+    pairs: &[(String, usize, AigLit, AigLit)],
+    options: &EquivOptions,
+) -> Option<(String, usize, HashMap<String, u64>)> {
+    let mut state = options.seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let n_inputs: usize = sm.inputs().iter().map(|(_, l)| l.len()).sum();
+    for _ in 0..options.sim_vectors {
+        let flat: Vec<bool> = (0..n_inputs).map(|_| next() & 1 == 1).collect();
+        let roots: Vec<AigLit> = pairs
+            .iter()
+            .flat_map(|&(_, _, a, b)| [a, b])
+            .collect();
+        let vals = sm.aig().eval(&flat, &roots);
+        for (k, (name, bit, _, _)) in pairs.iter().enumerate() {
+            if vals[2 * k] != vals[2 * k + 1] {
+                // reconstruct named counterexample
+                let mut cex: HashMap<String, u64> = HashMap::new();
+                let mut idx = 0usize;
+                for (iname, lits) in sm.inputs() {
+                    let mut v = 0u64;
+                    for b in 0..lits.len() {
+                        if b < 64 && flat[idx] {
+                            v |= 1 << b;
+                        }
+                        idx += 1;
+                    }
+                    cex.insert(iname.clone(), v);
+                }
+                return Some((name.clone(), *bit, cex));
+            }
+        }
+    }
+    None
+}
+
+/// Convenience: area of a module after `aigmap` (the paper's metric).
+///
+/// # Errors
+///
+/// Propagates [`aigmap`] errors.
+pub fn aig_area(module: &Module) -> Result<usize, NetlistError> {
+    Ok(aigmap(module)?.area())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartly_netlist::{Module, SigSpec};
+
+    fn mux_module(swap: bool) -> Module {
+        let mut m = Module::new(if swap { "b" } else { "a" });
+        let a = m.add_input("a", 4);
+        let b = m.add_input("b", 4);
+        let s = m.add_input("s", 1);
+        let y = if swap {
+            // y = s ? b : a  via AND/OR gates instead of a mux cell
+            let mask = SigSpec::from_bits(vec![s.bit(0); 4]);
+            let not_mask = m.not(&mask);
+            let t1 = m.and(&b, &mask);
+            let t2 = m.and(&a, &not_mask);
+            m.or(&t1, &t2)
+        } else {
+            m.mux(&a, &b, &s)
+        };
+        m.add_output("y", &y);
+        m
+    }
+
+    #[test]
+    fn equivalent_structures_pass() {
+        let m1 = mux_module(false);
+        let m2 = mux_module(true);
+        let r = check_equiv(&m1, &m2, &EquivOptions::default()).unwrap();
+        assert_eq!(r, EquivResult::Equivalent);
+    }
+
+    #[test]
+    fn identical_modules_short_circuit() {
+        let m1 = mux_module(false);
+        let m2 = mux_module(false);
+        let r = check_equiv(&m1, &m2, &EquivOptions::default()).unwrap();
+        assert_eq!(r, EquivResult::Equivalent);
+    }
+
+    #[test]
+    fn inequivalent_detected_with_counterexample() {
+        let mut m1 = Module::new("a");
+        let a = m1.add_input("a", 4);
+        let b = m1.add_input("b", 4);
+        let y = m1.and(&a, &b);
+        m1.add_output("y", &y);
+
+        let mut m2 = Module::new("b");
+        let a = m2.add_input("a", 4);
+        let b = m2.add_input("b", 4);
+        let y = m2.or(&a, &b);
+        m2.add_output("y", &y);
+
+        match check_equiv(&m1, &m2, &EquivOptions::default()).unwrap() {
+            EquivResult::NotEquivalent {
+                output,
+                counterexample,
+                ..
+            } => {
+                assert_eq!(output, "y");
+                let av = counterexample["a"];
+                let bv = counterexample["b"];
+                assert_ne!(av & bv, av | bv);
+            }
+            other => panic!("expected NotEquivalent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sat_catches_rare_difference() {
+        // differ only when a == 0xffff: random sim over 4 vectors will
+        // almost surely miss it, SAT must find it
+        let mut m1 = Module::new("a");
+        let a = m1.add_input("a", 16);
+        let ones = SigSpec::ones(16);
+        let y = m1.eq(&a, &ones);
+        m1.add_output("y", &y);
+
+        let mut m2 = Module::new("b");
+        let _a = m2.add_input("a", 16);
+        m2.add_output("y", &SigSpec::zeros(1));
+
+        let opts = EquivOptions {
+            sim_vectors: 4,
+            ..Default::default()
+        };
+        match check_equiv(&m1, &m2, &opts).unwrap() {
+            EquivResult::NotEquivalent { counterexample, .. } => {
+                assert_eq!(counterexample["a"], 0xffff);
+            }
+            other => panic!("expected NotEquivalent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn port_mismatch_is_error() {
+        let mut m1 = Module::new("a");
+        let a = m1.add_input("a", 4);
+        m1.add_output("y", &a);
+        let mut m2 = Module::new("b");
+        let b = m2.add_input("b", 4);
+        m2.add_output("y", &b);
+        assert!(check_equiv(&m1, &m2, &EquivOptions::default()).is_err());
+    }
+
+    #[test]
+    fn sequential_equivalence_via_cut_points() {
+        // register + increment, written two ways
+        let build = |via_sub: bool| {
+            let mut m = Module::new("c");
+            let clk = m.add_input("clk", 1);
+            let d = m.add_input("d", 4);
+            let q = m.dff(&clk, &d);
+            let one = SigSpec::const_u64(1, 4);
+            let y = if via_sub {
+                let minus1 = SigSpec::const_u64(0xF, 4);
+                m.sub(&q, &minus1)
+            } else {
+                m.add(&q, &one)
+            };
+            m.add_output("y", &y);
+            m
+        };
+        let r = check_equiv(&build(false), &build(true), &EquivOptions::default()).unwrap();
+        assert_eq!(r, EquivResult::Equivalent);
+    }
+
+    #[test]
+    fn deep_xor_chain_fast_path() {
+        // two identical deep chains: must short-circuit structurally
+        let build = || {
+            let mut m = Module::new("deep");
+            let a = m.add_input("a", 8);
+            let b = m.add_input("b", 8);
+            let mut acc = a.clone();
+            for _ in 0..200 {
+                acc = m.xor(&acc, &b);
+                acc = m.add(&acc, &a);
+            }
+            m.add_output("y", &acc);
+            m
+        };
+        let t = std::time::Instant::now();
+        let r = check_equiv(&build(), &build(), &EquivOptions::default()).unwrap();
+        assert_eq!(r, EquivResult::Equivalent);
+        assert!(
+            t.elapsed().as_millis() < 2_000,
+            "structural fast path must avoid SAT"
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion benchmarks for ADD construction: the greedy heuristic vs.
+//! fixed variable orders on structured and random tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartly_add::{Add, FunctionTable};
+
+fn priority_decode(width: u32) -> FunctionTable {
+    let mut cubes = Vec::new();
+    for k in (0..width).rev() {
+        let mut cube = vec![None; width as usize];
+        for j in (k + 1)..width {
+            cube[j as usize] = Some(false);
+        }
+        cube[k as usize] = Some(true);
+        cubes.push((cube, width - 1 - k));
+    }
+    FunctionTable::from_priority_cubes(width, width, &cubes)
+}
+
+fn random_table(width: u32, terminals: u32, seed: u64) -> FunctionTable {
+    let mut t = FunctionTable::new_filled(width, 0);
+    let mut state = seed | 1;
+    for i in 0..(1usize << width) {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        t.set(i, (state % terminals as u64) as u32);
+    }
+    t
+}
+
+fn bench_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("add/greedy");
+    for width in [6u32, 8, 10] {
+        let decode = priority_decode(width);
+        group.bench_with_input(
+            BenchmarkId::new("priority_decode", width),
+            &decode,
+            |b, t| b.iter(|| Add::build_greedy(t).node_count()),
+        );
+        let random = random_table(width, 4, 0xadd);
+        group.bench_with_input(BenchmarkId::new("random4", width), &random, |b, t| {
+            b.iter(|| Add::build_greedy(t).node_count())
+        });
+    }
+    group.finish();
+}
+
+fn bench_fixed_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("add/fixed_order");
+    for width in [6u32, 8, 10] {
+        let decode = priority_decode(width);
+        let order: Vec<u32> = (0..width).rev().collect();
+        group.bench_with_input(BenchmarkId::from_parameter(width), &decode, |b, t| {
+            b.iter(|| Add::build_with_order(t, &order).node_count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy, bench_fixed_order);
+criterion_main!(benches);

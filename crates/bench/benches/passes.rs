@@ -1,0 +1,107 @@
+//! Criterion benchmarks for the optimization passes themselves: the
+//! Yosys-style baseline, the smaRTLy SAT pass, muxtree restructuring,
+//! `aigmap` and the equivalence checker, each on a fixed corpus case.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smartly_aig::{aigmap, check_equiv, EquivOptions};
+use smartly_core::{
+    restructure, sat_redundancy, OptLevel, Pipeline, RestructureOptions, SatRedundancyOptions,
+};
+use smartly_netlist::Module;
+use smartly_opt::{baseline_optimize, clean_pipeline, opt_clean, opt_const, CleanOptions};
+use smartly_workloads::{public_corpus, Scale};
+
+fn corpus_case(name: &str) -> Module {
+    public_corpus(Scale::Tiny)
+        .into_iter()
+        .find(|c| c.name == name)
+        .expect("case exists")
+        .compile()
+        .expect("compiles")
+}
+
+fn bench_baseline(c: &mut Criterion) {
+    let module = corpus_case("wb_conmax");
+    c.bench_function("passes/baseline_optimize", |b| {
+        b.iter_batched(
+            || module.clone(),
+            |mut m| baseline_optimize(&mut m),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_sat_pass(c: &mut Criterion) {
+    let mut module = corpus_case("wb_conmax");
+    baseline_optimize(&mut module);
+    c.bench_function("passes/sat_redundancy", |b| {
+        b.iter_batched(
+            || module.clone(),
+            |mut m| {
+                let stats = sat_redundancy(&mut m, &SatRedundancyOptions::default());
+                clean_pipeline(&mut m, 8);
+                stats.rewrites
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_restructure(c: &mut Criterion) {
+    let mut module = corpus_case("top_cache_axi");
+    baseline_optimize(&mut module);
+    c.bench_function("passes/restructure", |b| {
+        b.iter_batched(
+            || module.clone(),
+            |mut m| {
+                let stats = restructure(&mut m, &RestructureOptions::default());
+                clean_pipeline(&mut m, 8);
+                stats.rebuilt
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cleanup(c: &mut Criterion) {
+    let module = corpus_case("mem_ctrl");
+    c.bench_function("passes/opt_const+clean", |b| {
+        b.iter_batched(
+            || module.clone(),
+            |mut m| {
+                let n = opt_const(&mut m);
+                n + opt_clean(&mut m, &CleanOptions::default())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_aigmap(c: &mut Criterion) {
+    let module = corpus_case("mem_ctrl");
+    c.bench_function("passes/aigmap", |b| {
+        b.iter(|| aigmap(&module).expect("maps").area())
+    });
+}
+
+fn bench_cec(c: &mut Criterion) {
+    let original = corpus_case("ac97_ctrl");
+    let mut optimized = original.clone();
+    Pipeline::default()
+        .run(&mut optimized, OptLevel::Full)
+        .expect("pipeline");
+    c.bench_function("passes/check_equiv", |b| {
+        b.iter(|| check_equiv(&original, &optimized, &EquivOptions::default()).expect("cec"))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_baseline,
+    bench_sat_pass,
+    bench_restructure,
+    bench_cleanup,
+    bench_aigmap,
+    bench_cec
+);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the CDCL SAT solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartly_sat::{Lit, SolveResult, Solver, Var};
+
+/// Builds a pigeonhole instance: `n` pigeons into `n-1` holes (UNSAT).
+fn pigeonhole(n: usize) -> Solver {
+    let m = n - 1;
+    let mut s = Solver::new();
+    let vars: Vec<Vec<Var>> = (0..n)
+        .map(|_| (0..m).map(|_| s.new_var()).collect())
+        .collect();
+    for row in &vars {
+        s.add_clause(row.iter().map(|&v| Lit::pos(v)));
+    }
+    for j in 0..m {
+        for i1 in 0..n {
+            for i2 in (i1 + 1)..n {
+                s.add_clause([Lit::neg(vars[i1][j]), Lit::neg(vars[i2][j])]);
+            }
+        }
+    }
+    s
+}
+
+/// Deterministic random 3-SAT at the given clause/variable ratio.
+fn random_3sat(nvars: usize, ratio: f64, seed: u64) -> Solver {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..nvars).map(|_| s.new_var()).collect();
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let nclauses = (nvars as f64 * ratio) as usize;
+    for _ in 0..nclauses {
+        let lits: Vec<Lit> = (0..3)
+            .map(|_| {
+                let v = vars[(next() % nvars as u64) as usize];
+                Lit::new(v, next() & 1 == 1)
+            })
+            .collect();
+        s.add_clause(lits);
+    }
+    s
+}
+
+fn bench_pigeonhole(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/pigeonhole");
+    for n in [6usize, 7, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let mut s = pigeonhole(n);
+                assert_eq!(s.solve(), SolveResult::Unsat);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_random_3sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/random3sat");
+    // under-constrained (SAT) and near-threshold instances
+    for &(nvars, ratio) in &[(100usize, 3.0f64), (100, 4.2), (200, 3.0)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("v{nvars}_r{ratio}")),
+            &(nvars, ratio),
+            |b, &(nvars, ratio)| {
+                b.iter(|| {
+                    let mut s = random_3sat(nvars, ratio, 0xbeef);
+                    let _ = s.solve();
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pigeonhole, bench_random_3sat);
+criterion_main!(benches);

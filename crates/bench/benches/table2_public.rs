@@ -1,0 +1,65 @@
+//! Criterion timing of the full Table II experiment: the complete
+//! optimization pipeline per public-corpus case (Tiny scale so `cargo
+//! bench` stays fast; the table *values* come from the `table2` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smartly_core::{OptLevel, Pipeline};
+use smartly_workloads::{public_corpus, Scale};
+
+fn bench_pipeline_per_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/full_pipeline");
+    group.sample_size(10);
+    for case in public_corpus(Scale::Tiny) {
+        let module = case.compile().expect("compiles");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(&case.name),
+            &module,
+            |b, m| {
+                b.iter_batched(
+                    || m.clone(),
+                    |mut m| {
+                        Pipeline::default()
+                            .run(&mut m, OptLevel::Full)
+                            .expect("pipeline")
+                            .area_after
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_levels_on_one_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/levels_wb_conmax");
+    group.sample_size(10);
+    let module = public_corpus(Scale::Tiny)
+        .into_iter()
+        .find(|c| c.name == "wb_conmax")
+        .expect("exists")
+        .compile()
+        .expect("compiles");
+    for level in OptLevel::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(level.name()),
+            &level,
+            |b, &level| {
+                b.iter_batched(
+                    || module.clone(),
+                    |mut m| {
+                        Pipeline::default()
+                            .run(&mut m, level)
+                            .expect("pipeline")
+                            .area_after
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_per_case, bench_levels_on_one_case);
+criterion_main!(benches);

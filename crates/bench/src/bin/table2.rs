@@ -1,0 +1,66 @@
+//! Regenerates the paper's **Table II**: AIG areas on the public corpus —
+//! Original, after Yosys, after smaRTLy, and the extra reduction ratio.
+//!
+//! `cargo run --release -p smartly-bench --bin table2 -- [tiny|small|paper]`
+
+use smartly_bench::{pct, run_level, scale_from_args};
+use smartly_core::OptLevel;
+use smartly_workloads::public_corpus;
+
+/// The ratios the paper reports, for side-by-side comparison.
+const PAPER_RATIO: &[(&str, f64)] = &[
+    ("top_cache_axi", 24.92),
+    ("pci_bridge32", 6.42),
+    ("wb_conmax", 27.79),
+    ("mem_ctrl", 0.53),
+    ("wb_dma", 13.89),
+    ("tv80", 2.31),
+    ("usb_funct", 3.64),
+    ("ethernet", 1.15),
+    ("riscv", 2.14),
+    ("ac97_ctrl", 6.69),
+];
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table II — AIG areas (scale: {scale:?})");
+    println!(
+        "{:14} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "Case", "Original", "Yosys", "smaRTLy", "Ratio", "paper"
+    );
+    let mut sum_orig = 0usize;
+    let mut sum_yosys = 0usize;
+    let mut sum_smartly = 0usize;
+    let mut sum_ratio = 0.0;
+    let mut sum_paper = 0.0;
+    let corpus = public_corpus(scale);
+    let n = corpus.len();
+    for case in corpus {
+        let yosys = run_level(&case, OptLevel::Baseline);
+        let full = run_level(&case, OptLevel::Full);
+        let ratio = pct(yosys.area_after, full.area_after);
+        let paper = PAPER_RATIO
+            .iter()
+            .find(|(n, _)| *n == case.name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0);
+        println!(
+            "{:14} {:>9} {:>9} {:>9} {:>7.2}% {:>7.2}%",
+            case.name, yosys.area_before, yosys.area_after, full.area_after, ratio, paper
+        );
+        sum_orig += yosys.area_before;
+        sum_yosys += yosys.area_after;
+        sum_smartly += full.area_after;
+        sum_ratio += ratio;
+        sum_paper += paper;
+    }
+    println!(
+        "{:14} {:>9} {:>9} {:>9} {:>7.2}% {:>7.2}%",
+        "Average",
+        sum_orig / n,
+        sum_yosys / n,
+        sum_smartly / n,
+        sum_ratio / n as f64,
+        sum_paper / n as f64,
+    );
+}

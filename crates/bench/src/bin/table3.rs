@@ -1,0 +1,71 @@
+//! Regenerates the paper's **Table III**: AIG-area reduction relative to
+//! the Yosys baseline for each method alone (SAT, Rebuild) and combined
+//! (Full).
+//!
+//! `cargo run --release -p smartly-bench --bin table3 -- [tiny|small|paper]`
+
+use smartly_bench::{pct, run_level, scale_from_args};
+use smartly_core::OptLevel;
+use smartly_workloads::public_corpus;
+
+/// Paper Table III values (SAT, Rebuild, Full) for comparison.
+const PAPER: &[(&str, f64, f64, f64)] = &[
+    ("top_cache_axi", 0.01, 24.91, 24.92),
+    ("pci_bridge32", 0.71, 2.01, 6.42),
+    ("wb_conmax", 19.05, 4.65, 27.79),
+    ("mem_ctrl", 0.12, 0.47, 0.53),
+    ("wb_dma", 11.52, 0.80, 13.89),
+    ("tv80", 0.71, 1.61, 2.31),
+    ("usb_funct", 1.60, 1.69, 3.64),
+    ("ethernet", 0.49, 0.48, 1.15),
+    ("riscv", 0.17, 1.97, 2.14),
+    ("ac97_ctrl", 1.34, 5.36, 6.69),
+];
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Table III — reduction vs. Yosys by method (scale: {scale:?})");
+    println!(
+        "{:14} {:>8} {:>8} {:>8}   paper: {:>6} {:>8} {:>6}",
+        "Case", "SAT", "Rebuild", "Full", "SAT", "Rebuild", "Full"
+    );
+    let mut sums = [0.0f64; 3];
+    let mut paper_sums = [0.0f64; 3];
+    let corpus = public_corpus(scale);
+    let n = corpus.len();
+    for case in corpus {
+        let yosys = run_level(&case, OptLevel::Baseline);
+        let sat = run_level(&case, OptLevel::SatOnly);
+        let reb = run_level(&case, OptLevel::RebuildOnly);
+        let full = run_level(&case, OptLevel::Full);
+        let base = yosys.area_after;
+        let r = [
+            pct(base, sat.area_after),
+            pct(base, reb.area_after),
+            pct(base, full.area_after),
+        ];
+        let p = PAPER
+            .iter()
+            .find(|(nm, ..)| *nm == case.name)
+            .map(|&(_, a, b, c)| [a, b, c])
+            .unwrap_or([0.0; 3]);
+        println!(
+            "{:14} {:>7.2}% {:>7.2}% {:>7.2}%   paper: {:>5.2}% {:>7.2}% {:>5.2}%",
+            case.name, r[0], r[1], r[2], p[0], p[1], p[2]
+        );
+        for k in 0..3 {
+            sums[k] += r[k];
+            paper_sums[k] += p[k];
+        }
+    }
+    println!(
+        "{:14} {:>7.2}% {:>7.2}% {:>7.2}%   paper: {:>5.2}% {:>7.2}% {:>5.2}%",
+        "Average",
+        sums[0] / n as f64,
+        sums[1] / n as f64,
+        sums[2] / n as f64,
+        paper_sums[0] / n as f64,
+        paper_sums[1] / n as f64,
+        paper_sums[2] / n as f64,
+    );
+}

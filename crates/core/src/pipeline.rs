@@ -1,0 +1,324 @@
+//! The optimization pipeline: the four configurations the paper measures.
+
+use crate::restructure::{restructure, RestructureOptions, RestructureStats};
+use crate::sat_pass::{sat_redundancy, SatPassStats, SatRedundancyOptions};
+use smartly_aig::{aig_area, check_equiv, EquivOptions, EquivResult};
+use smartly_netlist::{Module, NetlistError};
+use smartly_opt::{baseline_optimize, clean_pipeline};
+
+/// Which optimizations run (paper Table III columns).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum OptLevel {
+    /// Yosys-equivalent: `opt_muxtree` + cleanup only.
+    Baseline,
+    /// Baseline plus SAT-based redundancy elimination ("SAT").
+    SatOnly,
+    /// Baseline plus muxtree restructuring ("Rebuild").
+    RebuildOnly,
+    /// Everything ("Full").
+    Full,
+}
+
+impl OptLevel {
+    /// All four levels in paper order.
+    pub const ALL: [OptLevel; 4] = [
+        OptLevel::Baseline,
+        OptLevel::SatOnly,
+        OptLevel::RebuildOnly,
+        OptLevel::Full,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            OptLevel::Baseline => "yosys",
+            OptLevel::SatOnly => "sat",
+            OptLevel::RebuildOnly => "rebuild",
+            OptLevel::Full => "full",
+        }
+    }
+}
+
+/// A configured pass sequence.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Clone, Debug)]
+pub struct Pipeline {
+    /// SAT-pass configuration.
+    pub sat: SatRedundancyOptions,
+    /// Restructuring configuration.
+    pub rebuild: RestructureOptions,
+    /// Maximum optimize rounds (each round: rebuild → sat → clean).
+    pub rounds: usize,
+    /// Check the result against the input with the AIG miter; the outcome
+    /// lands in [`PipelineReport::equivalence`].
+    pub verify: bool,
+}
+
+impl Default for Pipeline {
+    fn default() -> Self {
+        Pipeline {
+            sat: SatRedundancyOptions::default(),
+            rebuild: RestructureOptions::default(),
+            rounds: 3,
+            verify: false,
+        }
+    }
+}
+
+/// What a [`Pipeline::run`] did.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineReport {
+    /// AIG area before any optimization.
+    pub area_before: usize,
+    /// AIG area afterwards.
+    pub area_after: usize,
+    /// Rewrites applied by the Yosys-style baseline.
+    pub baseline_rewrites: usize,
+    /// Select/data pins applied by the SAT pass (summed over rounds).
+    pub sat_rewrites: usize,
+    /// Aggregated SAT-pass telemetry.
+    pub sat_stats: SatPassStats,
+    /// Aggregated restructuring telemetry.
+    pub rebuild_stats: RestructureStats,
+    /// Cells removed by cleanup.
+    pub cells_cleaned: usize,
+    /// Miter verdict when [`Pipeline::verify`] was set.
+    pub equivalence: Option<EquivResult>,
+}
+
+impl PipelineReport {
+    /// Fractional area reduction relative to the input (0.0–1.0).
+    pub fn reduction(&self) -> f64 {
+        if self.area_before == 0 {
+            0.0
+        } else {
+            1.0 - self.area_after as f64 / self.area_before as f64
+        }
+    }
+}
+
+impl std::fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "AIG area {} -> {} ({:.2}% reduction)",
+            self.area_before,
+            self.area_after,
+            100.0 * self.reduction()
+        )?;
+        writeln!(
+            f,
+            "baseline rewrites: {}, SAT rewrites: {} (inference {}, sim {}, sat {}, unreachable {})",
+            self.baseline_rewrites,
+            self.sat_rewrites,
+            self.sat_stats.by_inference,
+            self.sat_stats.by_sim,
+            self.sat_stats.by_sat,
+            self.sat_stats.unreachable,
+        )?;
+        writeln!(
+            f,
+            "restructuring: {}/{} candidates rebuilt, muxes {} -> {}, eq freed {}",
+            self.rebuild_stats.rebuilt,
+            self.rebuild_stats.candidates,
+            self.rebuild_stats.muxes_removed,
+            self.rebuild_stats.muxes_added,
+            self.rebuild_stats.eqs_freed,
+        )?;
+        write!(f, "cells cleaned: {}", self.cells_cleaned)?;
+        if let Some(eq) = &self.equivalence {
+            write!(f, "\nequivalence: {eq:?}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Pipeline {
+    /// Creates a pipeline with default options.
+    pub fn new() -> Self {
+        Pipeline::default()
+    }
+
+    /// Optimizes `module` in place at the requested level.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist errors from area computation or (when `verify`
+    /// is set) the equivalence check; an inequivalent result is *not* an
+    /// error — it is reported in [`PipelineReport::equivalence`].
+    pub fn run(&self, module: &mut Module, level: OptLevel) -> Result<PipelineReport, NetlistError> {
+        let original = if self.verify { Some(module.clone()) } else { None };
+        let mut report = PipelineReport {
+            area_before: aig_area(module)?,
+            ..Default::default()
+        };
+
+        report.baseline_rewrites += baseline_optimize(module);
+
+        for _ in 0..self.rounds {
+            let mut changed = false;
+            if matches!(level, OptLevel::RebuildOnly | OptLevel::Full) {
+                let st = restructure(module, &self.rebuild);
+                changed |= st.rebuilt > 0;
+                report.rebuild_stats.candidates += st.candidates;
+                report.rebuild_stats.rebuilt += st.rebuilt;
+                report.rebuild_stats.muxes_removed += st.muxes_removed;
+                report.rebuild_stats.muxes_added += st.muxes_added;
+                report.rebuild_stats.eqs_freed += st.eqs_freed;
+                report.cells_cleaned += clean_pipeline(module, 8);
+            }
+            if matches!(level, OptLevel::SatOnly | OptLevel::Full) {
+                let st = sat_redundancy(module, &self.sat);
+                changed |= st.rewrites > 0;
+                report.sat_rewrites += st.rewrites;
+                report.sat_stats.rewrites += st.rewrites;
+                report.sat_stats.queries += st.queries;
+                report.sat_stats.by_inference += st.by_inference;
+                report.sat_stats.by_sim += st.by_sim;
+                report.sat_stats.by_sat += st.by_sat;
+                report.sat_stats.unreachable += st.unreachable;
+                report.sat_stats.gates_before_prune += st.gates_before_prune;
+                report.sat_stats.gates_after_prune += st.gates_after_prune;
+                report.cells_cleaned += clean_pipeline(module, 8);
+                // pinned selects may expose new baseline opportunities
+                report.baseline_rewrites += baseline_optimize(module);
+            }
+            if !changed {
+                break;
+            }
+        }
+        report.cells_cleaned += clean_pipeline(module, 8);
+
+        report.area_after = aig_area(module)?;
+        if let Some(orig) = original {
+            let r = check_equiv(&orig, module, &EquivOptions::default())?;
+            report.equivalence = Some(r);
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartly_netlist::SigSpec;
+
+    fn fig3() -> Module {
+        let mut m = Module::new("fig3");
+        let a = m.add_input("a", 4);
+        let b = m.add_input("b", 4);
+        let c = m.add_input("c", 4);
+        let s = m.add_input("s", 1);
+        let r = m.add_input("r", 1);
+        let sr = m.or(&s, &r);
+        let inner = m.mux(&b, &a, &sr);
+        let outer = m.mux(&c, &inner, &s);
+        m.add_output("y", &outer);
+        m
+    }
+
+    fn listing1() -> Module {
+        let mut m = Module::new("listing1");
+        let s = m.add_input("s", 2);
+        let p: Vec<SigSpec> = (0..4).map(|i| m.add_input(&format!("p{i}"), 8)).collect();
+        let e0 = m.eq(&s, &SigSpec::const_u64(0, 2));
+        let e1 = m.eq(&s, &SigSpec::const_u64(1, 2));
+        let e2 = m.eq(&s, &SigSpec::const_u64(2, 2));
+        let m2 = m.mux(&p[3], &p[2], &e2);
+        let m1 = m.mux(&m2, &p[1], &e1);
+        let m0 = m.mux(&m1, &p[0], &e0);
+        m.add_output("y", &m0);
+        m
+    }
+
+    #[test]
+    fn full_beats_baseline_on_fig3() {
+        let mut base = fig3();
+        let mut full = fig3();
+        let pipe = Pipeline {
+            verify: true,
+            ..Default::default()
+        };
+        let rb = pipe.run(&mut base, OptLevel::Baseline).unwrap();
+        let rf = pipe.run(&mut full, OptLevel::Full).unwrap();
+        assert!(rf.area_after < rb.area_after);
+        assert_eq!(rf.equivalence, Some(EquivResult::Equivalent));
+        assert_eq!(rb.equivalence, Some(EquivResult::Equivalent));
+    }
+
+    #[test]
+    fn rebuild_beats_baseline_on_listing1() {
+        let mut base = listing1();
+        let mut reb = listing1();
+        let pipe = Pipeline {
+            verify: true,
+            ..Default::default()
+        };
+        let rb = pipe.run(&mut base, OptLevel::Baseline).unwrap();
+        let rr = pipe.run(&mut reb, OptLevel::RebuildOnly).unwrap();
+        assert!(
+            rr.area_after < rb.area_after,
+            "rebuild {} must beat baseline {}",
+            rr.area_after,
+            rb.area_after
+        );
+        assert_eq!(rr.equivalence, Some(EquivResult::Equivalent));
+        assert_eq!(rr.rebuild_stats.rebuilt, 1);
+    }
+
+    #[test]
+    fn all_levels_preserve_function() {
+        for level in OptLevel::ALL {
+            for builder in [fig3 as fn() -> Module, listing1 as fn() -> Module] {
+                let mut m = builder();
+                let pipe = Pipeline {
+                    verify: true,
+                    ..Default::default()
+                };
+                let rep = pipe.run(&mut m, level).unwrap();
+                assert_eq!(
+                    rep.equivalence,
+                    Some(EquivResult::Equivalent),
+                    "level {level:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reduction_is_monotone_in_level() {
+        // Full ≤ min(Sat, Rebuild) on a circuit with both opportunities
+        let build = || {
+            let mut m = Module::new("both");
+            let s = m.add_input("s", 2);
+            let p: Vec<SigSpec> = (0..4).map(|i| m.add_input(&format!("p{i}"), 8)).collect();
+            let e0 = m.eq(&s, &SigSpec::const_u64(0, 2));
+            let e1 = m.eq(&s, &SigSpec::const_u64(1, 2));
+            let e2 = m.eq(&s, &SigSpec::const_u64(2, 2));
+            let m2 = m.mux(&p[3], &p[2], &e2);
+            let m1 = m.mux(&m2, &p[1], &e1);
+            let m0 = m.mux(&m1, &p[0], &e0);
+            m.add_output("y1", &m0);
+            // plus a Fig. 3 cone
+            let q = m.add_input("q", 1);
+            let r = m.add_input("r", 1);
+            let qr = m.or(&q, &r);
+            let inner = m.mux(&p[1], &p[0], &qr);
+            let outer = m.mux(&p[2], &inner, &q);
+            m.add_output("y2", &outer);
+            m
+        };
+        let mut areas = std::collections::HashMap::new();
+        for level in OptLevel::ALL {
+            let mut m = build();
+            let rep = Pipeline::default().run(&mut m, level).unwrap();
+            areas.insert(level, rep.area_after);
+        }
+        assert!(areas[&OptLevel::SatOnly] <= areas[&OptLevel::Baseline]);
+        assert!(areas[&OptLevel::RebuildOnly] <= areas[&OptLevel::Baseline]);
+        assert!(areas[&OptLevel::Full] <= areas[&OptLevel::SatOnly]);
+        assert!(areas[&OptLevel::Full] <= areas[&OptLevel::RebuildOnly]);
+        assert!(areas[&OptLevel::Full] < areas[&OptLevel::Baseline]);
+    }
+}

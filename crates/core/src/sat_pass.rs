@@ -1,0 +1,517 @@
+//! SAT-based redundancy elimination (paper §II).
+//!
+//! Traverses multiplexer trees exactly like the Yosys baseline, but when a
+//! select is *not* textually decided by an ancestor it asks the full
+//! machinery — sub-graph extraction, Theorem II.1 pruning, Table I
+//! inference, then exhaustive simulation or SAT — whether the path
+//! condition forces its value. Decided selects are pinned to constants;
+//! [`smartly_opt::clean_pipeline`] then collapses the dead branches.
+
+use crate::decide::{decide, DecideOptions, Decision, Engine};
+use crate::inference::{propagate, InferOutcome};
+use crate::subgraph::{extract_cached, ConeCache, SubgraphStats};
+use smartly_netlist::{CellId, CellKind, Module, NetIndex, Port, SigBit, SigSpec, TriVal};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration for [`sat_redundancy`].
+#[derive(Copy, Clone, Debug)]
+pub struct SatRedundancyOptions {
+    /// Sub-graph distance bound `k` (paper §II).
+    pub k: usize,
+    /// Free-leaf count at or below which exhaustive simulation decides.
+    pub sim_threshold: usize,
+    /// Free-leaf count at or below which SAT decides; larger cones skip.
+    pub sat_threshold: usize,
+    /// SAT conflict budget per query.
+    pub conflict_budget: u64,
+    /// Apply Theorem II.1 sub-graph pruning (ablation switch).
+    pub prune: bool,
+    /// Apply Table I inference rules before sim/SAT (ablation switch).
+    pub inference: bool,
+    /// Hard cap on decide queries per sweep (safety valve).
+    pub max_queries: usize,
+    /// Skip queries whose extracted sub-graph exceeds this many cells —
+    /// the paper's guard against the pass "becoming a bottleneck in the
+    /// overall circuit synthesis workflow".
+    pub max_subgraph_cells: usize,
+    /// Measure the raw distance-`k` gather for the pruning statistics
+    /// (paper's ~80% claim); costs extra graph walks, off by default.
+    pub measure_gather: bool,
+}
+
+impl Default for SatRedundancyOptions {
+    fn default() -> Self {
+        SatRedundancyOptions {
+            k: 6,
+            sim_threshold: 10,
+            sat_threshold: 64,
+            conflict_budget: 2_000,
+            prune: true,
+            inference: true,
+            max_queries: 100_000,
+            max_subgraph_cells: 3_000,
+            measure_gather: false,
+        }
+    }
+}
+
+/// Telemetry from one [`sat_redundancy`] sweep.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SatPassStats {
+    /// Select/data bits pinned to constants.
+    pub rewrites: usize,
+    /// Decide queries issued.
+    pub queries: usize,
+    /// Queries answered by the Table I inference rules alone.
+    pub by_inference: usize,
+    /// Queries answered by exhaustive simulation.
+    pub by_sim: usize,
+    /// Queries answered by SAT.
+    pub by_sat: usize,
+    /// Branches proven unreachable.
+    pub unreachable: usize,
+    /// Gates gathered into sub-graphs before pruning (paper ~80% claim).
+    pub gates_before_prune: usize,
+    /// Gates kept after pruning.
+    pub gates_after_prune: usize,
+}
+
+impl SatPassStats {
+    fn absorb_subgraph(&mut self, s: SubgraphStats) {
+        self.gates_before_prune += s.gates_before_prune;
+        self.gates_after_prune += s.gates_after_prune;
+    }
+}
+
+/// One sweep of SAT-based redundancy elimination; returns telemetry.
+///
+/// Run [`smartly_opt::clean_pipeline`] afterwards (or use
+/// [`crate::Pipeline`]) to realize the collapses, and iterate until
+/// `rewrites` is 0.
+pub fn sat_redundancy(module: &mut Module, options: &SatRedundancyOptions) -> SatPassStats {
+    let index = NetIndex::build(module);
+    let topo = match module.topo_order() {
+        Ok(t) => t,
+        Err(_) => return SatPassStats::default(),
+    };
+    let ranks: HashMap<CellId, usize> = topo.into_iter().enumerate().map(|(i, c)| (c, i)).collect();
+
+    let mux_cells: Vec<CellId> = module
+        .cells()
+        .filter(|(_, c)| matches!(c.kind, CellKind::Mux | CellKind::Pmux))
+        .map(|(id, _)| id)
+        .collect();
+    let mux_set: HashSet<CellId> = mux_cells.iter().copied().collect();
+
+    let exclusive_child = |id: CellId| -> bool {
+        let cell = module.cell(id).expect("live mux");
+        let mut parents: HashSet<(CellId, Port)> = HashSet::new();
+        for bit in cell.output().iter() {
+            for sink in index.fanout(index.canon(*bit)) {
+                match &sink.consumer {
+                    smartly_netlist::Consumer::Cell(c)
+                        if mux_set.contains(c) && matches!(sink.port, Port::A | Port::B) =>
+                    {
+                        parents.insert((*c, sink.port));
+                    }
+                    _ => return false,
+                }
+            }
+        }
+        parents.len() == 1
+    };
+
+    let driver_mux = |spec: &SigSpec| -> Option<CellId> {
+        let first = index.driver(index.canon(spec.bit(0)))?;
+        let cell = module.cell(first.cell)?;
+        if !matches!(cell.kind, CellKind::Mux | CellKind::Pmux) {
+            return None;
+        }
+        if cell.output().width() != spec.width() || first.offset != 0 {
+            return None;
+        }
+        for (k, bit) in spec.iter().enumerate() {
+            let d = index.driver(index.canon(*bit))?;
+            if d.cell != first.cell || d.offset as usize != k {
+                return None;
+            }
+        }
+        Some(first.cell)
+    };
+
+    let roots: Vec<CellId> = mux_cells
+        .iter()
+        .copied()
+        .filter(|&id| !exclusive_child(id))
+        .collect();
+
+    let mut stats = SatPassStats::default();
+    let mut pins: Vec<(CellId, Port, usize, TriVal)> = Vec::new();
+    let mut visited: HashSet<CellId> = HashSet::new();
+    let cone_cache = std::cell::RefCell::new(ConeCache::new());
+
+    // resolve a select bit's value under the path condition
+    let resolve_select = |bit: SigBit,
+                              known: &HashMap<SigBit, bool>,
+                              stats: &mut SatPassStats|
+     -> Option<bool> {
+        let c = index.canon(bit);
+        if let SigBit::Const(v) = c {
+            return v.to_bool();
+        }
+        if let Some(&v) = known.get(&c) {
+            return Some(v);
+        }
+        if stats.queries >= options.max_queries {
+            return None;
+        }
+        stats.queries += 1;
+        let (sub, sg_stats) = extract_cached(
+            module,
+            &index,
+            &ranks,
+            c,
+            known,
+            options.k,
+            options.prune,
+            options.measure_gather,
+            &mut cone_cache.borrow_mut(),
+        );
+        stats.absorb_subgraph(sg_stats);
+        if sub.cells.len() > options.max_subgraph_cells {
+            return None; // too large: forgo the query (paper threshold)
+        }
+        let mut assign: HashMap<SigBit, bool> = known
+            .iter()
+            .map(|(b, v)| (index.canon(*b), *v))
+            .collect();
+        if options.inference {
+            match propagate(module, &index, &sub, &mut assign) {
+                InferOutcome::Contradiction => {
+                    stats.unreachable += 1;
+                    return Some(false); // unreachable path: any value is sound
+                }
+                InferOutcome::Fixpoint { .. } => {}
+            }
+            if let Some(&v) = assign.get(&c) {
+                stats.by_inference += 1;
+                return Some(v);
+            }
+        }
+        let opts = DecideOptions {
+            sim_threshold: options.sim_threshold,
+            sat_threshold: options.sat_threshold,
+            conflict_budget: options.conflict_budget,
+        };
+        let (d, engine) = decide(module, &index, &sub, &assign, &opts);
+        match d {
+            Decision::Const(v) => {
+                match engine {
+                    Engine::Simulation => stats.by_sim += 1,
+                    Engine::Sat => stats.by_sat += 1,
+                    Engine::None => {}
+                }
+                Some(v)
+            }
+            Decision::Unreachable => {
+                stats.unreachable += 1;
+                Some(false)
+            }
+            Decision::Unknown | Decision::Skipped => None,
+        }
+    };
+
+    // iterative DFS over the tree forest
+    struct Frame {
+        cell: CellId,
+        known: HashMap<SigBit, bool>,
+    }
+    let mut stack: Vec<Frame> = roots
+        .iter()
+        .map(|&cell| Frame {
+            cell,
+            known: HashMap::new(),
+        })
+        .collect();
+
+    while let Some(Frame { cell: id, known }) = stack.pop() {
+        if !visited.insert(id) {
+            continue;
+        }
+        let cell = module.cell(id).expect("live mux").clone();
+        let a_spec = cell.port(Port::A).expect("mux A").clone();
+        let b_spec = cell.port(Port::B).expect("mux B").clone();
+        let s_spec = cell.port(Port::S).expect("mux S").clone();
+        let w = cell.output().width();
+
+        // data-port rewriting under direct path knowledge (paper Fig. 2)
+        for (port, spec) in [(Port::A, &a_spec), (Port::B, &b_spec)] {
+            for (k, bit) in spec.iter().enumerate() {
+                if let Some(&v) = known.get(&index.canon(*bit)) {
+                    pins.push((id, port, k, TriVal::from_bool(v)));
+                    stats.rewrites += 1;
+                }
+            }
+        }
+
+        match cell.kind {
+            CellKind::Mux => {
+                let s = index.canon(s_spec.bit(0));
+                let decided = if s.is_const() {
+                    s.as_const().and_then(|v| v.to_bool())
+                } else {
+                    let r = resolve_select(s, &known, &mut stats);
+                    if let Some(v) = r {
+                        pins.push((id, Port::S, 0, TriVal::from_bool(v)));
+                        stats.rewrites += 1;
+                    }
+                    r
+                };
+                match decided {
+                    Some(v) => {
+                        let live = if v { &b_spec } else { &a_spec };
+                        if let Some(child) = driver_mux(live) {
+                            if exclusive_child(child) {
+                                stack.push(Frame {
+                                    cell: child,
+                                    known: known.clone(),
+                                });
+                            }
+                        }
+                    }
+                    None => {
+                        for (branch, val) in [(&a_spec, false), (&b_spec, true)] {
+                            if let Some(child) = driver_mux(branch) {
+                                if exclusive_child(child) {
+                                    let mut k2 = known.clone();
+                                    if !s.is_const() {
+                                        k2.insert(s, val);
+                                    }
+                                    stack.push(Frame {
+                                        cell: child,
+                                        known: k2,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            CellKind::Pmux => {
+                let n = s_spec.width();
+                let mut sel_bits: Vec<SigBit> = Vec::with_capacity(n);
+                for i in 0..n {
+                    let sb = index.canon(s_spec.bit(i));
+                    if !sb.is_const() {
+                        if let Some(v) = resolve_select(sb, &known, &mut stats) {
+                            pins.push((id, Port::S, i, TriVal::from_bool(v)));
+                            stats.rewrites += 1;
+                        }
+                    }
+                    sel_bits.push(sb);
+                }
+                // default branch: all selects 0
+                if let Some(child) = driver_mux(&a_spec) {
+                    if exclusive_child(child) {
+                        let mut k2 = known.clone();
+                        for sb in &sel_bits {
+                            if !sb.is_const() {
+                                k2.insert(*sb, false);
+                            }
+                        }
+                        stack.push(Frame {
+                            cell: child,
+                            known: k2,
+                        });
+                    }
+                }
+                for i in 0..n {
+                    let word = b_spec.slice(i * w, w);
+                    if let Some(child) = driver_mux(&word) {
+                        if exclusive_child(child) {
+                            let mut k2 = known.clone();
+                            for sb in sel_bits.iter().take(i) {
+                                if !sb.is_const() {
+                                    k2.insert(*sb, false);
+                                }
+                            }
+                            if !sel_bits[i].is_const() {
+                                k2.insert(sel_bits[i], true);
+                            }
+                            stack.push(Frame {
+                                cell: child,
+                                known: k2,
+                            });
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("only mux-like cells are traversed"),
+        }
+    }
+
+    for (id, port, offset, value) in pins {
+        if let Some(cell) = module.cell_mut(id) {
+            if let Some(spec) = cell.port_mut(port) {
+                spec.bits_mut()[offset] = SigBit::Const(value);
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartly_opt::clean_pipeline;
+
+    fn fig3() -> Module {
+        let mut m = Module::new("fig3");
+        let a = m.add_input("a", 4);
+        let b = m.add_input("b", 4);
+        let c = m.add_input("c", 4);
+        let s = m.add_input("s", 1);
+        let r = m.add_input("r", 1);
+        let sr = m.or(&s, &r);
+        let inner = m.mux(&b, &a, &sr); // (s|r) ? a : b
+        let outer = m.mux(&c, &inner, &s); // s ? inner : c
+        m.add_output("y", &outer);
+        m
+    }
+
+    /// Paper Fig. 3: Y = S ? ((S|R) ? A : B) : C ⇒ Y = S ? A : C.
+    #[test]
+    fn fig3_or_dependent_collapses() {
+        let mut m = fig3();
+        let stats = sat_redundancy(&mut m, &SatRedundancyOptions::default());
+        assert!(stats.rewrites >= 1);
+        assert_eq!(stats.by_inference, 1, "Table I should decide this one");
+        clean_pipeline(&mut m, 8);
+        assert_eq!(m.stats().count("mux"), 1);
+        assert_eq!(m.stats().count("or"), 0, "the OR gate is dead too");
+        m.validate().unwrap();
+    }
+
+    /// Same circuit with inference disabled: sim/SAT must still decide.
+    #[test]
+    fn fig3_without_inference_uses_sim_or_sat() {
+        for sim_threshold in [10, 0] {
+            let mut m = fig3();
+            let opts = SatRedundancyOptions {
+                inference: false,
+                sim_threshold,
+                ..Default::default()
+            };
+            let stats = sat_redundancy(&mut m, &opts);
+            assert!(stats.by_sim + stats.by_sat >= 1);
+            clean_pipeline(&mut m, 8);
+            assert_eq!(m.stats().count("mux"), 1);
+        }
+    }
+
+    /// AND-dependent control: S ? (S&T ? A : B) : C — S&T is NOT decided
+    /// by S alone (T free), so nothing may collapse.
+    #[test]
+    fn independent_control_is_kept() {
+        let mut m = Module::new("t");
+        let a = m.add_input("a", 4);
+        let b = m.add_input("b", 4);
+        let c = m.add_input("c", 4);
+        let s = m.add_input("s", 1);
+        let t = m.add_input("t", 1);
+        let st = m.and(&s, &t);
+        let inner = m.mux(&b, &a, &st);
+        let outer = m.mux(&c, &inner, &s);
+        m.add_output("y", &outer);
+        let stats = sat_redundancy(&mut m, &SatRedundancyOptions::default());
+        let _ = stats;
+        clean_pipeline(&mut m, 8);
+        assert_eq!(m.stats().count("mux"), 2, "no unsound collapse");
+    }
+
+    /// The NOT-dependent case: S ? (!S ? A : B) : C ⇒ S ? B : C.
+    #[test]
+    fn negated_control_collapses() {
+        let mut m = Module::new("t");
+        let a = m.add_input("a", 4);
+        let b = m.add_input("b", 4);
+        let c = m.add_input("c", 4);
+        let s = m.add_input("s", 1);
+        let ns = m.not(&s);
+        let inner = m.mux(&b, &a, &ns); // !s ? a : b
+        let outer = m.mux(&c, &inner, &s); // s ? inner : c
+        m.add_output("y", &outer);
+        let stats = sat_redundancy(&mut m, &SatRedundancyOptions::default());
+        assert!(stats.rewrites >= 1);
+        clean_pipeline(&mut m, 8);
+        assert_eq!(m.stats().count("mux"), 1);
+    }
+
+    /// Deeper dependency through two gates: S ? (((S|R)&T ... kept; and
+    /// ((S|R)|T) ? A : B collapses.
+    #[test]
+    fn two_level_dependency() {
+        let mut m = Module::new("t");
+        let a = m.add_input("a", 2);
+        let b = m.add_input("b", 2);
+        let c = m.add_input("c", 2);
+        let s = m.add_input("s", 1);
+        let r = m.add_input("r", 1);
+        let t = m.add_input("t", 1);
+        let sr = m.or(&s, &r);
+        let srt = m.or(&sr, &t);
+        let inner = m.mux(&b, &a, &srt);
+        let outer = m.mux(&c, &inner, &s);
+        m.add_output("y", &outer);
+        let stats = sat_redundancy(&mut m, &SatRedundancyOptions::default());
+        assert!(stats.rewrites >= 1);
+        clean_pipeline(&mut m, 8);
+        assert_eq!(m.stats().count("mux"), 1);
+    }
+
+    /// Identical-signal case (Fig. 1) is also caught (subsumes baseline).
+    #[test]
+    fn subsumes_baseline_identical_signal() {
+        let mut m = Module::new("t");
+        let a = m.add_input("a", 4);
+        let b = m.add_input("b", 4);
+        let c = m.add_input("c", 4);
+        let s = m.add_input("s", 1);
+        let inner = m.mux(&b, &a, &s);
+        let outer = m.mux(&c, &inner, &s);
+        m.add_output("y", &outer);
+        let stats = sat_redundancy(&mut m, &SatRedundancyOptions::default());
+        assert!(stats.rewrites >= 1);
+        clean_pipeline(&mut m, 8);
+        assert_eq!(m.stats().count("mux"), 1);
+    }
+
+    /// Pruning statistics are recorded.
+    #[test]
+    fn prune_stats_accumulate() {
+        let mut m = fig3();
+        let stats = sat_redundancy(&mut m, &SatRedundancyOptions::default());
+        assert!(stats.gates_after_prune <= stats.gates_before_prune);
+        assert!(stats.queries >= 1);
+    }
+
+    /// eq-driven selects: casez-style chain where an earlier arm's
+    /// condition makes a later arm's condition impossible.
+    #[test]
+    fn eq_conditions_over_same_bus() {
+        let mut m = Module::new("t");
+        let sel = m.add_input("sel", 2);
+        let p: Vec<SigSpec> = (0..3).map(|i| m.add_input(&format!("p{i}"), 4)).collect();
+        let e0 = m.eq(&sel, &SigSpec::const_u64(0, 2));
+        let e1 = m.eq(&sel, &SigSpec::const_u64(0, 2)); // duplicate of e0!
+        // y = e0 ? p0 : (e1 ? p1 : p2) — under e0=0, e1 must be 0 too
+        let inner = m.mux(&p[2], &p[1], &e1);
+        let outer = m.mux(&inner, &p[0], &e0);
+        m.add_output("y", &outer);
+        let stats = sat_redundancy(&mut m, &SatRedundancyOptions::default());
+        assert!(stats.rewrites >= 1, "duplicate eq must be seen through");
+        clean_pipeline(&mut m, 8);
+        assert_eq!(m.stats().count("mux"), 1);
+        m.validate().unwrap();
+    }
+}

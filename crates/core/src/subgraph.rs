@@ -1,0 +1,453 @@
+//! Sub-graph extraction around a control bit (paper §II).
+//!
+//! When the traversal meets an undecided control bit, smaRTLy gathers the
+//! gates within distance `k` of it, together with the cones of the known
+//! path-condition bits. Theorem II.1 then prunes the collection: a known
+//! signal can only influence the target if one is an ancestor of the
+//! other or they share a common ancestor — equivalently, if their leaf
+//! *supports* intersect (transitively). The paper reports this dismisses
+//! about 80% of gathered gates; [`SubgraphStats`] measures exactly that.
+
+use smartly_netlist::{CellId, CellKind, Module, NetIndex, SigBit};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Cell kinds the inference/decision engines understand. Anything else
+/// (sequential elements, multipliers, shifters) becomes a free leaf — a
+/// sound over-approximation.
+pub fn is_supported(kind: CellKind) -> bool {
+    use CellKind::*;
+    !matches!(kind, Dff | Mul | Shl | Shr)
+}
+
+/// A bounded cone of logic feeding a target bit.
+#[derive(Clone, Debug)]
+pub struct SubGraph {
+    /// Cells in topological order (drivers before readers).
+    pub cells: Vec<CellId>,
+    /// Free leaf bits: canonical bits consumed by the sub-graph with no
+    /// in-graph driver.
+    pub leaves: Vec<SigBit>,
+    /// The canonical target bit.
+    pub target: SigBit,
+}
+
+/// Pruning effectiveness counters (for the paper's ~80% claim).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SubgraphStats {
+    /// Gates gathered before Theorem II.1 pruning.
+    pub gates_before_prune: usize,
+    /// Gates kept afterwards.
+    pub gates_after_prune: usize,
+}
+
+/// One backward cone: cells within `k` hops plus its leaf support.
+#[derive(Clone)]
+pub(crate) struct Cone {
+    cells: HashSet<CellId>,
+    leaves: HashSet<SigBit>,
+}
+
+/// Memoizes per-bit cones across the many queries of one pass sweep
+/// (cones depend only on the netlist, which is immutable during a sweep).
+#[derive(Default)]
+pub struct ConeCache {
+    map: HashMap<(SigBit, usize), std::rc::Rc<Cone>>,
+    balls: HashMap<(SigBit, usize), std::rc::Rc<HashSet<CellId>>>,
+}
+
+impl ConeCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        ConeCache::default()
+    }
+
+    fn get(
+        &mut self,
+        module: &Module,
+        index: &NetIndex,
+        start: SigBit,
+        k: usize,
+    ) -> std::rc::Rc<Cone> {
+        let key = (index.canon(start), k);
+        if let Some(c) = self.map.get(&key) {
+            return c.clone();
+        }
+        let c = std::rc::Rc::new(cone(module, index, key.0, k));
+        self.map.insert(key, c.clone());
+        c
+    }
+
+    fn get_ball(
+        &mut self,
+        module: &Module,
+        index: &NetIndex,
+        start: SigBit,
+        k: usize,
+    ) -> std::rc::Rc<HashSet<CellId>> {
+        let key = (index.canon(start), k);
+        if let Some(b) = self.balls.get(&key) {
+            return b.clone();
+        }
+        let b = std::rc::Rc::new(undirected_ball(module, index, key.0, k));
+        self.balls.insert(key, b.clone());
+        b
+    }
+}
+
+/// All cells within `k` *undirected* hops of `start` — the paper's raw
+/// gather ("all logical gates within a specified distance k from the
+/// control port"), before Theorem II.1 pruning. Sequential cells stop the
+/// walk so the gathered region stays a DAG.
+fn undirected_ball(module: &Module, index: &NetIndex, start: SigBit, k: usize) -> HashSet<CellId> {
+    let mut cells: HashSet<CellId> = HashSet::new();
+    let mut queue: VecDeque<(CellId, usize)> = VecDeque::new();
+    let enqueue_bit = |bit: SigBit, depth: usize, queue: &mut VecDeque<(CellId, usize)>| {
+        let c = index.canon(bit);
+        if let Some(d) = index.driver(c) {
+            queue.push_back((d.cell, depth));
+        }
+        for sink in index.fanout(c) {
+            if let smartly_netlist::Consumer::Cell(id) = sink.consumer {
+                queue.push_back((id, depth));
+            }
+        }
+    };
+    enqueue_bit(start, 0, &mut queue);
+    while let Some((id, depth)) = queue.pop_front() {
+        let Some(cell) = module.cell(id) else { continue };
+        if !is_supported(cell.kind) {
+            continue;
+        }
+        if !cells.insert(id) || depth >= k {
+            continue;
+        }
+        for (_, spec) in cell.inputs() {
+            for b in spec.iter() {
+                enqueue_bit(*b, depth + 1, &mut queue);
+            }
+        }
+        for b in cell.output().iter() {
+            enqueue_bit(*b, depth + 1, &mut queue);
+        }
+    }
+    cells
+}
+
+fn cone(module: &Module, index: &NetIndex, start: SigBit, k: usize) -> Cone {
+    let mut cells: HashSet<CellId> = HashSet::new();
+    let mut leaves: HashSet<SigBit> = HashSet::new();
+    let mut queue: VecDeque<(SigBit, usize)> = VecDeque::new();
+    queue.push_back((index.canon(start), 0));
+    let mut seen_bits: HashSet<SigBit> = HashSet::new();
+    while let Some((bit, depth)) = queue.pop_front() {
+        if !seen_bits.insert(bit) {
+            continue;
+        }
+        if bit.is_const() {
+            continue;
+        }
+        let driver = index.driver(bit);
+        let stop = match driver {
+            None => true,
+            Some(d) => {
+                let cell = module.cell(d.cell).expect("live driver");
+                !is_supported(cell.kind) || depth >= k
+            }
+        };
+        if stop {
+            leaves.insert(bit);
+            continue;
+        }
+        let d = driver.expect("checked above");
+        if cells.insert(d.cell) {
+            let cell = module.cell(d.cell).expect("live driver");
+            for (_, spec) in cell.inputs() {
+                for b in spec.iter() {
+                    queue.push_back((index.canon(*b), depth + 1));
+                }
+            }
+        }
+    }
+    Cone { cells, leaves }
+}
+
+/// Extracts the decision sub-graph for `target` under the path condition
+/// `known`, with distance bound `k`.
+///
+/// With `prune` set, only known bits whose cones share support with the
+/// target's cone (transitively — the Theorem II.1 groups) contribute;
+/// without it, every known bit's cone is merged (the ablation baseline).
+pub fn extract(
+    module: &Module,
+    index: &NetIndex,
+    topo_rank: &HashMap<CellId, usize>,
+    target: SigBit,
+    known: &HashMap<SigBit, bool>,
+    k: usize,
+    prune: bool,
+) -> (SubGraph, SubgraphStats) {
+    let mut cache = ConeCache::new();
+    extract_cached(
+        module, index, topo_rank, target, known, k, prune, false, &mut cache,
+    )
+}
+
+/// [`extract`] with a [`ConeCache`] shared across queries of one sweep.
+///
+/// With `measure_gather` set, `gates_before_prune` counts the paper's raw
+/// distance-`k` gather (the undirected ball around the control port) —
+/// accurate for the ~80%-dismissed ablation but not free; without it the
+/// statistic falls back to the cheap cone-union count.
+#[allow(clippy::too_many_arguments)]
+pub fn extract_cached(
+    module: &Module,
+    index: &NetIndex,
+    topo_rank: &HashMap<CellId, usize>,
+    target: SigBit,
+    known: &HashMap<SigBit, bool>,
+    k: usize,
+    prune: bool,
+    measure_gather: bool,
+    cache: &mut ConeCache,
+) -> (SubGraph, SubgraphStats) {
+    let target = index.canon(target);
+    let target_cone = cache.get(module, index, target, k);
+
+    // cones of all known bits (gathered set, pre-pruning)
+    let known_bits: Vec<SigBit> = known.keys().copied().collect();
+    let known_cones: Vec<(SigBit, std::rc::Rc<Cone>)> = known_bits
+        .iter()
+        .map(|&b| (b, cache.get(module, index, b, k)))
+        .collect();
+
+    // the paper's raw gather is the undirected distance-k ball around the
+    // control port plus the known-bit cones; Theorem II.1 (below) prunes
+    // it to signals that can actually influence the target
+    let gates_before_prune = {
+        let mut all_cells: HashSet<CellId> = target_cone.cells.clone();
+        if measure_gather {
+            let ball = cache.get_ball(module, index, target, k);
+            all_cells.extend(ball.iter().copied());
+        }
+        for (_, c) in &known_cones {
+            all_cells.extend(c.cells.iter().copied());
+        }
+        all_cells.len()
+    };
+
+    // Theorem II.1 grouping: iteratively admit known bits whose support
+    // intersects the accumulated support
+    let mut support: HashSet<SigBit> = target_cone.leaves.clone();
+    // a known bit that *is* in the cone (internal or leaf) is relevant too
+    let mut in_graph_cells: HashSet<CellId> = target_cone.cells.clone();
+    let mut leaves: HashSet<SigBit> = target_cone.leaves.clone();
+
+    if prune {
+        let mut admitted = vec![false; known_cones.len()];
+        loop {
+            let mut changed = false;
+            for (i, (bit, c)) in known_cones.iter().enumerate() {
+                if admitted[i] {
+                    continue;
+                }
+                let touches = support.contains(bit)
+                    || c.leaves.iter().any(|l| support.contains(l))
+                    || c.cells.iter().any(|cl| in_graph_cells.contains(cl));
+                if touches {
+                    admitted[i] = true;
+                    changed = true;
+                    support.extend(c.leaves.iter().copied());
+                    support.insert(*bit);
+                    in_graph_cells.extend(c.cells.iter().copied());
+                    leaves.extend(c.leaves.iter().copied());
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    } else {
+        for (bit, c) in &known_cones {
+            support.insert(*bit);
+            in_graph_cells.extend(c.cells.iter().copied());
+            leaves.extend(c.leaves.iter().copied());
+        }
+    }
+
+    // drop "leaves" that are actually driven inside the merged graph
+    let driven_inside: HashSet<SigBit> = in_graph_cells
+        .iter()
+        .flat_map(|&id| {
+            module
+                .cell(id)
+                .expect("live cell")
+                .output()
+                .iter()
+                .map(|b| index.canon(*b))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let leaves: Vec<SigBit> = leaves
+        .into_iter()
+        .filter(|b| !driven_inside.contains(b))
+        .collect();
+
+    let mut cells: Vec<CellId> = in_graph_cells.into_iter().collect();
+    cells.sort_by_key(|c| topo_rank.get(c).copied().unwrap_or(usize::MAX));
+
+    let stats = SubgraphStats {
+        gates_before_prune,
+        gates_after_prune: cells.len(),
+    };
+    (
+        SubGraph {
+            cells,
+            leaves,
+            target,
+        },
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smartly_netlist::Module;
+
+    fn ranks(m: &Module) -> HashMap<CellId, usize> {
+        m.topo_order()
+            .unwrap()
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (c, i))
+            .collect()
+    }
+
+    #[test]
+    fn cone_respects_distance() {
+        let mut m = Module::new("t");
+        let a = m.add_input("a", 1);
+        let n1 = m.not(&a);
+        let n2 = m.not(&n1);
+        let n3 = m.not(&n2);
+        m.add_output("y", &n3);
+        let index = NetIndex::build(&m);
+        let r = ranks(&m);
+        let (sub, _) = extract(
+            &m,
+            &index,
+            &r,
+            index.canon(n3.bit(0)),
+            &HashMap::new(),
+            2,
+            true,
+        );
+        assert_eq!(sub.cells.len(), 2, "depth 2 keeps two inverters");
+        // leaf is n1's output (cut) — not the primary input
+        assert_eq!(sub.leaves.len(), 1);
+        assert_eq!(sub.leaves[0], index.canon(n1.bit(0)));
+    }
+
+    #[test]
+    fn unsupported_cells_become_leaves() {
+        let mut m = Module::new("t");
+        let a = m.add_input("a", 4);
+        let b = m.add_input("b", 4);
+        let prod = m.mul(&a, &b);
+        let red = m.reduce_or(&prod);
+        m.add_output("y", &red);
+        let index = NetIndex::build(&m);
+        let r = ranks(&m);
+        let (sub, _) = extract(
+            &m,
+            &index,
+            &r,
+            index.canon(red.bit(0)),
+            &HashMap::new(),
+            8,
+            true,
+        );
+        assert_eq!(sub.cells.len(), 1, "multiplier must be cut");
+        assert_eq!(sub.leaves.len(), 4, "its outputs become leaves");
+    }
+
+    #[test]
+    fn pruning_dismisses_unrelated_known_cones() {
+        let mut m = Module::new("t");
+        // target cone: t = x | y
+        let x = m.add_input("x", 1);
+        let y = m.add_input("y", 1);
+        let t = m.or(&x, &y);
+        // related known: k1 = x & z (shares x)
+        let z = m.add_input("z", 1);
+        let k1 = m.and(&x, &z);
+        // unrelated known: k2 = p ^ q (disjoint support)
+        let p = m.add_input("p", 1);
+        let q = m.add_input("q", 1);
+        let k2 = m.xor(&p, &q);
+        m.add_output("o1", &t);
+        m.add_output("o2", &k1);
+        m.add_output("o3", &k2);
+
+        let index = NetIndex::build(&m);
+        let r = ranks(&m);
+        let mut known = HashMap::new();
+        known.insert(index.canon(k1.bit(0)), true);
+        known.insert(index.canon(k2.bit(0)), false);
+
+        let (sub, stats) = extract(&m, &index, &r, index.canon(t.bit(0)), &known, 8, true);
+        assert_eq!(stats.gates_before_prune, 3);
+        assert_eq!(stats.gates_after_prune, 2, "xor cone dismissed");
+        assert_eq!(sub.cells.len(), 2);
+
+        // without pruning everything stays
+        let (sub2, stats2) = extract(&m, &index, &r, index.canon(t.bit(0)), &known, 8, false);
+        assert_eq!(stats2.gates_after_prune, 3);
+        assert_eq!(sub2.cells.len(), 3);
+    }
+
+    #[test]
+    fn transitive_relevance_is_kept() {
+        let mut m = Module::new("t");
+        let x = m.add_input("x", 1);
+        let y = m.add_input("y", 1);
+        let z = m.add_input("z", 1);
+        let t = m.or(&x, &y); // target over {x,y}
+        let k1 = m.and(&y, &z); // shares y with target
+        let w = m.add_input("w", 1);
+        let k2 = m.xor(&z, &w); // shares z with k1 only
+        m.add_output("o1", &t);
+        m.add_output("o2", &k1);
+        m.add_output("o3", &k2);
+        let index = NetIndex::build(&m);
+        let r = ranks(&m);
+        let mut known = HashMap::new();
+        known.insert(index.canon(k1.bit(0)), true);
+        known.insert(index.canon(k2.bit(0)), true);
+        let (sub, _) = extract(&m, &index, &r, index.canon(t.bit(0)), &known, 8, true);
+        assert_eq!(sub.cells.len(), 3, "k2 admitted via k1's support");
+    }
+
+    #[test]
+    fn dff_is_a_cut_point() {
+        let mut m = Module::new("t");
+        let clk = m.add_input("clk", 1);
+        let d = m.add_input("d", 1);
+        let q = m.dff(&clk, &d);
+        let y = m.not(&q);
+        m.add_output("y", &y);
+        let index = NetIndex::build(&m);
+        let r = ranks(&m);
+        let (sub, _) = extract(
+            &m,
+            &index,
+            &r,
+            index.canon(y.bit(0)),
+            &HashMap::new(),
+            8,
+            true,
+        );
+        assert_eq!(sub.cells.len(), 1, "graph stops at the dff");
+        assert_eq!(sub.leaves.len(), 1);
+    }
+}

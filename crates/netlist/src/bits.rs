@@ -1,0 +1,425 @@
+//! Signal bits and bit vectors.
+
+use crate::module::WireId;
+use std::fmt;
+use std::ops::Index;
+
+/// A three-valued logic constant: `0`, `1`, or unknown (`x`).
+///
+/// `x` propagates pessimistically through [`crate::eval_cell`]; it shows up
+/// in elaborated netlists for uninitialized `casez` don't-care bits and for
+/// explicitly undriven signals.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TriVal {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / don't-care.
+    X,
+}
+
+impl TriVal {
+    /// Converts a boolean into `Zero`/`One`.
+    pub fn from_bool(b: bool) -> Self {
+        if b {
+            TriVal::One
+        } else {
+            TriVal::Zero
+        }
+    }
+
+    /// Returns `Some(bool)` for known values, `None` for `X`.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            TriVal::Zero => Some(false),
+            TriVal::One => Some(true),
+            TriVal::X => None,
+        }
+    }
+
+    /// Whether the value is `0` or `1` (not `X`).
+    pub fn is_known(self) -> bool {
+        self != TriVal::X
+    }
+
+    /// Three-valued NOT.
+    pub fn not(self) -> Self {
+        match self {
+            TriVal::Zero => TriVal::One,
+            TriVal::One => TriVal::Zero,
+            TriVal::X => TriVal::X,
+        }
+    }
+
+    /// Three-valued AND (`0` dominates `X`).
+    pub fn and(self, other: Self) -> Self {
+        match (self, other) {
+            (TriVal::Zero, _) | (_, TriVal::Zero) => TriVal::Zero,
+            (TriVal::One, TriVal::One) => TriVal::One,
+            _ => TriVal::X,
+        }
+    }
+
+    /// Three-valued OR (`1` dominates `X`).
+    pub fn or(self, other: Self) -> Self {
+        match (self, other) {
+            (TriVal::One, _) | (_, TriVal::One) => TriVal::One,
+            (TriVal::Zero, TriVal::Zero) => TriVal::Zero,
+            _ => TriVal::X,
+        }
+    }
+
+    /// Three-valued XOR (`X` taints).
+    pub fn xor(self, other: Self) -> Self {
+        match (self.to_bool(), other.to_bool()) {
+            (Some(a), Some(b)) => TriVal::from_bool(a ^ b),
+            _ => TriVal::X,
+        }
+    }
+}
+
+impl fmt::Display for TriVal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TriVal::Zero => write!(f, "0"),
+            TriVal::One => write!(f, "1"),
+            TriVal::X => write!(f, "x"),
+        }
+    }
+}
+
+/// One bit of a signal: a constant or a single bit of a [`Wire`].
+///
+/// [`Wire`]: crate::Wire
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SigBit {
+    /// A constant bit.
+    Const(TriVal),
+    /// Bit `offset` of wire `WireId`.
+    Wire(WireId, u32),
+}
+
+impl SigBit {
+    /// Constant zero bit.
+    pub const ZERO: SigBit = SigBit::Const(TriVal::Zero);
+    /// Constant one bit.
+    pub const ONE: SigBit = SigBit::Const(TriVal::One);
+    /// Constant unknown bit.
+    pub const X: SigBit = SigBit::Const(TriVal::X);
+
+    /// Whether this bit is a constant (including `x`).
+    pub fn is_const(self) -> bool {
+        matches!(self, SigBit::Const(_))
+    }
+
+    /// Returns the constant value if this is a constant bit.
+    pub fn as_const(self) -> Option<TriVal> {
+        match self {
+            SigBit::Const(v) => Some(v),
+            SigBit::Wire(..) => None,
+        }
+    }
+
+    /// Returns the wire reference if this is a wire bit.
+    pub fn as_wire(self) -> Option<(WireId, u32)> {
+        match self {
+            SigBit::Wire(w, o) => Some((w, o)),
+            SigBit::Const(_) => None,
+        }
+    }
+}
+
+impl From<TriVal> for SigBit {
+    fn from(v: TriVal) -> Self {
+        SigBit::Const(v)
+    }
+}
+
+impl From<bool> for SigBit {
+    fn from(b: bool) -> Self {
+        SigBit::Const(TriVal::from_bool(b))
+    }
+}
+
+/// An ordered vector of [`SigBit`]s; bit 0 is the least significant bit.
+///
+/// `SigSpec` is the currency of the IR: every cell port and module port
+/// binds one, and slicing/concatenation never touch the underlying wires.
+///
+/// # Example
+///
+/// ```
+/// use smartly_netlist::SigSpec;
+///
+/// let c = SigSpec::const_u64(0b1010, 4);
+/// assert_eq!(c.width(), 4);
+/// assert_eq!(c.as_const_u64(), Some(0b1010));
+/// assert_eq!(c.slice(1, 2).as_const_u64(), Some(0b01));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct SigSpec(Vec<SigBit>);
+
+impl SigSpec {
+    /// Creates an empty (zero-width) spec.
+    pub fn new() -> Self {
+        SigSpec(Vec::new())
+    }
+
+    /// Creates a spec from a bit vector (bit 0 = LSB).
+    pub fn from_bits(bits: Vec<SigBit>) -> Self {
+        SigSpec(bits)
+    }
+
+    /// Creates a single-bit spec.
+    pub fn from_bit(bit: SigBit) -> Self {
+        SigSpec(vec![bit])
+    }
+
+    /// Creates a spec covering all `width` bits of `wire`.
+    pub fn from_wire(wire: WireId, width: u32) -> Self {
+        SigSpec((0..width).map(|i| SigBit::Wire(wire, i)).collect())
+    }
+
+    /// Creates a constant spec from the low `width` bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
+    pub fn const_u64(value: u64, width: u32) -> Self {
+        assert!(width <= 64, "const_u64 supports at most 64 bits");
+        SigSpec(
+            (0..width)
+                .map(|i| SigBit::Const(TriVal::from_bool((value >> i) & 1 == 1)))
+                .collect(),
+        )
+    }
+
+    /// Creates an all-zero constant spec.
+    pub fn zeros(width: u32) -> Self {
+        SigSpec(vec![SigBit::ZERO; width as usize])
+    }
+
+    /// Creates an all-one constant spec.
+    pub fn ones(width: u32) -> Self {
+        SigSpec(vec![SigBit::ONE; width as usize])
+    }
+
+    /// Creates an all-`x` constant spec.
+    pub fn xes(width: u32) -> Self {
+        SigSpec(vec![SigBit::X; width as usize])
+    }
+
+    /// Number of bits.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the spec has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The bit at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.width()`.
+    pub fn bit(&self, index: usize) -> SigBit {
+        self.0[index]
+    }
+
+    /// All bits as a slice.
+    pub fn bits(&self) -> &[SigBit] {
+        &self.0
+    }
+
+    /// Mutable access to the bits.
+    pub fn bits_mut(&mut self) -> &mut [SigBit] {
+        &mut self.0
+    }
+
+    /// Consumes the spec, returning the bit vector.
+    pub fn into_bits(self) -> Vec<SigBit> {
+        self.0
+    }
+
+    /// Returns bits `[start, start + len)` as a new spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the width.
+    pub fn slice(&self, start: usize, len: usize) -> SigSpec {
+        SigSpec(self.0[start..start + len].to_vec())
+    }
+
+    /// Appends `other`'s bits above this spec's MSB.
+    pub fn concat(&mut self, other: &SigSpec) {
+        self.0.extend_from_slice(&other.0);
+    }
+
+    /// Returns a new spec extended with constant zeros up to `width`
+    /// (or truncated down to `width`).
+    pub fn zext(&self, width: u32) -> SigSpec {
+        let mut bits = self.0.clone();
+        bits.resize(width as usize, SigBit::ZERO);
+        SigSpec(bits)
+    }
+
+    /// Whether every bit is a constant (possibly `x`).
+    pub fn is_fully_const(&self) -> bool {
+        self.0.iter().all(|b| b.is_const())
+    }
+
+    /// Whether every bit is a *known* constant (`0`/`1`).
+    pub fn is_fully_def(&self) -> bool {
+        self.0
+            .iter()
+            .all(|b| matches!(b, SigBit::Const(v) if v.is_known()))
+    }
+
+    /// Interprets the spec as an unsigned integer if all bits are known
+    /// constants and the width is at most 64.
+    pub fn as_const_u64(&self) -> Option<u64> {
+        if self.width() > 64 {
+            return None;
+        }
+        let mut v = 0u64;
+        for (i, b) in self.0.iter().enumerate() {
+            match b {
+                SigBit::Const(TriVal::One) => v |= 1 << i,
+                SigBit::Const(TriVal::Zero) => {}
+                _ => return None,
+            }
+        }
+        Some(v)
+    }
+
+    /// Interprets the spec as a vector of [`TriVal`]s if fully constant.
+    pub fn as_const_trivals(&self) -> Option<Vec<TriVal>> {
+        self.0.iter().map(|b| b.as_const()).collect()
+    }
+
+    /// Iterates over the bits.
+    pub fn iter(&self) -> std::slice::Iter<'_, SigBit> {
+        self.0.iter()
+    }
+
+    /// Returns the set of distinct wires referenced by this spec.
+    pub fn wires(&self) -> Vec<WireId> {
+        let mut out = Vec::new();
+        for b in &self.0 {
+            if let SigBit::Wire(w, _) = b {
+                if !out.contains(w) {
+                    out.push(*w);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Index<usize> for SigSpec {
+    type Output = SigBit;
+    fn index(&self, index: usize) -> &SigBit {
+        &self.0[index]
+    }
+}
+
+impl From<SigBit> for SigSpec {
+    fn from(bit: SigBit) -> Self {
+        SigSpec::from_bit(bit)
+    }
+}
+
+impl FromIterator<SigBit> for SigSpec {
+    fn from_iter<I: IntoIterator<Item = SigBit>>(iter: I) -> Self {
+        SigSpec(iter.into_iter().collect())
+    }
+}
+
+impl Extend<SigBit> for SigSpec {
+    fn extend<I: IntoIterator<Item = SigBit>>(&mut self, iter: I) {
+        self.0.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a SigSpec {
+    type Item = &'a SigBit;
+    type IntoIter = std::slice::Iter<'a, SigBit>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl IntoIterator for SigSpec {
+    type Item = SigBit;
+    type IntoIter = std::vec::IntoIter<SigBit>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl fmt::Display for SigSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}'", self.width())?;
+        for b in self.0.iter().rev() {
+            match b {
+                SigBit::Const(v) => write!(f, "{v}")?,
+                SigBit::Wire(w, o) => write!(f, "[w{}.{}]", w.index(), o)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trival_tables() {
+        use TriVal::*;
+        assert_eq!(Zero.and(X), Zero);
+        assert_eq!(X.and(Zero), Zero);
+        assert_eq!(One.and(X), X);
+        assert_eq!(One.or(X), One);
+        assert_eq!(X.or(Zero), X);
+        assert_eq!(One.xor(One), Zero);
+        assert_eq!(One.xor(X), X);
+        assert_eq!(X.not(), X);
+        assert_eq!(Zero.not(), One);
+    }
+
+    #[test]
+    fn const_round_trip() {
+        for v in [0u64, 1, 5, 0xff, 0xdead] {
+            let s = SigSpec::const_u64(v, 16);
+            assert_eq!(s.as_const_u64(), Some(v & 0xffff));
+        }
+    }
+
+    #[test]
+    fn x_is_not_def() {
+        let mut s = SigSpec::const_u64(3, 4);
+        assert!(s.is_fully_def());
+        s.bits_mut()[2] = SigBit::X;
+        assert!(s.is_fully_const());
+        assert!(!s.is_fully_def());
+        assert_eq!(s.as_const_u64(), None);
+    }
+
+    #[test]
+    fn slice_concat_zext() {
+        let a = SigSpec::const_u64(0b1100, 4);
+        let lo = a.slice(0, 2);
+        assert_eq!(lo.as_const_u64(), Some(0));
+        let hi = a.slice(2, 2);
+        assert_eq!(hi.as_const_u64(), Some(0b11));
+        let mut c = lo;
+        c.concat(&hi);
+        assert_eq!(c.as_const_u64(), Some(0b1100));
+        assert_eq!(c.zext(6).as_const_u64(), Some(0b1100));
+        assert_eq!(c.zext(3).as_const_u64(), Some(0b100));
+    }
+}

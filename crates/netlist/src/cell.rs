@@ -1,0 +1,288 @@
+//! Word-level cells and their port discipline.
+
+use crate::bits::SigSpec;
+use std::fmt;
+
+/// A cell port name.
+///
+/// The IR uses a fixed, Yosys-like port vocabulary; which ports a cell
+/// binds is dictated by its [`CellKind`] (see [`CellKind::ports`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Port {
+    /// First data input.
+    A,
+    /// Second data input (or the stacked words of a `pmux`).
+    B,
+    /// Select input (`mux`/`pmux`).
+    S,
+    /// Primary output.
+    Y,
+    /// Clock input (`dff`).
+    Clk,
+    /// Data input (`dff`).
+    D,
+    /// Registered output (`dff`).
+    Q,
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Port::A => "A",
+            Port::B => "B",
+            Port::S => "S",
+            Port::Y => "Y",
+            Port::Clk => "CLK",
+            Port::D => "D",
+            Port::Q => "Q",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The operation a [`Cell`] performs.
+///
+/// Width discipline (checked by [`crate::Module::validate`]):
+///
+/// | kind | ports | widths |
+/// |------|-------|--------|
+/// | `Not` | A → Y | `w(A) == w(Y)` |
+/// | `And`/`Or`/`Xor`/`Xnor` | A,B → Y | all equal |
+/// | `ReduceAnd`/`ReduceOr`/`ReduceXor`/`ReduceBool` | A → Y | `w(Y) == 1` |
+/// | `LogicNot` | A → Y | `w(Y) == 1` |
+/// | `LogicAnd`/`LogicOr` | A,B → Y | `w(Y) == 1` |
+/// | `Add`/`Sub`/`Mul` | A,B → Y | all equal (results truncate) |
+/// | `Shl`/`Shr` | A,B → Y | `w(A) == w(Y)`, any `w(B)` |
+/// | `Eq`/`Ne`/`Lt`/`Le`/`Gt`/`Ge` | A,B → Y | `w(A) == w(B)`, `w(Y) == 1` (unsigned) |
+/// | `Mux` | A,B,S → Y | `w(A) == w(B) == w(Y)`, `w(S) == 1`; `Y = S ? B : A` |
+/// | `Pmux` | A,B,S → Y | `w(B) == w(A) * w(S)`; lowest set `S` bit wins, `S == 0 → A` |
+/// | `Dff` | Clk,D → Q | `w(D) == w(Q)`, `w(Clk) == 1` |
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CellKind {
+    /// Bitwise NOT.
+    Not,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Bitwise XNOR.
+    Xnor,
+    /// AND-reduction of all bits of `A`.
+    ReduceAnd,
+    /// OR-reduction of all bits of `A`.
+    ReduceOr,
+    /// XOR-reduction (parity) of all bits of `A`.
+    ReduceXor,
+    /// Boolean coercion: `Y = (A != 0)`.
+    ReduceBool,
+    /// Logical NOT: `Y = (A == 0)`.
+    LogicNot,
+    /// Logical AND: `Y = (A != 0) && (B != 0)`.
+    LogicAnd,
+    /// Logical OR: `Y = (A != 0) || (B != 0)`.
+    LogicOr,
+    /// Unsigned addition, truncated to the output width.
+    Add,
+    /// Unsigned (wrapping) subtraction.
+    Sub,
+    /// Unsigned multiplication, truncated.
+    Mul,
+    /// Logical shift left by the unsigned value of `B`.
+    Shl,
+    /// Logical shift right by the unsigned value of `B`.
+    Shr,
+    /// Equality compare.
+    Eq,
+    /// Inequality compare.
+    Ne,
+    /// Unsigned less-than.
+    Lt,
+    /// Unsigned less-or-equal.
+    Le,
+    /// Unsigned greater-than.
+    Gt,
+    /// Unsigned greater-or-equal.
+    Ge,
+    /// 2-to-1 word multiplexer: `Y = S ? B : A`.
+    Mux,
+    /// Parallel (priority) multiplexer with default.
+    Pmux,
+    /// Positive-edge D flip-flop.
+    Dff,
+}
+
+impl CellKind {
+    /// The ports this kind binds, inputs first, outputs last.
+    pub fn ports(self) -> &'static [Port] {
+        use CellKind::*;
+        match self {
+            Not | ReduceAnd | ReduceOr | ReduceXor | ReduceBool | LogicNot => {
+                &[Port::A, Port::Y]
+            }
+            And | Or | Xor | Xnor | LogicAnd | LogicOr | Add | Sub | Mul | Shl | Shr | Eq
+            | Ne | Lt | Le | Gt | Ge => &[Port::A, Port::B, Port::Y],
+            Mux | Pmux => &[Port::A, Port::B, Port::S, Port::Y],
+            Dff => &[Port::Clk, Port::D, Port::Q],
+        }
+    }
+
+    /// The input ports of this kind.
+    pub fn input_ports(self) -> &'static [Port] {
+        let ports = self.ports();
+        &ports[..ports.len() - 1]
+    }
+
+    /// The single output port of this kind (`Y`, or `Q` for `Dff`).
+    pub fn output_port(self) -> Port {
+        match self {
+            CellKind::Dff => Port::Q,
+            _ => Port::Y,
+        }
+    }
+
+    /// Whether the cell is sequential (breaks combinational paths).
+    pub fn is_sequential(self) -> bool {
+        matches!(self, CellKind::Dff)
+    }
+
+    /// A stable lowercase name, used in stats and debug output.
+    pub fn name(self) -> &'static str {
+        use CellKind::*;
+        match self {
+            Not => "not",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Xnor => "xnor",
+            ReduceAnd => "reduce_and",
+            ReduceOr => "reduce_or",
+            ReduceXor => "reduce_xor",
+            ReduceBool => "reduce_bool",
+            LogicNot => "logic_not",
+            LogicAnd => "logic_and",
+            LogicOr => "logic_or",
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Shl => "shl",
+            Shr => "shr",
+            Eq => "eq",
+            Ne => "ne",
+            Lt => "lt",
+            Le => "le",
+            Gt => "gt",
+            Ge => "ge",
+            Mux => "mux",
+            Pmux => "pmux",
+            Dff => "dff",
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A cell instance: a [`CellKind`] plus its port bindings.
+///
+/// Construct cells through the builder methods on [`crate::Module`] (for
+/// example [`crate::Module::mux`]) rather than by hand; the builders create
+/// correctly-sized output wires and keep the module consistent.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cell {
+    /// The operation.
+    pub kind: CellKind,
+    /// A human-readable instance name (not required to be unique).
+    pub name: String,
+    conns: Vec<(Port, SigSpec)>,
+}
+
+impl Cell {
+    /// Creates a cell with no port bindings.
+    pub fn new(kind: CellKind, name: impl Into<String>) -> Self {
+        Cell {
+            kind,
+            name: name.into(),
+            conns: Vec::new(),
+        }
+    }
+
+    /// Binds `port` to `spec`, replacing any previous binding.
+    pub fn set_port(&mut self, port: Port, spec: SigSpec) {
+        if let Some(slot) = self.conns.iter_mut().find(|(p, _)| *p == port) {
+            slot.1 = spec;
+        } else {
+            self.conns.push((port, spec));
+        }
+    }
+
+    /// The spec bound to `port`, if any.
+    pub fn port(&self, port: Port) -> Option<&SigSpec> {
+        self.conns.iter().find(|(p, _)| *p == port).map(|(_, s)| s)
+    }
+
+    /// Mutable access to the spec bound to `port`.
+    pub fn port_mut(&mut self, port: Port) -> Option<&mut SigSpec> {
+        self.conns
+            .iter_mut()
+            .find(|(p, _)| *p == port)
+            .map(|(_, s)| s)
+    }
+
+    /// All `(port, spec)` bindings in insertion order.
+    pub fn connections(&self) -> &[(Port, SigSpec)] {
+        &self.conns
+    }
+
+    /// Mutable iteration over all bindings.
+    pub fn connections_mut(&mut self) -> impl Iterator<Item = (Port, &mut SigSpec)> {
+        self.conns.iter_mut().map(|(p, s)| (*p, s))
+    }
+
+    /// The output spec (`Y`, or `Q` for `dff`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the output port is unbound (cells built via the
+    /// [`crate::Module`] builders always bind it).
+    pub fn output(&self) -> &SigSpec {
+        self.port(self.kind.output_port())
+            .expect("cell output port must be bound")
+    }
+
+    /// The input bindings, in the order defined by the kind.
+    pub fn inputs(&self) -> impl Iterator<Item = (Port, &SigSpec)> {
+        self.kind
+            .input_ports()
+            .iter()
+            .filter_map(move |p| self.port(*p).map(|s| (*p, s)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::SigSpec;
+
+    #[test]
+    fn ports_by_kind() {
+        assert_eq!(CellKind::Mux.ports(), &[Port::A, Port::B, Port::S, Port::Y]);
+        assert_eq!(CellKind::Dff.output_port(), Port::Q);
+        assert_eq!(CellKind::Not.input_ports(), &[Port::A]);
+        assert!(CellKind::Dff.is_sequential());
+        assert!(!CellKind::Mux.is_sequential());
+    }
+
+    #[test]
+    fn set_port_replaces() {
+        let mut c = Cell::new(CellKind::And, "g");
+        c.set_port(Port::A, SigSpec::zeros(4));
+        c.set_port(Port::A, SigSpec::ones(4));
+        assert_eq!(c.port(Port::A), Some(&SigSpec::ones(4)));
+        assert_eq!(c.connections().len(), 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! A design: a collection of modules.
+
+use crate::module::Module;
+
+/// A collection of [`Module`]s, as produced by the Verilog frontend.
+///
+/// The smaRTLy passes operate module-by-module; `Design` exists so a
+/// multi-module source file round-trips. The *top* module is the first one
+/// added unless overridden with [`Design::set_top`].
+#[derive(Clone, Debug, Default)]
+pub struct Design {
+    modules: Vec<Module>,
+    top: Option<usize>,
+}
+
+impl Design {
+    /// Creates an empty design.
+    pub fn new() -> Self {
+        Design::default()
+    }
+
+    /// Adds a module, returning its index.
+    pub fn add_module(&mut self, module: Module) -> usize {
+        self.modules.push(module);
+        self.modules.len() - 1
+    }
+
+    /// All modules.
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// Mutable access to all modules.
+    pub fn modules_mut(&mut self) -> &mut [Module] {
+        &mut self.modules
+    }
+
+    /// Finds a module by name.
+    pub fn module(&self, name: &str) -> Option<&Module> {
+        self.modules.iter().find(|m| m.name == name)
+    }
+
+    /// Mutable lookup by name.
+    pub fn module_mut(&mut self, name: &str) -> Option<&mut Module> {
+        self.modules.iter_mut().find(|m| m.name == name)
+    }
+
+    /// Marks the module at `index` as top.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_top(&mut self, index: usize) {
+        assert!(index < self.modules.len(), "top index out of range");
+        self.top = Some(index);
+    }
+
+    /// The top module (first added if never set).
+    pub fn top(&self) -> Option<&Module> {
+        match self.top {
+            Some(i) => self.modules.get(i),
+            None => self.modules.first(),
+        }
+    }
+
+    /// Mutable access to the top module.
+    pub fn top_mut(&mut self) -> Option<&mut Module> {
+        match self.top {
+            Some(i) => self.modules.get_mut(i),
+            None => self.modules.first_mut(),
+        }
+    }
+
+    /// Consumes the design, returning the top module.
+    pub fn into_top(mut self) -> Option<Module> {
+        let idx = self.top.unwrap_or(0);
+        if idx < self.modules.len() {
+            Some(self.modules.swap_remove(idx))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_defaults_to_first() {
+        let mut d = Design::new();
+        d.add_module(Module::new("a"));
+        d.add_module(Module::new("b"));
+        assert_eq!(d.top().unwrap().name, "a");
+        d.set_top(1);
+        assert_eq!(d.top().unwrap().name, "b");
+        assert_eq!(d.into_top().unwrap().name, "b");
+    }
+}

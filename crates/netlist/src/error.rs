@@ -1,0 +1,76 @@
+//! Typed errors for netlist construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by [`crate::Module::validate`], [`crate::Module::topo_order`]
+/// and other structural checks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A cell violates the width discipline of its kind.
+    WidthMismatch {
+        /// Module name.
+        module: String,
+        /// Offending cell name.
+        cell: String,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A wire bit has more than one driver.
+    MultipleDrivers {
+        /// Module name.
+        module: String,
+        /// Debug rendering of the bit.
+        bit: String,
+        /// Where the second driver was found.
+        context: String,
+    },
+    /// Something tried to drive a constant bit.
+    ConstDriven {
+        /// Module name.
+        module: String,
+        /// Where the bad connection was found.
+        context: String,
+    },
+    /// The combinational part of the module contains a cycle.
+    CombinationalCycle {
+        /// Module name.
+        module: String,
+    },
+    /// A named object was not found.
+    NotFound {
+        /// Module name.
+        module: String,
+        /// What was looked up.
+        name: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::WidthMismatch {
+                module,
+                cell,
+                detail,
+            } => write!(f, "width mismatch in {module}/{cell}: {detail}"),
+            NetlistError::MultipleDrivers {
+                module,
+                bit,
+                context,
+            } => write!(f, "multiple drivers for {bit} in {module} ({context})"),
+            NetlistError::ConstDriven { module, context } => {
+                write!(f, "constant bit driven in {module} ({context})")
+            }
+            NetlistError::CombinationalCycle { module } => {
+                write!(f, "combinational cycle in {module}")
+            }
+            NetlistError::NotFound { module, name } => {
+                write!(f, "object {name} not found in {module}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}

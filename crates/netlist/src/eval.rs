@@ -1,0 +1,382 @@
+//! Reference three-valued evaluation of cells.
+//!
+//! [`eval_cell`] defines the *semantics* of every [`CellKind`]: the
+//! simulator, the AIG mapper and the SAT encoder are all tested against it.
+//! `X` propagates pessimistically except where the output is decided by
+//! known bits (e.g. `0 AND x = 0`, controlling-value shortcuts in `mux`).
+
+use crate::bits::TriVal;
+use crate::cell::CellKind;
+
+/// Input values for [`eval_cell`], one vector per bound input port.
+///
+/// Unused ports stay empty. Bit 0 is the LSB.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CellInputs {
+    /// Port `A`.
+    pub a: Vec<TriVal>,
+    /// Port `B`.
+    pub b: Vec<TriVal>,
+    /// Port `S`.
+    pub s: Vec<TriVal>,
+}
+
+impl CellInputs {
+    /// Inputs with only port `A` bound.
+    pub fn unary(a: Vec<TriVal>) -> Self {
+        CellInputs {
+            a,
+            ..Default::default()
+        }
+    }
+
+    /// Inputs with ports `A` and `B` bound.
+    pub fn binary(a: Vec<TriVal>, b: Vec<TriVal>) -> Self {
+        CellInputs {
+            a,
+            b,
+            ..Default::default()
+        }
+    }
+
+    /// Inputs with ports `A`, `B` and `S` bound (mux-like cells).
+    pub fn mux(a: Vec<TriVal>, b: Vec<TriVal>, s: Vec<TriVal>) -> Self {
+        CellInputs { a, b, s }
+    }
+}
+
+fn reduce_or(bits: &[TriVal]) -> TriVal {
+    bits.iter().fold(TriVal::Zero, |acc, b| acc.or(*b))
+}
+
+fn reduce_and(bits: &[TriVal]) -> TriVal {
+    bits.iter().fold(TriVal::One, |acc, b| acc.and(*b))
+}
+
+fn reduce_xor(bits: &[TriVal]) -> TriVal {
+    bits.iter().fold(TriVal::Zero, |acc, b| acc.xor(*b))
+}
+
+fn full_adder(a: TriVal, b: TriVal, c: TriVal) -> (TriVal, TriVal) {
+    let sum = a.xor(b).xor(c);
+    let carry = a.and(b).or(a.and(c)).or(b.and(c));
+    (sum, carry)
+}
+
+fn add_vec(a: &[TriVal], b: &[TriVal], carry_in: TriVal) -> Vec<TriVal> {
+    let mut out = Vec::with_capacity(a.len());
+    let mut carry = carry_in;
+    for i in 0..a.len() {
+        let (s, c) = full_adder(a[i], b[i], carry);
+        out.push(s);
+        carry = c;
+    }
+    out
+}
+
+fn to_u128(bits: &[TriVal]) -> Option<u128> {
+    if bits.len() > 128 {
+        return None;
+    }
+    let mut v = 0u128;
+    for (i, b) in bits.iter().enumerate() {
+        match b.to_bool() {
+            Some(true) => v |= 1 << i,
+            Some(false) => {}
+            None => return None,
+        }
+    }
+    Some(v)
+}
+
+/// Compares `a` and `b` as unsigned numbers; `None` when `X` obscures the
+/// answer.
+fn cmp_vec(a: &[TriVal], b: &[TriVal]) -> Option<std::cmp::Ordering> {
+    use std::cmp::Ordering;
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match (a[i].to_bool(), b[i].to_bool()) {
+            (Some(x), Some(y)) if x != y => {
+                return Some(if x { Ordering::Greater } else { Ordering::Less })
+            }
+            (Some(_), Some(_)) => {}
+            _ => return None,
+        }
+    }
+    Some(Ordering::Equal)
+}
+
+fn eq_vec(a: &[TriVal], b: &[TriVal]) -> TriVal {
+    let mut any_x = false;
+    for (x, y) in a.iter().zip(b.iter()) {
+        match (x.to_bool(), y.to_bool()) {
+            (Some(p), Some(q)) if p != q => return TriVal::Zero,
+            (Some(_), Some(_)) => {}
+            _ => any_x = true,
+        }
+    }
+    if any_x {
+        TriVal::X
+    } else {
+        TriVal::One
+    }
+}
+
+/// Evaluates one cell over three-valued inputs.
+///
+/// `y_width` is the width of the cell's output port. For `Dff` the result
+/// is all-`X` (sequential state is the simulator's job, not the
+/// combinational evaluator's).
+///
+/// # Panics
+///
+/// Panics if input widths are inconsistent with the cell kind's discipline
+/// (use [`crate::Module::validate`] first).
+pub fn eval_cell(kind: CellKind, inputs: &CellInputs, y_width: usize) -> Vec<TriVal> {
+    use CellKind::*;
+    let a = &inputs.a;
+    let b = &inputs.b;
+    let s = &inputs.s;
+    match kind {
+        Not => a.iter().map(|v| v.not()).collect(),
+        And => a.iter().zip(b).map(|(x, y)| x.and(*y)).collect(),
+        Or => a.iter().zip(b).map(|(x, y)| x.or(*y)).collect(),
+        Xor => a.iter().zip(b).map(|(x, y)| x.xor(*y)).collect(),
+        Xnor => a.iter().zip(b).map(|(x, y)| x.xor(*y).not()).collect(),
+        ReduceAnd => vec![reduce_and(a)],
+        ReduceOr | ReduceBool => vec![reduce_or(a)],
+        ReduceXor => vec![reduce_xor(a)],
+        LogicNot => vec![reduce_or(a).not()],
+        LogicAnd => vec![reduce_or(a).and(reduce_or(b))],
+        LogicOr => vec![reduce_or(a).or(reduce_or(b))],
+        Add => add_vec(a, b, TriVal::Zero),
+        Sub => {
+            let nb: Vec<TriVal> = b.iter().map(|v| v.not()).collect();
+            add_vec(a, &nb, TriVal::One)
+        }
+        Mul => match (to_u128(a), to_u128(b)) {
+            (Some(x), Some(y)) if a.len() <= 64 => {
+                let prod = x.wrapping_mul(y);
+                (0..y_width)
+                    .map(|i| TriVal::from_bool((prod >> i) & 1 == 1))
+                    .collect()
+            }
+            _ => vec![TriVal::X; y_width],
+        },
+        Shl | Shr => match to_u128(b) {
+            Some(amt) => {
+                let amt = amt.min(a.len() as u128) as usize;
+                let mut out = vec![TriVal::Zero; a.len()];
+                for i in 0..a.len() {
+                    let src = if kind == Shl {
+                        i.checked_sub(amt)
+                    } else {
+                        let j = i + amt;
+                        (j < a.len()).then_some(j)
+                    };
+                    if let Some(j) = src {
+                        out[i] = a[j];
+                    }
+                }
+                out
+            }
+            None => vec![TriVal::X; y_width],
+        },
+        Eq => vec![eq_vec(a, b)],
+        Ne => vec![eq_vec(a, b).not()],
+        Lt | Le | Gt | Ge => {
+            use std::cmp::Ordering;
+            let v = match cmp_vec(a, b) {
+                None => TriVal::X,
+                Some(ord) => TriVal::from_bool(match kind {
+                    Lt => ord == Ordering::Less,
+                    Le => ord != Ordering::Greater,
+                    Gt => ord == Ordering::Greater,
+                    Ge => ord != Ordering::Less,
+                    _ => unreachable!(),
+                }),
+            };
+            vec![v]
+        }
+        Mux => {
+            debug_assert_eq!(s.len(), 1);
+            match s[0].to_bool() {
+                Some(true) => b.clone(),
+                Some(false) => a.clone(),
+                None => a
+                    .iter()
+                    .zip(b)
+                    .map(|(x, y)| {
+                        if x == y && x.is_known() {
+                            *x
+                        } else {
+                            TriVal::X
+                        }
+                    })
+                    .collect(),
+            }
+        }
+        Pmux => {
+            let w = y_width;
+            let n = s.len();
+            debug_assert_eq!(b.len(), w * n);
+            // priority scan from bit 0
+            for (i, sel) in s.iter().enumerate() {
+                match sel.to_bool() {
+                    Some(true) => return b[i * w..(i + 1) * w].to_vec(),
+                    Some(false) => {}
+                    None => return vec![TriVal::X; w],
+                }
+            }
+            a.clone()
+        }
+        Dff => vec![TriVal::X; y_width],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TriVal::{One, X, Zero};
+
+    fn bits(v: u64, w: usize) -> Vec<TriVal> {
+        (0..w).map(|i| TriVal::from_bool((v >> i) & 1 == 1)).collect()
+    }
+
+    fn val(bits: &[TriVal]) -> Option<u64> {
+        to_u128(bits).map(|v| v as u64)
+    }
+
+    #[test]
+    fn add_sub_match_integers() {
+        for (x, y) in [(0u64, 0u64), (3, 5), (255, 1), (200, 100), (77, 200)] {
+            let a = bits(x, 8);
+            let b = bits(y, 8);
+            let sum = eval_cell(CellKind::Add, &CellInputs::binary(a.clone(), b.clone()), 8);
+            assert_eq!(val(&sum), Some((x + y) & 0xff));
+            let diff = eval_cell(CellKind::Sub, &CellInputs::binary(a, b), 8);
+            assert_eq!(val(&diff), Some(x.wrapping_sub(y) & 0xff));
+        }
+    }
+
+    #[test]
+    fn compares_match_integers() {
+        for (x, y) in [(0u64, 0u64), (3, 5), (5, 3), (255, 255)] {
+            let a = bits(x, 8);
+            let b = bits(y, 8);
+            let lt = eval_cell(CellKind::Lt, &CellInputs::binary(a.clone(), b.clone()), 1);
+            assert_eq!(lt[0], TriVal::from_bool(x < y));
+            let ge = eval_cell(CellKind::Ge, &CellInputs::binary(a.clone(), b.clone()), 1);
+            assert_eq!(ge[0], TriVal::from_bool(x >= y));
+            let eq = eval_cell(CellKind::Eq, &CellInputs::binary(a, b), 1);
+            assert_eq!(eq[0], TriVal::from_bool(x == y));
+        }
+    }
+
+    #[test]
+    fn eq_with_x_decides_on_known_mismatch() {
+        // 1x vs 10 : bit0 differs (1 vs 0)? bit0: X vs 0 -> unknown; bit1: 1 vs 1 equal
+        let a = vec![X, One];
+        let b = vec![Zero, One];
+        assert_eq!(eq_vec(&a, &b), X);
+        // known mismatch dominates X elsewhere
+        let a = vec![X, One];
+        let b = vec![Zero, Zero];
+        assert_eq!(eq_vec(&a, &b), Zero);
+    }
+
+    #[test]
+    fn mux_controlling_shortcuts() {
+        let a = bits(0b1010, 4);
+        let b = bits(0b0110, 4);
+        let pick_b = eval_cell(
+            CellKind::Mux,
+            &CellInputs::mux(a.clone(), b.clone(), vec![One]),
+            4,
+        );
+        assert_eq!(val(&pick_b), Some(0b0110));
+        let pick_a = eval_cell(
+            CellKind::Mux,
+            &CellInputs::mux(a.clone(), b.clone(), vec![Zero]),
+            4,
+        );
+        assert_eq!(val(&pick_a), Some(0b1010));
+        // X select: agreeing bits survive
+        let y = eval_cell(CellKind::Mux, &CellInputs::mux(a, b, vec![X]), 4);
+        assert_eq!(y, vec![Zero, One, X, X]);
+    }
+
+    #[test]
+    fn pmux_priority() {
+        let a = bits(0xF, 4);
+        let w0 = bits(1, 4);
+        let w1 = bits(2, 4);
+        let mut b = w0.clone();
+        b.extend(w1.clone());
+        // both selects set: lowest wins
+        let y = eval_cell(
+            CellKind::Pmux,
+            &CellInputs::mux(a.clone(), b.clone(), vec![One, One]),
+            4,
+        );
+        assert_eq!(val(&y), Some(1));
+        // only high select
+        let y = eval_cell(
+            CellKind::Pmux,
+            &CellInputs::mux(a.clone(), b.clone(), vec![Zero, One]),
+            4,
+        );
+        assert_eq!(val(&y), Some(2));
+        // none: default
+        let y = eval_cell(
+            CellKind::Pmux,
+            &CellInputs::mux(a, b, vec![Zero, Zero]),
+            4,
+        );
+        assert_eq!(val(&y), Some(0xF));
+    }
+
+    #[test]
+    fn shifts() {
+        let a = bits(0b1011, 4);
+        let y = eval_cell(
+            CellKind::Shl,
+            &CellInputs::binary(a.clone(), bits(1, 2)),
+            4,
+        );
+        assert_eq!(val(&y), Some(0b0110));
+        let y = eval_cell(CellKind::Shr, &CellInputs::binary(a.clone(), bits(2, 2)), 4);
+        assert_eq!(val(&y), Some(0b10));
+        // over-shift zeroes out
+        let y = eval_cell(CellKind::Shr, &CellInputs::binary(a, bits(4, 3)), 4);
+        assert_eq!(val(&y), Some(0));
+    }
+
+    #[test]
+    fn zero_dominates_x_in_and() {
+        let y = eval_cell(
+            CellKind::And,
+            &CellInputs::binary(vec![Zero, One], vec![X, X]),
+            2,
+        );
+        assert_eq!(y, vec![Zero, X]);
+    }
+
+    #[test]
+    fn logic_ops() {
+        let y = eval_cell(
+            CellKind::LogicAnd,
+            &CellInputs::binary(bits(2, 2), bits(1, 2)),
+            1,
+        );
+        assert_eq!(y, vec![One]);
+        let y = eval_cell(
+            CellKind::LogicNot,
+            &CellInputs::unary(bits(0, 3)),
+            1,
+        );
+        assert_eq!(y, vec![One]);
+        let y = eval_cell(CellKind::LogicOr, &CellInputs::binary(bits(0, 2), bits(0, 2)), 1);
+        assert_eq!(y, vec![Zero]);
+    }
+}

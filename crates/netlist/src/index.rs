@@ -1,0 +1,258 @@
+//! Net connectivity index: alias resolution, drivers and fanouts.
+
+use crate::bits::SigBit;
+use crate::cell::Port;
+use crate::module::{CellId, Module, PortDir};
+use std::collections::HashMap;
+
+/// The driver of a wire bit: one bit of one cell's output port.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Driver {
+    /// Driving cell.
+    pub cell: CellId,
+    /// Output port (`Y` or `Q`).
+    pub port: Port,
+    /// Bit offset within the output spec.
+    pub offset: u32,
+}
+
+/// What consumes a bit.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Consumer {
+    /// A cell input port.
+    Cell(CellId),
+    /// A module output port (by name).
+    Output(String),
+}
+
+/// One use of a bit: consumer, port and offset within the port spec.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Sink {
+    /// Who reads the bit.
+    pub consumer: Consumer,
+    /// At which port (meaningless for `Consumer::Output`).
+    pub port: Port,
+    /// Bit offset within that port's spec.
+    pub offset: u32,
+}
+
+/// A snapshot of a module's connectivity.
+///
+/// Built once per pass via [`NetIndex::build`]; invalidated by any
+/// structural mutation. Module-level connections are resolved transitively,
+/// so [`NetIndex::canon`] maps every bit to the bit that *actually* carries
+/// its value (a cell output, an input-port bit, or a constant).
+///
+/// # Example
+///
+/// ```
+/// use smartly_netlist::{Module, NetIndex};
+///
+/// let mut m = Module::new("t");
+/// let a = m.add_input("a", 1);
+/// let y = m.not(&a);
+/// m.add_output("y", &y);
+/// let index = NetIndex::build(&m);
+/// // the output port wire resolves to the not-gate's output bit
+/// let out_wire = m.find_wire("y").unwrap();
+/// let canon = index.canon(smartly_netlist::SigBit::Wire(out_wire, 0));
+/// assert!(index.driver(canon).is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct NetIndex {
+    alias: HashMap<SigBit, SigBit>,
+    drivers: HashMap<SigBit, Driver>,
+    fanouts: HashMap<SigBit, Vec<Sink>>,
+}
+
+impl NetIndex {
+    /// Builds the index for `module`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the module's connection graph is cyclic (validated modules
+    /// cannot be — a cycle requires a multiply-driven bit).
+    pub fn build(module: &Module) -> Self {
+        // 1. raw alias edges from module connections
+        let mut raw: HashMap<SigBit, SigBit> = HashMap::new();
+        for (dst, src) in module.connections() {
+            for (d, s) in dst.iter().zip(src.iter()) {
+                raw.insert(*d, *s);
+            }
+        }
+        // 2. resolve transitively with path compression
+        let mut alias: HashMap<SigBit, SigBit> = HashMap::new();
+        for &start in raw.keys() {
+            if alias.contains_key(&start) {
+                continue;
+            }
+            let mut path = vec![start];
+            let mut cur = start;
+            loop {
+                if let Some(&resolved) = alias.get(&cur) {
+                    cur = resolved;
+                    break;
+                }
+                match raw.get(&cur) {
+                    Some(&next) => {
+                        assert!(
+                            !path.contains(&next),
+                            "cyclic connection chain in module {}",
+                            module.name
+                        );
+                        path.push(next);
+                        cur = next;
+                    }
+                    None => break,
+                }
+            }
+            for b in path {
+                if b != cur {
+                    alias.insert(b, cur);
+                }
+            }
+        }
+
+        let canon = |bit: SigBit| -> SigBit { alias.get(&bit).copied().unwrap_or(bit) };
+
+        // 3. drivers: cell output bits
+        let mut drivers = HashMap::new();
+        for (id, cell) in module.cells() {
+            let port = cell.kind.output_port();
+            let out = cell.output();
+            for (i, bit) in out.iter().enumerate() {
+                drivers.insert(
+                    canon(*bit),
+                    Driver {
+                        cell: id,
+                        port,
+                        offset: i as u32,
+                    },
+                );
+            }
+        }
+
+        // 4. fanouts: cell inputs + module outputs
+        let mut fanouts: HashMap<SigBit, Vec<Sink>> = HashMap::new();
+        for (id, cell) in module.cells() {
+            for (port, spec) in cell.inputs() {
+                for (i, bit) in spec.iter().enumerate() {
+                    fanouts.entry(canon(*bit)).or_default().push(Sink {
+                        consumer: Consumer::Cell(id),
+                        port,
+                        offset: i as u32,
+                    });
+                }
+            }
+        }
+        for p in module.ports() {
+            if p.dir == PortDir::Output {
+                let w = module.wire(p.wire).width;
+                for i in 0..w {
+                    let bit = canon(SigBit::Wire(p.wire, i));
+                    fanouts.entry(bit).or_default().push(Sink {
+                        consumer: Consumer::Output(p.name.clone()),
+                        port: Port::Y,
+                        offset: i,
+                    });
+                }
+            }
+        }
+
+        NetIndex {
+            alias,
+            drivers,
+            fanouts,
+        }
+    }
+
+    /// Resolves a bit through module connections to its canonical source.
+    pub fn canon(&self, bit: SigBit) -> SigBit {
+        self.alias.get(&bit).copied().unwrap_or(bit)
+    }
+
+    /// The cell driving a canonical bit, if any.
+    ///
+    /// Pass the result of [`NetIndex::canon`]; a non-canonical bit has no
+    /// driver entry.
+    pub fn driver(&self, canonical_bit: SigBit) -> Option<Driver> {
+        self.drivers.get(&canonical_bit).copied()
+    }
+
+    /// All sinks reading a canonical bit.
+    pub fn fanout(&self, canonical_bit: SigBit) -> &[Sink] {
+        self.fanouts
+            .get(&canonical_bit)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of sinks reading a canonical bit.
+    pub fn fanout_count(&self, canonical_bit: SigBit) -> usize {
+        self.fanout(canonical_bit).len()
+    }
+
+    /// Whether any sink of the bit is a module output port.
+    pub fn feeds_output(&self, canonical_bit: SigBit) -> bool {
+        self.fanout(canonical_bit)
+            .iter()
+            .any(|s| matches!(s.consumer, Consumer::Output(_)))
+    }
+
+    /// Sinks of a bit that are cells *other than* `exclude`.
+    pub fn external_cell_fanout(&self, canonical_bit: SigBit, exclude: &[CellId]) -> usize {
+        self.fanout(canonical_bit)
+            .iter()
+            .filter(|s| match &s.consumer {
+                Consumer::Cell(c) => !exclude.contains(c),
+                Consumer::Output(_) => true,
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bits::SigSpec;
+
+    #[test]
+    fn alias_chain_resolves() {
+        let mut m = Module::new("t");
+        let a = m.add_input("a", 1);
+        let w1 = m.auto_wire(1);
+        let w2 = m.auto_wire(1);
+        let s1 = SigSpec::from_wire(w1, 1);
+        let s2 = SigSpec::from_wire(w2, 1);
+        m.connect(s1.clone(), a.clone());
+        m.connect(s2.clone(), s1);
+        let idx = NetIndex::build(&m);
+        assert_eq!(idx.canon(SigBit::Wire(w2, 0)), a.bit(0));
+        assert_eq!(idx.canon(SigBit::Wire(w1, 0)), a.bit(0));
+    }
+
+    #[test]
+    fn fanout_counts_cells_and_outputs() {
+        let mut m = Module::new("t");
+        let a = m.add_input("a", 1);
+        let y1 = m.not(&a);
+        let _y2 = m.not(&a);
+        m.add_output("o", &a);
+        let idx = NetIndex::build(&m);
+        assert_eq!(idx.fanout_count(a.bit(0)), 3);
+        assert!(idx.feeds_output(a.bit(0)));
+        assert_eq!(idx.fanout_count(idx.canon(y1.bit(0))), 0);
+    }
+
+    #[test]
+    fn driver_is_cell_output() {
+        let mut m = Module::new("t");
+        let a = m.add_input("a", 2);
+        let y = m.not(&a);
+        let idx = NetIndex::build(&m);
+        let d = idx.driver(idx.canon(y.bit(1))).unwrap();
+        assert_eq!(d.offset, 1);
+        assert_eq!(d.port, Port::Y);
+        assert!(idx.driver(a.bit(0)).is_none());
+    }
+}

@@ -1,0 +1,67 @@
+//! Per-kind cell statistics.
+
+use crate::module::Module;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Live-cell counts per [`crate::CellKind`], plus totals.
+///
+/// # Example
+///
+/// ```
+/// use smartly_netlist::Module;
+///
+/// let mut m = Module::new("t");
+/// let a = m.add_input("a", 4);
+/// let b = m.add_input("b", 4);
+/// let s = m.add_input("s", 1);
+/// let y = m.mux(&a, &b, &s);
+/// m.add_output("y", &y);
+/// let stats = m.stats();
+/// assert_eq!(stats.count("mux"), 1);
+/// assert_eq!(stats.total(), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CellStats {
+    counts: BTreeMap<&'static str, usize>,
+}
+
+impl CellStats {
+    /// Computes statistics for `module`.
+    pub fn of(module: &Module) -> Self {
+        let mut counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        for (_, cell) in module.cells() {
+            *counts.entry(cell.kind.name()).or_default() += 1;
+        }
+        CellStats { counts }
+    }
+
+    /// Count of cells whose kind name is `kind` (see [`crate::CellKind::name`]).
+    pub fn count(&self, kind: &str) -> usize {
+        self.counts.get(kind).copied().unwrap_or(0)
+    }
+
+    /// Total live cells.
+    pub fn total(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Count of `mux` plus `pmux` cells.
+    pub fn mux_like(&self) -> usize {
+        self.count("mux") + self.count("pmux")
+    }
+
+    /// Iterates over `(kind, count)` in kind-name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, usize)> + '_ {
+        self.counts.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+impl fmt::Display for CellStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counts {
+            writeln!(f, "{k:>12}: {v}")?;
+        }
+        writeln!(f, "{:>12}: {}", "total", self.total())
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests for the IR: `SigSpec` algebra and `eval_cell` laws.
+
+use proptest::prelude::*;
+use smartly_netlist::{eval_cell, CellInputs, CellKind, SigSpec, TriVal};
+
+fn trivals(bits: u64, mask_x: u64, w: usize) -> Vec<TriVal> {
+    (0..w)
+        .map(|i| {
+            if (mask_x >> i) & 1 == 1 {
+                TriVal::X
+            } else {
+                TriVal::from_bool((bits >> i) & 1 == 1)
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn const_u64_round_trips(v in any::<u64>(), w in 1u32..=64) {
+        let spec = SigSpec::const_u64(v & mask(w), w);
+        prop_assert_eq!(spec.as_const_u64(), Some(v & mask(w)));
+        prop_assert_eq!(spec.width(), w as usize);
+    }
+
+    #[test]
+    fn slice_then_concat_is_identity(v in any::<u64>(), w in 2u32..=32, cut in 1u32..31) {
+        let cut = cut.min(w - 1);
+        let spec = SigSpec::const_u64(v & mask(w), w);
+        let mut lo = spec.slice(0, cut as usize);
+        let hi = spec.slice(cut as usize, (w - cut) as usize);
+        lo.concat(&hi);
+        prop_assert_eq!(lo, spec);
+    }
+
+    #[test]
+    fn zext_preserves_value(v in any::<u64>(), w in 1u32..=32, extra in 0u32..16) {
+        let spec = SigSpec::const_u64(v & mask(w), w);
+        prop_assert_eq!(spec.zext(w + extra).as_const_u64(), Some(v & mask(w)));
+    }
+
+    /// AND/OR/XOR are commutative even with X bits.
+    #[test]
+    fn bitwise_ops_commute(a in any::<u64>(), b in any::<u64>(),
+                           xa in any::<u64>(), xb in any::<u64>()) {
+        let w = 16usize;
+        let va = trivals(a, xa, w);
+        let vb = trivals(b, xb, w);
+        for kind in [CellKind::And, CellKind::Or, CellKind::Xor, CellKind::Xnor] {
+            let ab = eval_cell(kind, &CellInputs::binary(va.clone(), vb.clone()), w);
+            let ba = eval_cell(kind, &CellInputs::binary(vb.clone(), va.clone()), w);
+            prop_assert_eq!(&ab, &ba, "{:?}", kind);
+        }
+    }
+
+    /// De Morgan over three-valued vectors: !(a & b) == !a | !b.
+    #[test]
+    fn de_morgan(a in any::<u64>(), b in any::<u64>(), xa in any::<u64>()) {
+        let w = 12usize;
+        let va = trivals(a, xa, w);
+        let vb = trivals(b, 0, w);
+        let and = eval_cell(CellKind::And, &CellInputs::binary(va.clone(), vb.clone()), w);
+        let not_and = eval_cell(CellKind::Not, &CellInputs::unary(and), w);
+        let na = eval_cell(CellKind::Not, &CellInputs::unary(va), w);
+        let nb = eval_cell(CellKind::Not, &CellInputs::unary(vb), w);
+        let or = eval_cell(CellKind::Or, &CellInputs::binary(na, nb), w);
+        prop_assert_eq!(not_and, or);
+    }
+
+    /// Add/Sub agree with wrapping integer arithmetic on known values.
+    #[test]
+    fn arith_matches_integers(a in any::<u64>(), b in any::<u64>(), w in 1u32..=32) {
+        let m = mask(w);
+        let va = trivals(a & m, 0, w as usize);
+        let vb = trivals(b & m, 0, w as usize);
+        let sum = eval_cell(CellKind::Add, &CellInputs::binary(va.clone(), vb.clone()), w as usize);
+        prop_assert_eq!(to_u64(&sum), Some((a & m).wrapping_add(b & m) & m));
+        let diff = eval_cell(CellKind::Sub, &CellInputs::binary(va, vb), w as usize);
+        prop_assert_eq!(to_u64(&diff), Some((a & m).wrapping_sub(b & m) & m));
+    }
+
+    /// Comparison trichotomy on known values.
+    #[test]
+    fn compare_trichotomy(a in any::<u32>(), b in any::<u32>()) {
+        let w = 32usize;
+        let va = trivals(a as u64, 0, w);
+        let vb = trivals(b as u64, 0, w);
+        let lt = eval_cell(CellKind::Lt, &CellInputs::binary(va.clone(), vb.clone()), 1)[0];
+        let eq = eval_cell(CellKind::Eq, &CellInputs::binary(va.clone(), vb.clone()), 1)[0];
+        let gt = eval_cell(CellKind::Gt, &CellInputs::binary(va, vb), 1)[0];
+        let count = [lt, eq, gt].iter().filter(|v| **v == TriVal::One).count();
+        prop_assert_eq!(count, 1, "exactly one of <,==,> holds");
+    }
+
+    /// Mux with a known select equals the selected branch exactly.
+    #[test]
+    fn mux_selects_branch(a in any::<u64>(), b in any::<u64>(), s in any::<bool>(),
+                          xa in any::<u64>()) {
+        let w = 8usize;
+        let va = trivals(a, xa, w);
+        let vb = trivals(b, 0, w);
+        let y = eval_cell(
+            CellKind::Mux,
+            &CellInputs::mux(va.clone(), vb.clone(), vec![TriVal::from_bool(s)]),
+            w,
+        );
+        prop_assert_eq!(y, if s { vb } else { va });
+    }
+
+    /// X never appears where a controlling value decides the output.
+    #[test]
+    fn controlling_values_beat_x(known in any::<u64>()) {
+        let w = 8usize;
+        let zeros = trivals(0, 0, w);
+        let xs = trivals(0, u64::MAX, w);
+        let y = eval_cell(CellKind::And, &CellInputs::binary(zeros.clone(), xs.clone()), w);
+        prop_assert_eq!(y, zeros.clone());
+        let ones = trivals(u64::MAX, 0, w);
+        let y = eval_cell(CellKind::Or, &CellInputs::binary(ones.clone(), xs), w);
+        prop_assert_eq!(y, ones);
+        let _ = known;
+    }
+}
+
+fn mask(w: u32) -> u64 {
+    if w >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << w) - 1
+    }
+}
+
+fn to_u64(bits: &[TriVal]) -> Option<u64> {
+    let mut v = 0u64;
+    for (i, b) in bits.iter().enumerate() {
+        match b.to_bool() {
+            Some(true) => v |= 1 << i,
+            Some(false) => {}
+            None => return None,
+        }
+    }
+    Some(v)
+}

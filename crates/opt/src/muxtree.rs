@@ -1,0 +1,357 @@
+//! The Yosys-style `opt_muxtree` baseline.
+//!
+//! Traverses multiplexer trees from their roots, monitoring the values of
+//! visited control ports, and
+//!
+//! 1. pins the select of a descendant mux whose control signal was already
+//!    decided by an **identical** ancestor signal (paper Fig. 1), and
+//! 2. rewrites data-port bits that carry an already-decided control signal
+//!    to the decided constant (paper Fig. 2).
+//!
+//! The actual collapse (select = constant ⇒ pass-through) is left to
+//! [`crate::opt_const`], mirroring how Yosys splits the work between
+//! `opt_muxtree` and `opt_expr`. The pass only descends into muxes that
+//! are *exclusively* consumed by a single parent data port — a shared
+//! subtree sees more than one path condition, so no path-specific rewrite
+//! is sound there (such muxes are simply treated as roots of their own).
+
+use smartly_netlist::{CellId, CellKind, Module, NetIndex, Port, SigBit, SigSpec, TriVal};
+use std::collections::{HashMap, HashSet};
+
+/// One baseline muxtree sweep; returns the number of rewrites applied
+/// (pinned selects + data-bit substitutions).
+///
+/// Run [`crate::clean_pipeline`] afterwards to realize the removals, or
+/// use [`crate::baseline_optimize`] which does both to a fixpoint.
+pub fn opt_muxtree(module: &mut Module) -> usize {
+    let index = NetIndex::build(module);
+    let mux_cells: Vec<CellId> = module
+        .cells()
+        .filter(|(_, c)| matches!(c.kind, CellKind::Mux | CellKind::Pmux))
+        .map(|(id, _)| id)
+        .collect();
+    let mux_set: HashSet<CellId> = mux_cells.iter().copied().collect();
+
+    // a mux is an exclusive child if its entire output is read by exactly
+    // one sink, and that sink is a data port (A/B) of another mux cell
+    let exclusive_child = |id: CellId| -> bool {
+        let cell = module.cell(id).expect("live mux");
+        let out = cell.output();
+        let mut parents: HashSet<(CellId, Port)> = HashSet::new();
+        for bit in out.iter() {
+            let sinks = index.fanout(index.canon(*bit));
+            for sink in sinks {
+                match &sink.consumer {
+                    smartly_netlist::Consumer::Cell(c)
+                        if mux_set.contains(c)
+                            && matches!(sink.port, Port::A | Port::B) =>
+                    {
+                        parents.insert((*c, sink.port));
+                    }
+                    _ => return false,
+                }
+            }
+        }
+        parents.len() == 1
+    };
+
+    let roots: Vec<CellId> = mux_cells
+        .iter()
+        .copied()
+        .filter(|&id| !exclusive_child(id))
+        .collect();
+
+    // rewrites to apply after traversal: (cell, port, bit offset, value)
+    let mut pin_bits: Vec<(CellId, Port, usize, TriVal)> = Vec::new();
+    let mut visited: HashSet<CellId> = HashSet::new();
+
+    // returns the driving mux cell if `spec` is exactly the full output of
+    // an exclusive child mux
+    let driver_mux = |spec: &SigSpec| -> Option<CellId> {
+        let first = index.driver(index.canon(spec.bit(0)))?;
+        let cell = module.cell(first.cell)?;
+        if !matches!(cell.kind, CellKind::Mux | CellKind::Pmux) {
+            return None;
+        }
+        if cell.output().width() != spec.width() || first.offset != 0 {
+            return None;
+        }
+        for (k, bit) in spec.iter().enumerate() {
+            let d = index.driver(index.canon(*bit))?;
+            if d.cell != first.cell || d.offset as usize != k {
+                return None;
+            }
+        }
+        Some(first.cell)
+    };
+
+    struct Traversal<'a> {
+        module: &'a Module,
+        index: &'a NetIndex,
+        pin_bits: Vec<(CellId, Port, usize, TriVal)>,
+        visited: HashSet<CellId>,
+    }
+
+    impl<'a> Traversal<'a> {
+        fn visit(
+            &mut self,
+            id: CellId,
+            known: &HashMap<SigBit, bool>,
+            driver_mux: &dyn Fn(&SigSpec) -> Option<CellId>,
+            exclusive_child: &dyn Fn(CellId) -> bool,
+        ) {
+            if !self.visited.insert(id) {
+                return;
+            }
+            let cell = self.module.cell(id).expect("live mux");
+            let s_spec = cell.port(Port::S).expect("mux select").clone();
+            let a_spec = cell.port(Port::A).expect("mux A").clone();
+            let b_spec = cell.port(Port::B).expect("mux B").clone();
+            let w = cell.output().width();
+
+            // (2) data-port rewriting under the current path condition
+            for (port, spec) in [(Port::A, &a_spec), (Port::B, &b_spec)] {
+                for (k, bit) in spec.iter().enumerate() {
+                    if let Some(&v) = known.get(&self.index.canon(*bit)) {
+                        self.pin_bits
+                            .push((id, port, k, TriVal::from_bool(v)));
+                    }
+                }
+            }
+
+            match cell.kind {
+                CellKind::Mux => {
+                    let s = self.index.canon(s_spec.bit(0));
+                    if let Some(&v) = known.get(&s) {
+                        // (1) select already decided by an ancestor
+                        self.pin_bits
+                            .push((id, Port::S, 0, TriVal::from_bool(v)));
+                        // only the live branch continues this path
+                        let live = if v { &b_spec } else { &a_spec };
+                        if let Some(child) = driver_mux(live) {
+                            if exclusive_child(child) {
+                                self.visit(child, known, driver_mux, exclusive_child);
+                            }
+                        }
+                        return;
+                    }
+                    if !s.is_const() {
+                        for (branch, val) in [(&a_spec, false), (&b_spec, true)] {
+                            if let Some(child) = driver_mux(branch) {
+                                if exclusive_child(child) {
+                                    let mut k2 = known.clone();
+                                    k2.insert(s, val);
+                                    self.visit(child, &k2, driver_mux, exclusive_child);
+                                }
+                            }
+                        }
+                    }
+                }
+                CellKind::Pmux => {
+                    let n = s_spec.width();
+                    // select bits decided by ancestors get pinned
+                    let mut sel_bits: Vec<SigBit> = Vec::with_capacity(n);
+                    for i in 0..n {
+                        let sb = self.index.canon(s_spec.bit(i));
+                        if let Some(&v) = known.get(&sb) {
+                            self.pin_bits
+                                .push((id, Port::S, i, TriVal::from_bool(v)));
+                        }
+                        sel_bits.push(sb);
+                    }
+                    // default branch: all selects are 0
+                    if let Some(child) = driver_mux(&a_spec) {
+                        if exclusive_child(child) {
+                            let mut k2 = known.clone();
+                            for sb in &sel_bits {
+                                if !sb.is_const() {
+                                    k2.insert(*sb, false);
+                                }
+                            }
+                            self.visit(child, &k2, driver_mux, exclusive_child);
+                        }
+                    }
+                    // word i: sel_i = 1, sel_j = 0 for j < i (priority)
+                    for i in 0..n {
+                        let word = b_spec.slice(i * w, w);
+                        if let Some(child) = driver_mux(&word) {
+                            if exclusive_child(child) {
+                                let mut k2 = known.clone();
+                                for (j, sb) in sel_bits.iter().enumerate().take(i) {
+                                    let _ = j;
+                                    if !sb.is_const() {
+                                        k2.insert(*sb, false);
+                                    }
+                                }
+                                if !sel_bits[i].is_const() {
+                                    k2.insert(sel_bits[i], true);
+                                }
+                                self.visit(child, &k2, driver_mux, exclusive_child);
+                            }
+                        }
+                    }
+                }
+                _ => unreachable!("only mux-like cells are visited"),
+            }
+        }
+    }
+
+    let mut tr = Traversal {
+        module,
+        index: &index,
+        pin_bits: Vec::new(),
+        visited: HashSet::new(),
+    };
+    for root in roots {
+        let known = HashMap::new();
+        tr.visit(root, &known, &driver_mux, &exclusive_child);
+    }
+    pin_bits.append(&mut tr.pin_bits);
+    visited.extend(tr.visited);
+
+    // apply the rewrites
+    let count = pin_bits.len();
+    for (id, port, offset, value) in pin_bits {
+        if let Some(cell) = module.cell_mut(id) {
+            if let Some(spec) = cell.port_mut(port) {
+                spec.bits_mut()[offset] = SigBit::Const(value);
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline_optimize;
+    use smartly_netlist::Module;
+
+    /// Paper Fig. 1: Y = S ? (S ? A : B) : C collapses to Y = S ? A : C.
+    #[test]
+    fn fig1_same_ctrl() {
+        let mut m = Module::new("fig1");
+        let a = m.add_input("a", 4);
+        let b = m.add_input("b", 4);
+        let c = m.add_input("c", 4);
+        let s = m.add_input("s", 1);
+        // inner: S=1 → a (paper Y=S?A:B); our mux is Y=S?B:A
+        let inner = m.mux(&b, &a, &s);
+        let outer = m.mux(&c, &inner, &s);
+        m.add_output("y", &outer);
+        assert_eq!(m.stats().count("mux"), 2);
+        let n = baseline_optimize(&mut m);
+        assert!(n > 0);
+        assert_eq!(m.stats().count("mux"), 1, "inner mux must collapse");
+        m.validate().unwrap();
+    }
+
+    /// Paper Fig. 2: Y = S ? (A ? S : B) : C — the inner data port S is 1
+    /// on that path, so it becomes a constant.
+    #[test]
+    fn fig2_data_port() {
+        let mut m = Module::new("fig2");
+        let a = m.add_input("a", 1);
+        let b = m.add_input("b", 1);
+        let c = m.add_input("c", 1);
+        let s = m.add_input("s", 1);
+        // inner: A ? S : B  → mux(a=B, b=S, s=A)
+        let inner = m.mux(&b, &s, &a);
+        // outer: S ? inner : C
+        let outer = m.mux(&c, &inner, &s);
+        m.add_output("y", &outer);
+        let n = opt_muxtree(&mut m);
+        assert!(n >= 1, "data-port bit must be rewritten");
+        // the inner mux's B port is now constant 1
+        let inner_cell = m
+            .cells()
+            .find(|(_, cell)| {
+                cell.kind == CellKind::Mux
+                    && cell.port(Port::B).unwrap().bit(0) == SigBit::Const(TriVal::One)
+            });
+        assert!(inner_cell.is_some());
+        m.validate().unwrap();
+    }
+
+    /// A mux shared by two parents must not be rewritten path-specifically.
+    #[test]
+    fn shared_subtree_is_left_alone() {
+        let mut m = Module::new("shared");
+        let a = m.add_input("a", 4);
+        let b = m.add_input("b", 4);
+        let c = m.add_input("c", 4);
+        let s = m.add_input("s", 1);
+        let t = m.add_input("t", 1);
+        let shared = m.mux(&a, &b, &s); // fans out twice
+        let y1 = m.mux(&c, &shared, &s); // path s=1 would pin shared
+        let y2 = m.mux(&shared, &c, &t); // but this path says nothing
+        m.add_output("y1", &y1);
+        m.add_output("y2", &y2);
+        let n = opt_muxtree(&mut m);
+        assert_eq!(n, 0, "shared mux must not be touched");
+        assert_eq!(m.stats().count("mux"), 3);
+    }
+
+    /// Deep chain of same-select muxes collapses to one.
+    #[test]
+    fn deep_chain_collapses() {
+        let mut m = Module::new("chain");
+        let s = m.add_input("s", 1);
+        let xs: Vec<SigSpec> = (0..6).map(|i| m.add_input(&format!("x{i}"), 2)).collect();
+        // y = s ? (s ? (s ? x0 : x1) : x2) : x3 ... nested on the s=1 side
+        let mut cur = xs[0].clone();
+        for x in xs.iter().skip(1) {
+            cur = m.mux(x, &cur, &s);
+        }
+        m.add_output("y", &cur);
+        assert_eq!(m.stats().count("mux"), 5);
+        baseline_optimize(&mut m);
+        assert_eq!(m.stats().count("mux"), 1);
+        m.validate().unwrap();
+    }
+
+    /// Different control signals: the baseline must do nothing (this is
+    /// exactly the paper's Fig. 3 motivation for the SAT pass).
+    #[test]
+    fn fig3_dependent_controls_untouched_by_baseline() {
+        let mut m = Module::new("fig3");
+        let a = m.add_input("a", 4);
+        let b = m.add_input("b", 4);
+        let c = m.add_input("c", 4);
+        let s = m.add_input("s", 1);
+        let r = m.add_input("r", 1);
+        let sr = m.or(&s, &r);
+        let inner = m.mux(&b, &a, &sr); // (s|r) ? a : b
+        let outer = m.mux(&c, &inner, &s); // s ? inner : c
+        m.add_output("y", &outer);
+        let n = opt_muxtree(&mut m);
+        assert_eq!(n, 0, "baseline cannot see through the OR gate");
+        assert_eq!(m.stats().count("mux"), 2);
+    }
+
+    /// Pmux: ancestor-decided select bits are pinned.
+    #[test]
+    fn pmux_select_pinned_by_ancestor() {
+        let mut m = Module::new("pm");
+        let d = m.add_input("d", 2);
+        let w0 = m.add_input("w0", 2);
+        let w1 = m.add_input("w1", 2);
+        let s = m.add_input("s", 1);
+        let t = m.add_input("t", 1);
+        let sels = {
+            let mut sp = s.clone();
+            sp.concat(&t);
+            sp
+        };
+        let inner = m.pmux(&d, &[w0.clone(), w1.clone()], &sels);
+        // outer: s ? inner : d  — on that path s=1 ⇒ inner's word 0 wins
+        let outer = m.mux(&d, &inner, &s);
+        m.add_output("y", &outer);
+        let n = opt_muxtree(&mut m);
+        assert!(n >= 1);
+        baseline_optimize(&mut m);
+        // inner pmux should now be gone (its select pinned to 1 at bit 0)
+        assert_eq!(m.stats().count("pmux"), 0);
+        m.validate().unwrap();
+    }
+}

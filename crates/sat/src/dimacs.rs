@@ -1,0 +1,208 @@
+//! DIMACS CNF interchange: parse `cnf` problems into a [`Solver`] and
+//! write clause sets back out.
+//!
+//! Only the classic `p cnf <vars> <clauses>` header, `c` comments and
+//! zero-terminated clause lines are supported — enough to exchange
+//! problems with MiniSAT-family solvers.
+
+use crate::{Lit, Solver, Var};
+use std::fmt::Write as _;
+
+/// A parsed DIMACS problem: the solver plus the variable count declared
+/// in the header (variables are pre-allocated even if unused).
+#[derive(Debug)]
+pub struct DimacsProblem {
+    /// Solver loaded with all clauses.
+    pub solver: Solver,
+    /// Declared variable count.
+    pub num_vars: usize,
+    /// Parsed clause count.
+    pub num_clauses: usize,
+}
+
+/// Errors from [`parse_dimacs`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseDimacsError {
+    /// The `p cnf` header is missing or malformed.
+    BadHeader(String),
+    /// A token could not be read as a literal.
+    BadLiteral {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// A literal references a variable beyond the header's count.
+    VarOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// The out-of-range variable (1-based, DIMACS numbering).
+        var: i64,
+    },
+}
+
+impl std::fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseDimacsError::BadHeader(h) => write!(f, "bad DIMACS header: {h}"),
+            ParseDimacsError::BadLiteral { line, token } => {
+                write!(f, "bad literal '{token}' on line {line}")
+            }
+            ParseDimacsError::VarOutOfRange { line, var } => {
+                write!(f, "variable {var} out of range on line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] for a malformed header, unreadable
+/// literals, or out-of-range variables.
+pub fn parse_dimacs(text: &str) -> Result<DimacsProblem, ParseDimacsError> {
+    let mut solver = Solver::new();
+    let mut num_vars = 0usize;
+    let mut num_clauses = 0usize;
+    let mut seen_header = false;
+    let mut current: Vec<Lit> = Vec::new();
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('p') {
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some("cnf") {
+                return Err(ParseDimacsError::BadHeader(line.to_string()));
+            }
+            num_vars = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseDimacsError::BadHeader(line.to_string()))?;
+            let _declared_clauses: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseDimacsError::BadHeader(line.to_string()))?;
+            for _ in 0..num_vars {
+                solver.new_var();
+            }
+            seen_header = true;
+            continue;
+        }
+        if !seen_header {
+            return Err(ParseDimacsError::BadHeader("missing p cnf line".to_string()));
+        }
+        for token in line.split_whitespace() {
+            let v: i64 = token.parse().map_err(|_| ParseDimacsError::BadLiteral {
+                line: lineno + 1,
+                token: token.to_string(),
+            })?;
+            if v == 0 {
+                solver.add_clause(current.drain(..));
+                num_clauses += 1;
+            } else {
+                let idx = v.unsigned_abs() - 1;
+                if idx >= num_vars as u64 {
+                    return Err(ParseDimacsError::VarOutOfRange {
+                        line: lineno + 1,
+                        var: v,
+                    });
+                }
+                current.push(Lit::new(Var(idx as u32), v > 0));
+            }
+        }
+    }
+    if !current.is_empty() {
+        solver.add_clause(current.drain(..));
+        num_clauses += 1;
+    }
+    Ok(DimacsProblem {
+        solver,
+        num_vars,
+        num_clauses,
+    })
+}
+
+/// Writes a clause set as DIMACS CNF text.
+pub fn write_dimacs(num_vars: usize, clauses: &[Vec<Lit>]) -> String {
+    let mut out = String::new();
+    writeln!(out, "p cnf {} {}", num_vars, clauses.len()).expect("write");
+    for clause in clauses {
+        for l in clause {
+            let v = l.var().index() as i64 + 1;
+            let signed = if l.is_neg() { -v } else { v };
+            write!(out, "{signed} ").expect("write");
+        }
+        writeln!(out, "0").expect("write");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SolveResult;
+
+    #[test]
+    fn parses_and_solves_sat_instance() {
+        let text = "c a comment\np cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n";
+        let mut p = parse_dimacs(text).expect("parses");
+        assert_eq!(p.num_vars, 3);
+        assert_eq!(p.num_clauses, 3);
+        assert_eq!(p.solver.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn parses_unsat_instance() {
+        let text = "p cnf 1 2\n1 0\n-1 0\n";
+        let mut p = parse_dimacs(text).expect("parses");
+        assert_eq!(p.solver.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn multiline_clause_and_trailing() {
+        // clause split over two lines, last clause missing the newline
+        let text = "p cnf 2 2\n1\n2 0\n-1 -2 0";
+        let p = parse_dimacs(text).expect("parses");
+        assert_eq!(p.num_clauses, 2);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            parse_dimacs("p sat 3 1\n1 0\n"),
+            Err(ParseDimacsError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_dimacs("1 0\n"),
+            Err(ParseDimacsError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse_dimacs("p cnf 2 1\n1 x 0\n"),
+            Err(ParseDimacsError::BadLiteral { .. })
+        ));
+        assert!(matches!(
+            parse_dimacs("p cnf 2 1\n5 0\n"),
+            Err(ParseDimacsError::VarOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn write_round_trips() {
+        let v: Vec<Var> = (0..3).map(Var).collect();
+        let clauses = vec![
+            vec![Lit::pos(v[0]), Lit::neg(v[1])],
+            vec![Lit::pos(v[2])],
+        ];
+        let text = write_dimacs(3, &clauses);
+        let p = parse_dimacs(&text).expect("round-trips");
+        assert_eq!(p.num_vars, 3);
+        assert_eq!(p.num_clauses, 2);
+    }
+}

@@ -1,0 +1,144 @@
+//! A CDCL SAT solver in the MiniSAT lineage.
+//!
+//! The smaRTLy paper uses MiniSAT [Sörensson & Eén 2005] to decide whether a
+//! multiplexer control signal is constant under a path condition. This
+//! crate is a from-scratch Rust implementation of the same ingredient list:
+//!
+//! * two-watched-literal unit propagation with blocker literals,
+//! * VSIDS variable activity with an indexed max-heap,
+//! * first-UIP conflict analysis with deep conflict-clause minimization
+//!   (MiniSAT 1.13's headline feature),
+//! * phase saving, Luby restarts, learnt-clause database reduction,
+//! * solving under assumptions and an optional conflict budget (the paper
+//!   bounds SAT effort with a threshold; [`Solver::set_conflict_budget`]
+//!   is the hook for that).
+//!
+//! [`tseitin::TseitinEncoder`] layers gate-consistency encoding on top, so
+//! circuit cones can be asserted directly.
+//!
+//! # Example
+//!
+//! ```
+//! use smartly_sat::{Solver, Lit, SolveResult};
+//!
+//! let mut s = Solver::new();
+//! let a = s.new_var();
+//! let b = s.new_var();
+//! // (a | b) & (!a | b) & (a | !b)  =>  a=1, b=1
+//! s.add_clause([Lit::pos(a), Lit::pos(b)]);
+//! s.add_clause([Lit::neg(a), Lit::pos(b)]);
+//! s.add_clause([Lit::pos(a), Lit::neg(b)]);
+//! assert_eq!(s.solve(), SolveResult::Sat);
+//! assert_eq!(s.model_value(Lit::pos(a)), Some(true));
+//! assert_eq!(s.model_value(Lit::pos(b)), Some(true));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dimacs;
+mod heap;
+mod solver;
+pub mod tseitin;
+
+pub use dimacs::{parse_dimacs, write_dimacs, DimacsProblem, ParseDimacsError};
+pub use solver::{SolveResult, Solver, SolverStats};
+pub use tseitin::TseitinEncoder;
+
+use std::fmt;
+
+/// A propositional variable (0-based index).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// Builds a variable from its 0-based index.
+    ///
+    /// Useful with [`dimacs`] and for addressing variables allocated in a
+    /// known order; solving with a variable never allocated through
+    /// [`Solver::new_var`] panics.
+    pub fn from_index(index: usize) -> Var {
+        Var(index as u32)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A literal: a variable with a sign.
+///
+/// Encoded as `var << 1 | sign` where `sign == 1` means negated.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(pub(crate) u32);
+
+impl Lit {
+    /// The positive literal of `var`.
+    pub fn pos(var: Var) -> Lit {
+        Lit(var.0 << 1)
+    }
+
+    /// The negative literal of `var`.
+    pub fn neg(var: Var) -> Lit {
+        Lit(var.0 << 1 | 1)
+    }
+
+    /// Builds a literal from a variable and a value: `Lit::new(v, true)` is
+    /// satisfied when `v` is true.
+    pub fn new(var: Var, value: bool) -> Lit {
+        if value {
+            Lit::pos(var)
+        } else {
+            Lit::neg(var)
+        }
+    }
+
+    /// The underlying variable.
+    pub fn var(self) -> Var {
+        Var(self.0 >> 1)
+    }
+
+    /// Whether the literal is negated.
+    pub fn is_neg(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// The raw code (`var << 1 | sign`), useful as an array index.
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_neg() {
+            write!(f, "-{}", self.var().0 + 1)
+        } else {
+            write!(f, "{}", self.var().0 + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod lit_tests {
+    use super::*;
+
+    #[test]
+    fn lit_codec() {
+        let v = Var(7);
+        assert_eq!(Lit::pos(v).var(), v);
+        assert!(!Lit::pos(v).is_neg());
+        assert!(Lit::neg(v).is_neg());
+        assert_eq!(!Lit::pos(v), Lit::neg(v));
+        assert_eq!(!!Lit::pos(v), Lit::pos(v));
+        assert_eq!(Lit::new(v, false), Lit::neg(v));
+    }
+}

@@ -1,0 +1,1004 @@
+//! The CDCL search engine.
+
+use crate::heap::ActivityHeap;
+use crate::{Lit, Var};
+
+/// Result of a [`Solver::solve`] call.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SolveResult {
+    /// A satisfying assignment was found (see [`Solver::model_value`]).
+    Sat,
+    /// The formula (under the given assumptions) is unsatisfiable.
+    Unsat,
+    /// The conflict budget was exhausted before an answer was found.
+    Unknown,
+}
+
+/// Cumulative search statistics.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of branching decisions.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+    /// Number of learnt clauses currently in the database.
+    pub learnt_clauses: u64,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum LBool {
+    True,
+    False,
+    Undef,
+}
+
+#[derive(Clone, Debug)]
+struct Clause {
+    lits: Vec<Lit>,
+    learnt: bool,
+    deleted: bool,
+    activity: f64,
+}
+
+#[derive(Copy, Clone, Debug)]
+struct Watcher {
+    cref: u32,
+    blocker: Lit,
+}
+
+/// A CDCL SAT solver; see the [crate docs](crate) for an example.
+///
+/// The solver is incremental: clauses may be added between `solve` calls,
+/// and [`Solver::solve_with`] checks satisfiability under assumptions
+/// without permanently asserting them.
+#[derive(Clone, Debug)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    watches: Vec<Vec<Watcher>>,
+    assigns: Vec<LBool>,
+    level: Vec<u32>,
+    reason: Vec<Option<u32>>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    qhead: usize,
+    activity: Vec<f64>,
+    var_inc: f64,
+    cla_inc: f64,
+    order: ActivityHeap,
+    polarity: Vec<bool>,
+    seen: Vec<bool>,
+    ok: bool,
+    model: Vec<bool>,
+    stats: SolverStats,
+    conflict_budget: Option<u64>,
+    num_learnts: usize,
+    max_learnts: f64,
+}
+
+const VAR_DECAY: f64 = 1.0 / 0.95;
+const CLA_DECAY: f64 = 1.0 / 0.999;
+const RESTART_FIRST: u64 = 100;
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver.
+    pub fn new() -> Self {
+        Solver {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            assigns: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            qhead: 0,
+            activity: Vec::new(),
+            var_inc: 1.0,
+            cla_inc: 1.0,
+            order: ActivityHeap::new(),
+            polarity: Vec::new(),
+            seen: Vec::new(),
+            ok: true,
+            model: Vec::new(),
+            stats: SolverStats::default(),
+            conflict_budget: None,
+            num_learnts: 0,
+            max_learnts: 0.0,
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.assigns.len() as u32);
+        self.assigns.push(LBool::Undef);
+        self.level.push(0);
+        self.reason.push(None);
+        self.activity.push(0.0);
+        self.polarity.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        self.order.insert(v.0, &self.activity);
+        v
+    }
+
+    /// Number of variables allocated.
+    pub fn num_vars(&self) -> usize {
+        self.assigns.len()
+    }
+
+    /// Search statistics so far.
+    pub fn stats(&self) -> SolverStats {
+        let mut s = self.stats;
+        s.learnt_clauses = self.num_learnts as u64;
+        s
+    }
+
+    /// Limits the number of conflicts per `solve` call; `None` removes the
+    /// limit. When the budget runs out, `solve` returns
+    /// [`SolveResult::Unknown`].
+    pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
+        self.conflict_budget = budget;
+    }
+
+    fn value_var(&self, v: Var) -> LBool {
+        self.assigns[v.index()]
+    }
+
+    fn value_lit(&self, l: Lit) -> LBool {
+        match self.assigns[l.var().index()] {
+            LBool::Undef => LBool::Undef,
+            LBool::True => {
+                if l.is_neg() {
+                    LBool::False
+                } else {
+                    LBool::True
+                }
+            }
+            LBool::False => {
+                if l.is_neg() {
+                    LBool::True
+                } else {
+                    LBool::False
+                }
+            }
+        }
+    }
+
+    /// Adds a clause; returns `false` if the solver became trivially
+    /// unsatisfiable (empty clause at level 0).
+    ///
+    /// Duplicate literals are removed and tautologies are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while the solver is not at decision level 0
+    /// (cannot happen through the public API) or if a literal references an
+    /// unallocated variable.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) -> bool {
+        assert_eq!(self.decision_level(), 0, "clauses are added at level 0");
+        if !self.ok {
+            return false;
+        }
+        let mut ps: Vec<Lit> = lits.into_iter().collect();
+        for l in &ps {
+            assert!(l.var().index() < self.num_vars(), "unallocated variable");
+        }
+        ps.sort();
+        ps.dedup();
+        // tautology / false-literal elimination at level 0
+        let mut out: Vec<Lit> = Vec::with_capacity(ps.len());
+        let mut i = 0;
+        while i < ps.len() {
+            let l = ps[i];
+            if i + 1 < ps.len() && ps[i + 1] == !l {
+                return true; // tautology: l and !l adjacent after sort
+            }
+            match self.value_lit(l) {
+                LBool::True => return true, // already satisfied
+                LBool::False => {}          // drop falsified literal
+                LBool::Undef => out.push(l),
+            }
+            i += 1;
+        }
+        match out.len() {
+            0 => {
+                self.ok = false;
+                false
+            }
+            1 => {
+                self.unchecked_enqueue(out[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+                self.ok
+            }
+            _ => {
+                self.attach_clause(out, false);
+                true
+            }
+        }
+    }
+
+    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+        debug_assert!(lits.len() >= 2);
+        let cref = self.clauses.len() as u32;
+        self.watches[lits[0].code()].push(Watcher {
+            cref,
+            blocker: lits[1],
+        });
+        self.watches[lits[1].code()].push(Watcher {
+            cref,
+            blocker: lits[0],
+        });
+        if learnt {
+            self.num_learnts += 1;
+        }
+        self.clauses.push(Clause {
+            lits,
+            learnt,
+            deleted: false,
+            activity: 0.0,
+        });
+        cref
+    }
+
+    fn detach_clause(&mut self, cref: u32) {
+        let (l0, l1) = {
+            let c = &self.clauses[cref as usize];
+            (c.lits[0], c.lits[1])
+        };
+        self.watches[l0.code()].retain(|w| w.cref != cref);
+        self.watches[l1.code()].retain(|w| w.cref != cref);
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    fn unchecked_enqueue(&mut self, l: Lit, from: Option<u32>) {
+        debug_assert_eq!(self.value_lit(l), LBool::Undef);
+        let v = l.var().index();
+        self.assigns[v] = if l.is_neg() {
+            LBool::False
+        } else {
+            LBool::True
+        };
+        self.level[v] = self.decision_level() as u32;
+        self.reason[v] = from;
+        self.trail.push(l);
+    }
+
+    /// Unit propagation; returns the conflicting clause if any.
+    fn propagate(&mut self) -> Option<u32> {
+        let mut conflict = None;
+        while self.qhead < self.trail.len() {
+            let p = self.trail[self.qhead];
+            self.qhead += 1;
+            self.stats.propagations += 1;
+            let false_lit = !p;
+            // clauses watching `false_lit` must be fixed up
+            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            'watchers: while i < ws.len() {
+                let w = ws[i];
+                // fast path: blocker already true
+                if self.value_lit(w.blocker) == LBool::True {
+                    i += 1;
+                    continue;
+                }
+                let cref = w.cref;
+                // make sure the false literal is at position 1
+                {
+                    let c = &mut self.clauses[cref as usize];
+                    if c.lits[0] == false_lit {
+                        c.lits.swap(0, 1);
+                    }
+                    debug_assert_eq!(c.lits[1], false_lit);
+                }
+                let first = self.clauses[cref as usize].lits[0];
+                if first != w.blocker && self.value_lit(first) == LBool::True {
+                    ws[i] = Watcher {
+                        cref,
+                        blocker: first,
+                    };
+                    i += 1;
+                    continue;
+                }
+                // look for a new literal to watch
+                let len = self.clauses[cref as usize].lits.len();
+                for k in 2..len {
+                    let lk = self.clauses[cref as usize].lits[k];
+                    if self.value_lit(lk) != LBool::False {
+                        let c = &mut self.clauses[cref as usize];
+                        c.lits.swap(1, k);
+                        self.watches[lk.code()].push(Watcher {
+                            cref,
+                            blocker: first,
+                        });
+                        ws.swap_remove(i);
+                        continue 'watchers;
+                    }
+                }
+                // no new watch: clause is unit or conflicting
+                ws[i] = Watcher {
+                    cref,
+                    blocker: first,
+                };
+                i += 1;
+                if self.value_lit(first) == LBool::False {
+                    conflict = Some(cref);
+                    self.qhead = self.trail.len();
+                    break;
+                }
+                self.unchecked_enqueue(first, Some(cref));
+            }
+            self.watches[false_lit.code()] = ws;
+            if conflict.is_some() {
+                break;
+            }
+        }
+        conflict
+    }
+
+    fn var_bump(&mut self, v: Var) {
+        self.activity[v.index()] += self.var_inc;
+        if self.activity[v.index()] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        self.order.bump(v.0, &self.activity);
+    }
+
+    fn cla_bump(&mut self, cref: u32) {
+        let c = &mut self.clauses[cref as usize];
+        c.activity += self.cla_inc;
+        if c.activity > 1e20 {
+            for cl in &mut self.clauses {
+                cl.activity *= 1e-20;
+            }
+            self.cla_inc *= 1e-20;
+        }
+    }
+
+    fn abstract_level(&self, v: Var) -> u32 {
+        1 << (self.level[v.index()] & 31)
+    }
+
+    /// 1-UIP conflict analysis with deep clause minimization.
+    /// Returns (learnt clause with asserting literal first, backtrack level).
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, usize) {
+        let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot for asserting literal
+        let mut path_count = 0u32;
+        let mut p: Option<Lit> = None;
+        let mut index = self.trail.len();
+        let mut to_clear: Vec<Var> = Vec::new();
+
+        loop {
+            self.cla_bump(confl);
+            let start = if p.is_none() { 0 } else { 1 };
+            let lits: Vec<Lit> = self.clauses[confl as usize].lits[start..].to_vec();
+            for q in lits {
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.var_bump(v);
+                    self.seen[v.index()] = true;
+                    to_clear.push(v);
+                    if self.level[v.index()] as usize >= self.decision_level() {
+                        path_count += 1;
+                    } else {
+                        learnt.push(q);
+                    }
+                }
+            }
+            // next marked literal on the trail
+            loop {
+                index -= 1;
+                if self.seen[self.trail[index].var().index()] {
+                    break;
+                }
+            }
+            let pl = self.trail[index];
+            p = Some(pl);
+            self.seen[pl.var().index()] = false;
+            path_count -= 1;
+            if path_count == 0 {
+                break;
+            }
+            confl = self.reason[pl.var().index()].expect("non-decision must have a reason");
+        }
+        learnt[0] = !p.expect("asserting literal");
+
+        // deep minimization: drop literals implied by the rest
+        let abstract_levels = learnt[1..]
+            .iter()
+            .fold(0u32, |acc, l| acc | self.abstract_level(l.var()));
+        let mut keep: Vec<Lit> = vec![learnt[0]];
+        for idx in 1..learnt.len() {
+            let l = learnt[idx];
+            if self.reason[l.var().index()].is_none()
+                || !self.lit_redundant(l, abstract_levels, &mut to_clear)
+            {
+                keep.push(l);
+            }
+        }
+        let mut learnt = keep;
+
+        for v in to_clear {
+            self.seen[v.index()] = false;
+        }
+
+        // compute backtrack level; move the max-level literal to slot 1
+        let bt_level = if learnt.len() == 1 {
+            0
+        } else {
+            let mut max_i = 1;
+            for i in 2..learnt.len() {
+                if self.level[learnt[i].var().index()] > self.level[learnt[max_i].var().index()] {
+                    max_i = i;
+                }
+            }
+            learnt.swap(1, max_i);
+            self.level[learnt[1].var().index()] as usize
+        };
+        (learnt, bt_level)
+    }
+
+    /// Checks whether `p` is redundant w.r.t. the currently-seen literals
+    /// (MiniSAT `litRedundant`, iterative).
+    fn lit_redundant(&mut self, p: Lit, abstract_levels: u32, to_clear: &mut Vec<Var>) -> bool {
+        let mut stack = vec![p];
+        let top = to_clear.len();
+        while let Some(q) = stack.pop() {
+            let cref = self.reason[q.var().index()].expect("reason checked by caller");
+            let lits: Vec<Lit> = self.clauses[cref as usize].lits[1..].to_vec();
+            for l in lits {
+                let v = l.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    if self.reason[v.index()].is_some()
+                        && (self.abstract_level(v) & abstract_levels) != 0
+                    {
+                        self.seen[v.index()] = true;
+                        to_clear.push(v);
+                        stack.push(l);
+                    } else {
+                        // cannot remove: undo the marks made in this call
+                        for v2 in to_clear.drain(top..) {
+                            self.seen[v2.index()] = false;
+                        }
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    fn cancel_until(&mut self, level: usize) {
+        if self.decision_level() <= level {
+            return;
+        }
+        let lim = self.trail_lim[level];
+        for i in (lim..self.trail.len()).rev() {
+            let l = self.trail[i];
+            let v = l.var();
+            self.polarity[v.index()] = !l.is_neg();
+            self.assigns[v.index()] = LBool::Undef;
+            self.reason[v.index()] = None;
+            self.order.insert(v.0, &self.activity);
+        }
+        self.trail.truncate(lim);
+        self.trail_lim.truncate(level);
+        self.qhead = self.trail.len();
+    }
+
+    fn pick_branch_var(&mut self) -> Option<Var> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if self.assigns[v as usize] == LBool::Undef {
+                return Some(Var(v));
+            }
+        }
+        None
+    }
+
+    fn reduce_db(&mut self) {
+        // collect learnt, non-locked clause refs ordered by activity
+        let mut refs: Vec<u32> = (0..self.clauses.len() as u32)
+            .filter(|&c| {
+                let cl = &self.clauses[c as usize];
+                cl.learnt && !cl.deleted && cl.lits.len() > 2 && !self.is_locked(c)
+            })
+            .collect();
+        refs.sort_by(|&a, &b| {
+            self.clauses[a as usize]
+                .activity
+                .partial_cmp(&self.clauses[b as usize].activity)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let target = refs.len() / 2;
+        for &cref in refs.iter().take(target) {
+            self.detach_clause(cref);
+            self.clauses[cref as usize].deleted = true;
+            self.num_learnts -= 1;
+        }
+    }
+
+    fn is_locked(&self, cref: u32) -> bool {
+        let first = self.clauses[cref as usize].lits[0];
+        self.reason[first.var().index()] == Some(cref) && self.value_lit(first) == LBool::True
+    }
+
+    /// Solves the current formula with no assumptions.
+    pub fn solve(&mut self) -> SolveResult {
+        self.solve_with(&[])
+    }
+
+    /// Solves under `assumptions` (literals forced true for this call only).
+    ///
+    /// After the call the solver is back at decision level 0 and can be
+    /// reused; learnt clauses are kept.
+    pub fn solve_with(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if !self.ok {
+            return SolveResult::Unsat;
+        }
+        for l in assumptions {
+            assert!(
+                l.var().index() < self.num_vars(),
+                "assumption on unallocated variable"
+            );
+        }
+        self.max_learnts = (self.clause_count() as f64 / 3.0).max(100.0);
+        let budget_start = self.stats.conflicts;
+        let mut restarts = 0u64;
+        let result = loop {
+            let limit = RESTART_FIRST * luby(restarts);
+            match self.search(limit, assumptions, budget_start) {
+                SearchOutcome::Sat => break SolveResult::Sat,
+                SearchOutcome::Unsat => break SolveResult::Unsat,
+                SearchOutcome::Restart => {
+                    restarts += 1;
+                    self.stats.restarts += 1;
+                    self.max_learnts *= 1.05;
+                }
+                SearchOutcome::BudgetExhausted => break SolveResult::Unknown,
+            }
+        };
+        if result == SolveResult::Sat {
+            self.model = self
+                .assigns
+                .iter()
+                .map(|&a| a == LBool::True)
+                .collect();
+        }
+        self.cancel_until(0);
+        result
+    }
+
+    fn clause_count(&self) -> usize {
+        self.clauses.iter().filter(|c| !c.deleted && !c.learnt).count()
+    }
+
+    fn search(
+        &mut self,
+        conflict_limit: u64,
+        assumptions: &[Lit],
+        budget_start: u64,
+    ) -> SearchOutcome {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.ok = false;
+                    return SearchOutcome::Unsat;
+                }
+                // conflict below/at the assumption prefix ⇒ UNSAT under assumptions
+                if self.decision_level() <= assumptions.len() {
+                    // analyze to be sure the conflict does not depend on
+                    // assumption-free levels; a simple sound answer:
+                    let (learnt, bt) = self.analyze(confl);
+                    if bt < assumptions.len() {
+                        // learnt clause asserts at a level inside the
+                        // assumption prefix: record it and retry there
+                        self.cancel_until(bt);
+                        self.record_learnt(learnt);
+                        if self.decision_level() == 0 && self.propagate().is_some() {
+                            self.ok = false;
+                            return SearchOutcome::Unsat;
+                        }
+                        continue;
+                    }
+                    self.cancel_until(bt);
+                    self.record_learnt(learnt);
+                    continue;
+                }
+                let (learnt, bt) = self.analyze(confl);
+                self.cancel_until(bt);
+                self.record_learnt(learnt);
+                self.var_inc *= VAR_DECAY;
+                self.cla_inc *= CLA_DECAY;
+                if let Some(b) = self.conflict_budget {
+                    if self.stats.conflicts - budget_start >= b {
+                        self.cancel_until(0);
+                        return SearchOutcome::BudgetExhausted;
+                    }
+                }
+                if conflicts_here >= conflict_limit {
+                    self.cancel_until(0);
+                    return SearchOutcome::Restart;
+                }
+                if self.num_learnts as f64 >= self.max_learnts {
+                    self.reduce_db();
+                }
+            } else {
+                // establish assumptions in order
+                if self.decision_level() < assumptions.len() {
+                    let p = assumptions[self.decision_level()];
+                    match self.value_lit(p) {
+                        LBool::True => {
+                            // already implied: open a dummy level
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        LBool::False => {
+                            return SearchOutcome::Unsat;
+                        }
+                        LBool::Undef => {
+                            self.trail_lim.push(self.trail.len());
+                            self.unchecked_enqueue(p, None);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => return SearchOutcome::Sat,
+                    Some(v) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let phase = self.polarity[v.index()];
+                        self.unchecked_enqueue(Lit::new(v, phase), None);
+                    }
+                }
+            }
+        }
+    }
+
+    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+        if learnt.len() == 1 {
+            self.cancel_until(0);
+            if self.value_lit(learnt[0]) == LBool::Undef {
+                self.unchecked_enqueue(learnt[0], None);
+            } else if self.value_lit(learnt[0]) == LBool::False {
+                self.ok = false;
+            }
+        } else {
+            let first = learnt[0];
+            let cref = self.attach_clause(learnt, true);
+            self.cla_bump(cref);
+            self.unchecked_enqueue(first, Some(cref));
+        }
+    }
+
+    /// The value of `l` in the last satisfying model.
+    ///
+    /// Returns `None` before any successful `solve` or for variables
+    /// allocated afterwards.
+    pub fn model_value(&self, l: Lit) -> Option<bool> {
+        self.model
+            .get(l.var().index())
+            .map(|&b| if l.is_neg() { !b } else { b })
+    }
+
+    /// Whether the clause set is already known unsatisfiable.
+    pub fn is_ok(&self) -> bool {
+        self.ok
+    }
+
+    /// Value of a variable fixed at decision level 0 (by propagation),
+    /// independent of any model.
+    pub fn fixed_value(&self, v: Var) -> Option<bool> {
+        if self.level[v.index()] == 0 {
+            match self.value_var(v) {
+                LBool::True => Some(true),
+                LBool::False => Some(false),
+                LBool::Undef => None,
+            }
+        } else {
+            None
+        }
+    }
+}
+
+enum SearchOutcome {
+    Sat,
+    Unsat,
+    Restart,
+    BudgetExhausted,
+}
+
+/// The Luby restart sequence (1,1,2,1,1,2,4,...).
+fn luby(mut i: u64) -> u64 {
+    // find the finite subsequence containing index i
+    let mut size = 1u64;
+    let mut seq = 0u32;
+    while size < i + 1 {
+        seq += 1;
+        size = 2 * size + 1;
+    }
+    while size - 1 != i {
+        size = (size - 1) / 2;
+        seq -= 1;
+        i %= size;
+    }
+    1u64 << seq
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(i: i32, s: &mut Solver) -> Lit {
+        while s.num_vars() <= i.unsigned_abs() as usize {
+            s.new_var();
+        }
+        let v = Var(i.unsigned_abs() - 1);
+        if i < 0 {
+            Lit::neg(v)
+        } else {
+            Lit::pos(v)
+        }
+    }
+
+    fn cnf(s: &mut Solver, clauses: &[&[i32]]) {
+        for c in clauses {
+            let ls: Vec<Lit> = c.iter().map(|&i| lit(i, s)).collect();
+            s.add_clause(ls);
+        }
+    }
+
+    #[test]
+    fn luby_sequence() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64), e, "luby({i})");
+        }
+    }
+
+    #[test]
+    fn trivial_sat() {
+        let mut s = Solver::new();
+        cnf(&mut s, &[&[1, 2], &[-1, 2]]);
+        let l2 = lit(2, &mut s);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(l2), Some(true));
+    }
+
+    #[test]
+    fn trivial_unsat() {
+        let mut s = Solver::new();
+        cnf(&mut s, &[&[1], &[-1]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn unit_chain_propagates() {
+        let mut s = Solver::new();
+        cnf(&mut s, &[&[1], &[-1, 2], &[-2, 3], &[-3, 4]]);
+        let ls: Vec<Lit> = (1..=4).map(|i| lit(i, &mut s)).collect();
+        assert_eq!(s.solve(), SolveResult::Sat);
+        for l in ls {
+            assert_eq!(s.model_value(l), Some(true));
+        }
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_unsat() {
+        // p_ij: pigeon i in hole j; vars laid out 1..=6
+        let mut s = Solver::new();
+        let var = |i: usize, j: usize| (i * 2 + j + 1) as i32;
+        for i in 0..3 {
+            let c: Vec<i32> = (0..2).map(|j| var(i, j)).collect();
+            cnf(&mut s, &[&c]);
+        }
+        for j in 0..2 {
+            for i1 in 0..3 {
+                for i2 in (i1 + 1)..3 {
+                    cnf(&mut s, &[&[-var(i1, j), -var(i2, j)]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn pigeonhole_5_into_4_unsat() {
+        let mut s = Solver::new();
+        let n = 5usize;
+        let m = 4usize;
+        let var = |i: usize, j: usize| (i * m + j + 1) as i32;
+        for i in 0..n {
+            let c: Vec<i32> = (0..m).map(|j| var(i, j)).collect();
+            cnf(&mut s, &[&c]);
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    cnf(&mut s, &[&[-var(i1, j), -var(i2, j)]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn xor_chain_sat_with_parity() {
+        // x1 ^ x2 = 1, x2 ^ x3 = 1, x1 ^ x3 = 0 : satisfiable
+        let mut s = Solver::new();
+        cnf(
+            &mut s,
+            &[
+                &[1, 2],
+                &[-1, -2],
+                &[2, 3],
+                &[-2, -3],
+                &[1, -3],
+                &[-1, 3],
+            ],
+        );
+        let (l1, l2, l3) = (lit(1, &mut s), lit(2, &mut s), lit(3, &mut s));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        let x1 = s.model_value(l1).unwrap();
+        let x2 = s.model_value(l2).unwrap();
+        let x3 = s.model_value(l3).unwrap();
+        assert!(x1 ^ x2);
+        assert!(x2 ^ x3);
+        assert!(!(x1 ^ x3));
+    }
+
+    #[test]
+    fn assumptions_flip_outcome() {
+        let mut s = Solver::new();
+        cnf(&mut s, &[&[1, 2]]);
+        let a = lit(-1, &mut s);
+        let b = lit(-2, &mut s);
+        assert_eq!(s.solve_with(&[a, b]), SolveResult::Unsat);
+        let l2 = lit(2, &mut s);
+        assert_eq!(s.solve_with(&[a]), SolveResult::Sat);
+        assert_eq!(s.model_value(l2), Some(true));
+        // solver still reusable without assumptions
+        assert_eq!(s.solve(), SolveResult::Sat);
+    }
+
+    #[test]
+    fn incremental_add_after_solve() {
+        let mut s = Solver::new();
+        cnf(&mut s, &[&[1, 2]]);
+        assert_eq!(s.solve(), SolveResult::Sat);
+        cnf(&mut s, &[&[-1], &[-2]]);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn budget_returns_unknown() {
+        // php(7,6) is hard enough to exceed a 5-conflict budget
+        let mut s = Solver::new();
+        let n = 7usize;
+        let m = 6usize;
+        let var = |i: usize, j: usize| (i * m + j + 1) as i32;
+        for i in 0..n {
+            let c: Vec<i32> = (0..m).map(|j| var(i, j)).collect();
+            cnf(&mut s, &[&c]);
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    cnf(&mut s, &[&[-var(i1, j), -var(i2, j)]]);
+                }
+            }
+        }
+        s.set_conflict_budget(Some(5));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        s.set_conflict_budget(None);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn duplicate_and_tautology_handling() {
+        let mut s = Solver::new();
+        let a = lit(1, &mut s);
+        // tautology is dropped silently
+        assert!(s.add_clause([a, !a]));
+        // duplicates collapse
+        assert!(s.add_clause([a, a, a]));
+        assert_eq!(s.solve(), SolveResult::Sat);
+        assert_eq!(s.model_value(a), Some(true));
+    }
+
+    #[test]
+    fn fixed_value_at_level0() {
+        let mut s = Solver::new();
+        cnf(&mut s, &[&[1], &[-1, 2]]);
+        // adding the clauses already propagates at level 0
+        assert_eq!(s.fixed_value(Var(0)), Some(true));
+        assert_eq!(s.fixed_value(Var(1)), Some(true));
+    }
+
+    /// Brute-force model count comparison on random small CNFs.
+    #[test]
+    fn agrees_with_brute_force() {
+        let mut seed = 0x243F6A8885A308D3u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..60 {
+            let nvars = 4 + (next() % 6) as usize; // 4..=9
+            let nclauses = 6 + (next() % 24) as usize;
+            let mut clauses: Vec<Vec<i32>> = Vec::new();
+            for _ in 0..nclauses {
+                let len = 1 + (next() % 3) as usize;
+                let mut c = Vec::new();
+                for _ in 0..len {
+                    let v = (next() % nvars as u64) as i32 + 1;
+                    let sign = if next() % 2 == 0 { 1 } else { -1 };
+                    c.push(v * sign);
+                }
+                clauses.push(c);
+            }
+            // brute force
+            let mut any = false;
+            'assign: for m in 0..(1u32 << nvars) {
+                for c in &clauses {
+                    let sat = c.iter().any(|&l| {
+                        let v = l.unsigned_abs() as usize - 1;
+                        let val = (m >> v) & 1 == 1;
+                        if l > 0 {
+                            val
+                        } else {
+                            !val
+                        }
+                    });
+                    if !sat {
+                        continue 'assign;
+                    }
+                }
+                any = true;
+                break;
+            }
+            let mut s = Solver::new();
+            let refs: Vec<&[i32]> = clauses.iter().map(|c| c.as_slice()).collect();
+            cnf(&mut s, &refs);
+            let expected = if any {
+                SolveResult::Sat
+            } else {
+                SolveResult::Unsat
+            };
+            assert_eq!(s.solve(), expected, "round {round}: {clauses:?}");
+            if expected == SolveResult::Sat {
+                // verify the model actually satisfies the clauses
+                for c in &clauses {
+                    let sat = c.iter().any(|&l| {
+                        let v = Var(l.unsigned_abs() - 1);
+                        let want = l > 0;
+                        s.model_value(Lit::pos(v)) == Some(want)
+                    });
+                    assert!(sat, "model violates {c:?}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Property tests: the CDCL solver against brute force, and encoder laws.
+
+use proptest::prelude::*;
+use smartly_sat::{Lit, SolveResult, Solver, Var, TseitinEncoder};
+
+/// A random clause set over `nvars` variables.
+fn clause_strategy(nvars: usize) -> impl Strategy<Value = Vec<Vec<i32>>> {
+    let lit = (1..=nvars as i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]);
+    let clause = prop::collection::vec(lit, 1..4);
+    prop::collection::vec(clause, 1..24)
+}
+
+fn brute_force_sat(nvars: usize, clauses: &[Vec<i32>]) -> bool {
+    'assign: for m in 0u32..(1 << nvars) {
+        for c in clauses {
+            let sat = c.iter().any(|&l| {
+                let val = (m >> (l.unsigned_abs() - 1)) & 1 == 1;
+                if l > 0 { val } else { !val }
+            });
+            if !sat {
+                continue 'assign;
+            }
+        }
+        return true;
+    }
+    false
+}
+
+fn lit_of(l: i32) -> Lit {
+    Lit::new(Var::from_index(l.unsigned_abs() as usize - 1), l > 0)
+}
+
+fn load(clauses: &[Vec<i32>], nvars: usize) -> Solver {
+    let mut s = Solver::new();
+    for _ in 0..nvars {
+        s.new_var();
+    }
+    for c in clauses {
+        s.add_clause(c.iter().map(|&l| lit_of(l)));
+    }
+    s
+}
+
+proptest! {
+    /// The solver agrees with brute force on every random instance, and
+    /// SAT answers come with a genuinely satisfying model.
+    #[test]
+    fn agrees_with_brute_force(clauses in clause_strategy(8)) {
+        let nvars = 8;
+        let expected = brute_force_sat(nvars, &clauses);
+        let mut s = load(&clauses, nvars);
+        let got = s.solve();
+        prop_assert_eq!(got, if expected { SolveResult::Sat } else { SolveResult::Unsat });
+        if got == SolveResult::Sat {
+            for c in &clauses {
+                let sat = c.iter().any(|&l| s.model_value(lit_of(l)) == Some(true));
+                prop_assert!(sat, "model violates clause {:?}", c);
+            }
+        }
+    }
+
+    /// Under assumptions, answers are consistent with adding the
+    /// assumptions as unit clauses.
+    #[test]
+    fn assumptions_match_units(clauses in clause_strategy(6), asm_bits in 0u8..8) {
+        let nvars = 6;
+        let assumptions: Vec<i32> = (0..3)
+            .map(|i| {
+                let v = i + 1; // distinct variables 1..=3
+                if (asm_bits >> i) & 1 == 1 { v } else { -v }
+            })
+            .collect();
+        let mut s = load(&clauses, nvars);
+        let asm_lits: Vec<Lit> = assumptions.iter().map(|&l| lit_of(l)).collect();
+        let with_assumptions = s.solve_with(&asm_lits);
+
+        let mut augmented: Vec<Vec<i32>> = clauses.clone();
+        for &l in &assumptions {
+            augmented.push(vec![l]);
+        }
+        let expected = brute_force_sat(nvars, &augmented);
+        prop_assert_eq!(
+            with_assumptions,
+            if expected { SolveResult::Sat } else { SolveResult::Unsat }
+        );
+        // the solver stays reusable after assumption solving
+        let plain = s.solve();
+        prop_assert_eq!(
+            plain,
+            if brute_force_sat(nvars, &clauses) { SolveResult::Sat } else { SolveResult::Unsat }
+        );
+    }
+
+    /// Tseitin-encoded random AND/OR/XOR trees evaluate like their
+    /// reference interpretation for every input assignment.
+    #[test]
+    fn encoder_matches_reference(ops in prop::collection::vec(0u8..3, 1..6), inputs in 0u8..16) {
+        let mut enc = TseitinEncoder::new();
+        let leaves: Vec<Lit> = (0..4).map(|_| enc.fresh()).collect();
+        let mut acc = leaves[0];
+        let mut reference: Box<dyn Fn(&[bool]) -> bool> = Box::new(|v: &[bool]| v[0]);
+        for (i, op) in ops.iter().enumerate() {
+            let leaf = leaves[(i + 1) % 4];
+            let leaf_idx = (i + 1) % 4;
+            let prev = reference;
+            reference = match op {
+                0 => {
+                    acc = enc.and(acc, leaf);
+                    Box::new(move |v| prev(v) && v[leaf_idx])
+                }
+                1 => {
+                    acc = enc.or(acc, leaf);
+                    Box::new(move |v| prev(v) || v[leaf_idx])
+                }
+                _ => {
+                    acc = enc.xor(acc, leaf);
+                    Box::new(move |v| prev(v) ^ v[leaf_idx])
+                }
+            };
+        }
+        let vals: Vec<bool> = (0..4).map(|i| (inputs >> i) & 1 == 1).collect();
+        let expect = reference(&vals);
+        let mut asms: Vec<Lit> = leaves
+            .iter()
+            .zip(&vals)
+            .map(|(&l, &v)| if v { l } else { !l })
+            .collect();
+        asms.push(if expect { !acc } else { acc });
+        prop_assert_eq!(enc.solve_with(&asms), SolveResult::Unsat);
+    }
+
+    /// DIMACS write/parse round-trips preserve satisfiability.
+    #[test]
+    fn dimacs_round_trip(clauses in clause_strategy(7)) {
+        let nvars = 7;
+        let lit_clauses: Vec<Vec<Lit>> = clauses
+            .iter()
+            .map(|c| c.iter().map(|&l| lit_of(l)).collect())
+            .collect();
+        let text = smartly_sat::write_dimacs(nvars, &lit_clauses);
+        let mut parsed = smartly_sat::parse_dimacs(&text).expect("round-trips");
+        let expected = brute_force_sat(nvars, &clauses);
+        prop_assert_eq!(
+            parsed.solver.solve(),
+            if expected { SolveResult::Sat } else { SolveResult::Unsat }
+        );
+    }
+}

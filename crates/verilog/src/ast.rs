@@ -1,0 +1,294 @@
+//! Abstract syntax tree for the supported Verilog subset.
+
+pub use crate::lexer::PatBit;
+
+/// A parsed source file: one or more module declarations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceFile {
+    /// Modules in declaration order.
+    pub modules: Vec<ModuleDecl>,
+}
+
+/// Port direction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Dir {
+    /// `input`
+    Input,
+    /// `output`
+    Output,
+}
+
+/// A port declaration (merged from ANSI or classic style).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PortDecl {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: Dir,
+    /// `[msb:lsb]` bounds, if declared as a vector.
+    pub range: Option<(Expr, Expr)>,
+    /// Whether the port was (also) declared `reg`.
+    pub is_reg: bool,
+}
+
+/// A non-port net declaration (`wire` / `reg`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NetDecl {
+    /// Net name.
+    pub name: String,
+    /// `[msb:lsb]` bounds, if a vector.
+    pub range: Option<(Expr, Expr)>,
+    /// `reg` (true) or `wire` (false).
+    pub is_reg: bool,
+}
+
+/// A module declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModuleDecl {
+    /// Module name.
+    pub name: String,
+    /// Ports in header order.
+    pub ports: Vec<PortDecl>,
+    /// `parameter`/`localparam` definitions in order.
+    pub params: Vec<(String, Expr)>,
+    /// Internal nets.
+    pub decls: Vec<NetDecl>,
+    /// Behavioral and continuous items.
+    pub items: Vec<Item>,
+}
+
+/// A module body item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Item {
+    /// `assign lhs = rhs;`
+    Assign {
+        /// Target.
+        lhs: LValue,
+        /// Driven expression.
+        rhs: Expr,
+    },
+    /// `always @(*)` (or an explicit sensitivity list).
+    AlwaysComb(Stmt),
+    /// `always @(posedge clock)`.
+    AlwaysFf {
+        /// Clock signal name.
+        clock: String,
+        /// Body.
+        stmt: Stmt,
+    },
+}
+
+/// The flavor of a `case` statement.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum CaseKind {
+    /// `case`: exact match.
+    Plain,
+    /// `casez`: `z`/`?` bits are wildcards.
+    Casez,
+}
+
+/// One `case` arm: one or more patterns and a body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaseArm {
+    /// Comma-separated label expressions.
+    pub patterns: Vec<Expr>,
+    /// Arm body.
+    pub body: Stmt,
+}
+
+/// A behavioral statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// `begin ... end`
+    Block(Vec<Stmt>),
+    /// `if (cond) then [else else_]`
+    If {
+        /// Condition (reduced to 1 bit).
+        cond: Expr,
+        /// Taken when `cond != 0`.
+        then_branch: Box<Stmt>,
+        /// Taken otherwise.
+        else_branch: Option<Box<Stmt>>,
+    },
+    /// `case`/`casez`.
+    Case {
+        /// Flavor.
+        kind: CaseKind,
+        /// Scrutinee.
+        expr: Expr,
+        /// Arms in priority order.
+        arms: Vec<CaseArm>,
+        /// `default:` body, if present.
+        default: Option<Box<Stmt>>,
+    },
+    /// Blocking or non-blocking assignment (elaborated identically; the
+    /// enclosing `always` kind decides comb vs. ff).
+    Assign {
+        /// Target.
+        lhs: LValue,
+        /// Value.
+        rhs: Expr,
+    },
+    /// Empty statement (`;`).
+    Empty,
+}
+
+/// An assignment target.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LValue {
+    /// Whole signal.
+    Ident(String),
+    /// Single bit `name[index]` (index must be constant).
+    Bit {
+        /// Signal name.
+        name: String,
+        /// Constant index expression.
+        index: Expr,
+    },
+    /// Part select `name[msb:lsb]` (constant bounds).
+    Part {
+        /// Signal name.
+        name: String,
+        /// Constant MSB.
+        msb: Expr,
+        /// Constant LSB.
+        lsb: Expr,
+    },
+}
+
+/// Unary operators.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// `!` logical not.
+    LogicNot,
+    /// `~` bitwise not.
+    BitNot,
+    /// `-` negate (two's complement).
+    Neg,
+    /// `&` reduction and.
+    RedAnd,
+    /// `|` reduction or.
+    RedOr,
+    /// `^` reduction xor.
+    RedXor,
+}
+
+/// Binary operators.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `&&`
+    LogicAnd,
+    /// `||`
+    LogicOr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Signal or parameter reference.
+    Ident(String),
+    /// Literal; bits are LSB-first.
+    Number {
+        /// Explicit size, if the literal was sized.
+        size: Option<u32>,
+        /// LSB-first pattern.
+        bits: Vec<PatBit>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `cond ? then_e : else_e`
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when true.
+        then_e: Box<Expr>,
+        /// Value when false.
+        else_e: Box<Expr>,
+    },
+    /// Bit select `expr[index]`; dynamic indices elaborate to a shift.
+    Index {
+        /// Base expression.
+        expr: Box<Expr>,
+        /// Index.
+        index: Box<Expr>,
+    },
+    /// Constant part select `expr[msb:lsb]`.
+    Part {
+        /// Base expression.
+        expr: Box<Expr>,
+        /// Constant MSB.
+        msb: Box<Expr>,
+        /// Constant LSB.
+        lsb: Box<Expr>,
+    },
+    /// Concatenation `{a, b, ...}` (first element is most significant).
+    Concat(Vec<Expr>),
+    /// Replication `{count{expr}}`.
+    Repl {
+        /// Constant repetition count.
+        count: Box<Expr>,
+        /// Replicated expression.
+        expr: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for an unsized decimal literal.
+    pub fn int(value: u64) -> Expr {
+        let width = (64 - value.leading_zeros()).max(1);
+        Expr::Number {
+            size: None,
+            bits: (0..width)
+                .map(|i| {
+                    if (value >> i) & 1 == 1 {
+                        PatBit::One
+                    } else {
+                        PatBit::Zero
+                    }
+                })
+                .collect(),
+        }
+    }
+}

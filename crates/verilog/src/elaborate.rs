@@ -1,0 +1,844 @@
+//! Elaboration: AST → netlist, lowering control flow to muxtrees.
+//!
+//! The structures this pass emits are the raw material of the smaRTLy
+//! optimizations:
+//!
+//! * `if`/`else` becomes a 2-to-1 `mux` per assigned signal;
+//! * `case` becomes, per assigned signal, either a *chain* of
+//!   `eq` + `mux` pairs (the paper's Listing 1 / Fig. 5 shape; default) or
+//!   a single `pmux` ([`CaseLowering::Pmux`]);
+//! * `always @(posedge clk)` wraps the same muxtree machinery in a `dff`,
+//!   with the register's current value as the fall-through leaf.
+
+use crate::ast::*;
+use crate::error::VerilogError;
+use smartly_netlist::{Design, Module, SigBit, SigSpec, TriVal, WireId};
+use std::collections::HashMap;
+
+/// How `case` statements are lowered.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Default)]
+pub enum CaseLowering {
+    /// Priority chain of `eq`+`mux` pairs (Yosys-without-pmux; the shape in
+    /// the paper's Listing 1).
+    #[default]
+    Chain,
+    /// A single parallel `pmux` cell per target.
+    Pmux,
+}
+
+/// Options controlling elaboration.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ElaborateOptions {
+    /// `case` lowering strategy.
+    pub case_lowering: CaseLowering,
+}
+
+/// Elaborates a parsed file into a [`Design`].
+///
+/// # Errors
+///
+/// Returns [`VerilogError::Elaborate`] for unknown identifiers,
+/// non-constant widths, unsupported constructs, and width errors.
+pub fn elaborate(file: &SourceFile, options: &ElaborateOptions) -> Result<Design, VerilogError> {
+    let mut design = Design::new();
+    for m in &file.modules {
+        design.add_module(elaborate_module(m, options)?);
+    }
+    Ok(design)
+}
+
+struct Ctx<'a> {
+    module: Module,
+    names: HashMap<String, (WireId, u32)>,
+    params: HashMap<String, i64>,
+    mod_name: &'a str,
+    options: &'a ElaborateOptions,
+}
+
+impl<'a> Ctx<'a> {
+    fn err(&self, msg: impl Into<String>) -> VerilogError {
+        VerilogError::elab(self.mod_name, msg)
+    }
+
+    fn lookup(&self, name: &str) -> Result<SigSpec, VerilogError> {
+        if let Some(&(w, width)) = self.names.get(name) {
+            return Ok(SigSpec::from_wire(w, width));
+        }
+        if let Some(&v) = self.params.get(name) {
+            return Ok(const_spec(v));
+        }
+        Err(self.err(format!("unknown identifier '{name}'")))
+    }
+
+    fn width_of(&self, name: &str) -> Result<u32, VerilogError> {
+        self.names
+            .get(name)
+            .map(|&(_, w)| w)
+            .ok_or_else(|| self.err(format!("unknown signal '{name}'")))
+    }
+}
+
+fn const_spec(v: i64) -> SigSpec {
+    let width = if v == 0 {
+        1
+    } else {
+        64 - (v as u64).leading_zeros()
+    };
+    SigSpec::const_u64(v as u64, width.max(1))
+}
+
+fn pat_to_sig(bits: &[PatBit]) -> SigSpec {
+    bits.iter()
+        .map(|b| match b {
+            PatBit::Zero => SigBit::Const(TriVal::Zero),
+            PatBit::One => SigBit::Const(TriVal::One),
+            PatBit::X | PatBit::Z => SigBit::Const(TriVal::X),
+        })
+        .collect()
+}
+
+fn const_eval(e: &Expr, params: &HashMap<String, i64>) -> Result<i64, String> {
+    match e {
+        Expr::Number { bits, .. } => {
+            let mut v: i64 = 0;
+            for (i, b) in bits.iter().enumerate() {
+                match b {
+                    PatBit::One => {
+                        if i >= 63 {
+                            return Err("constant too large".into());
+                        }
+                        v |= 1 << i;
+                    }
+                    PatBit::Zero => {}
+                    _ => return Err("x/z in constant expression".into()),
+                }
+            }
+            Ok(v)
+        }
+        Expr::Ident(name) => params
+            .get(name)
+            .copied()
+            .ok_or_else(|| format!("'{name}' is not a parameter")),
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr,
+        } => Ok(-const_eval(expr, params)?),
+        Expr::Binary { op, lhs, rhs } => {
+            let a = const_eval(lhs, params)?;
+            let b = const_eval(rhs, params)?;
+            match op {
+                BinaryOp::Add => Ok(a + b),
+                BinaryOp::Sub => Ok(a - b),
+                BinaryOp::Mul => Ok(a * b),
+                BinaryOp::Shl => Ok(a << b),
+                BinaryOp::Shr => Ok(a >> b),
+                _ => Err(format!("operator {op:?} not allowed in constant expression")),
+            }
+        }
+        _ => Err("unsupported constant expression".into()),
+    }
+}
+
+fn range_width(
+    range: &Option<(Expr, Expr)>,
+    params: &HashMap<String, i64>,
+    mod_name: &str,
+) -> Result<u32, VerilogError> {
+    match range {
+        None => Ok(1),
+        Some((msb, lsb)) => {
+            let m = const_eval(msb, params).map_err(|e| VerilogError::elab(mod_name, e))?;
+            let l = const_eval(lsb, params).map_err(|e| VerilogError::elab(mod_name, e))?;
+            if m < l {
+                return Err(VerilogError::elab(
+                    mod_name,
+                    format!("descending ranges only: [{m}:{l}]"),
+                ));
+            }
+            Ok((m - l + 1) as u32)
+        }
+    }
+}
+
+fn elaborate_module(
+    decl: &ModuleDecl,
+    options: &ElaborateOptions,
+) -> Result<Module, VerilogError> {
+    let mut params: HashMap<String, i64> = HashMap::new();
+    for (name, value) in &decl.params {
+        let v = const_eval(value, &params).map_err(|e| VerilogError::elab(&decl.name, e))?;
+        params.insert(name.clone(), v);
+    }
+
+    let mut module = Module::new(&decl.name);
+    let mut names: HashMap<String, (WireId, u32)> = HashMap::new();
+
+    for p in &decl.ports {
+        let width = range_width(&p.range, &params, &decl.name)?;
+        match p.dir {
+            Dir::Input => {
+                let spec = module.add_input(&p.name, width);
+                let wire = match spec.bit(0) {
+                    SigBit::Wire(w, _) => w,
+                    SigBit::Const(_) => unreachable!("input ports are wires"),
+                };
+                names.insert(p.name.clone(), (wire, width));
+            }
+            Dir::Output => {
+                let wire = module.add_wire(&p.name, width);
+                module.mark_output(wire);
+                names.insert(p.name.clone(), (wire, width));
+            }
+        }
+    }
+    for d in &decl.decls {
+        if names.contains_key(&d.name) {
+            continue; // port redeclaration already merged by the parser
+        }
+        let width = range_width(&d.range, &params, &decl.name)?;
+        let wire = module.add_wire(&d.name, width);
+        names.insert(d.name.clone(), (wire, width));
+    }
+
+    let mut ctx = Ctx {
+        module,
+        names,
+        params,
+        mod_name: &decl.name,
+        options,
+    };
+
+    for item in &decl.items {
+        match item {
+            Item::Assign { lhs, rhs } => {
+                let value = build_expr(&mut ctx, rhs)?;
+                assign_lvalue(&mut ctx, lhs, value)?;
+            }
+            Item::AlwaysComb(stmt) => {
+                let targets = collect_targets(stmt);
+                let mut env: Env = HashMap::new();
+                for t in &targets {
+                    let w = ctx.width_of(t)?;
+                    env.insert(t.clone(), SigSpec::xes(w));
+                }
+                exec_stmt(&mut ctx, stmt, &mut env)?;
+                for (name, value) in env {
+                    let (wire, width) = ctx.names[&name];
+                    ctx.module
+                        .connect(SigSpec::from_wire(wire, width), value.zext(width));
+                }
+            }
+            Item::AlwaysFf { clock, stmt } => {
+                let clk = ctx.lookup(clock)?;
+                if clk.width() != 1 {
+                    return Err(ctx.err(format!("clock '{clock}' must be 1 bit")));
+                }
+                let targets = collect_targets(stmt);
+                let mut env: Env = HashMap::new();
+                for t in &targets {
+                    let (wire, width) = *ctx
+                        .names
+                        .get(t)
+                        .ok_or_else(|| ctx.err(format!("unknown register '{t}'")))?;
+                    // fall-through value of a register is its current state
+                    env.insert(t.clone(), SigSpec::from_wire(wire, width));
+                }
+                exec_stmt(&mut ctx, stmt, &mut env)?;
+                for (name, d) in env {
+                    let (wire, width) = ctx.names[&name];
+                    let q = ctx.module.dff(&clk, &d.zext(width));
+                    ctx.module.connect(SigSpec::from_wire(wire, width), q);
+                }
+            }
+        }
+    }
+
+    Ok(ctx.module)
+}
+
+type Env = HashMap<String, SigSpec>;
+
+fn collect_targets(stmt: &Stmt) -> Vec<String> {
+    fn walk(stmt: &Stmt, out: &mut Vec<String>) {
+        match stmt {
+            Stmt::Block(stmts) => stmts.iter().for_each(|s| walk(s, out)),
+            Stmt::If {
+                then_branch,
+                else_branch,
+                ..
+            } => {
+                walk(then_branch, out);
+                if let Some(e) = else_branch {
+                    walk(e, out);
+                }
+            }
+            Stmt::Case { arms, default, .. } => {
+                arms.iter().for_each(|a| walk(&a.body, out));
+                if let Some(d) = default {
+                    walk(d, out);
+                }
+            }
+            Stmt::Assign { lhs, .. } => {
+                let name = match lhs {
+                    LValue::Ident(n) | LValue::Bit { name: n, .. } | LValue::Part { name: n, .. } => n,
+                };
+                if !out.contains(name) {
+                    out.push(name.clone());
+                }
+            }
+            Stmt::Empty => {}
+        }
+    }
+    let mut out = Vec::new();
+    walk(stmt, &mut out);
+    out
+}
+
+fn assign_lvalue(ctx: &mut Ctx, lhs: &LValue, value: SigSpec) -> Result<(), VerilogError> {
+    match lhs {
+        LValue::Ident(name) => {
+            let (wire, width) = *ctx
+                .names
+                .get(name)
+                .ok_or_else(|| ctx.err(format!("unknown signal '{name}'")))?;
+            ctx.module
+                .connect(SigSpec::from_wire(wire, width), value.zext(width));
+        }
+        LValue::Bit { name, index } => {
+            let (wire, width) = *ctx
+                .names
+                .get(name)
+                .ok_or_else(|| ctx.err(format!("unknown signal '{name}'")))?;
+            let i = const_eval(index, &ctx.params).map_err(|e| ctx.err(e))?;
+            if i < 0 || i as u32 >= width {
+                return Err(ctx.err(format!("bit index {i} out of range for '{name}'")));
+            }
+            ctx.module.connect(
+                SigSpec::from_bit(SigBit::Wire(wire, i as u32)),
+                value.zext(1),
+            );
+        }
+        LValue::Part { name, msb, lsb } => {
+            let (wire, width) = *ctx
+                .names
+                .get(name)
+                .ok_or_else(|| ctx.err(format!("unknown signal '{name}'")))?;
+            let m = const_eval(msb, &ctx.params).map_err(|e| ctx.err(e))?;
+            let l = const_eval(lsb, &ctx.params).map_err(|e| ctx.err(e))?;
+            if l < 0 || m < l || m as u32 >= width {
+                return Err(ctx.err(format!("part select [{m}:{l}] out of range for '{name}'")));
+            }
+            let w = (m - l + 1) as u32;
+            let dst: SigSpec = (l as u32..=m as u32)
+                .map(|i| SigBit::Wire(wire, i))
+                .collect();
+            ctx.module.connect(dst, value.zext(w));
+        }
+    }
+    Ok(())
+}
+
+/// Updates `env[name]` with `value`, splicing for bit/part targets.
+fn env_assign(ctx: &mut Ctx, env: &mut Env, lhs: &LValue, value: SigSpec) -> Result<(), VerilogError> {
+    let (name, lo, len) = match lhs {
+        LValue::Ident(n) => {
+            let w = ctx.width_of(n)?;
+            (n.clone(), 0u32, w)
+        }
+        LValue::Bit { name, index } => {
+            let i = const_eval(index, &ctx.params).map_err(|e| ctx.err(e))?;
+            let w = ctx.width_of(name)?;
+            if i < 0 || i as u32 >= w {
+                return Err(ctx.err(format!("bit index {i} out of range for '{name}'")));
+            }
+            (name.clone(), i as u32, 1)
+        }
+        LValue::Part { name, msb, lsb } => {
+            let m = const_eval(msb, &ctx.params).map_err(|e| ctx.err(e))?;
+            let l = const_eval(lsb, &ctx.params).map_err(|e| ctx.err(e))?;
+            let w = ctx.width_of(name)?;
+            if l < 0 || m < l || m as u32 >= w {
+                return Err(ctx.err(format!("part select [{m}:{l}] out of range for '{name}'")));
+            }
+            (name.clone(), l as u32, (m - l + 1) as u32)
+        }
+    };
+    let cur = env
+        .get(&name)
+        .cloned()
+        .ok_or_else(|| ctx.err(format!("assignment to non-target '{name}'")))?;
+    let value = value.zext(len);
+    let mut bits = cur.into_bits();
+    for k in 0..len as usize {
+        bits[lo as usize + k] = value.bit(k);
+    }
+    env.insert(name, SigSpec::from_bits(bits));
+    Ok(())
+}
+
+fn exec_stmt(ctx: &mut Ctx, stmt: &Stmt, env: &mut Env) -> Result<(), VerilogError> {
+    match stmt {
+        Stmt::Empty => Ok(()),
+        Stmt::Block(stmts) => {
+            for s in stmts {
+                exec_stmt(ctx, s, env)?;
+            }
+            Ok(())
+        }
+        Stmt::Assign { lhs, rhs } => {
+            let value = build_expr(ctx, rhs)?;
+            env_assign(ctx, env, lhs, value)
+        }
+        Stmt::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let c = build_expr(ctx, cond)?;
+            let c = ctx.module.reduce_bool(&c);
+            let mut env_then = env.clone();
+            exec_stmt(ctx, then_branch, &mut env_then)?;
+            let mut env_else = env.clone();
+            if let Some(e) = else_branch {
+                exec_stmt(ctx, e, &mut env_else)?;
+            }
+            for (name, base) in env.iter_mut() {
+                let t = env_then.get(name).cloned().unwrap_or_else(|| base.clone());
+                let e = env_else.get(name).cloned().unwrap_or_else(|| base.clone());
+                if t != e {
+                    // Y = c ? then : else  (mux: S=1 selects B)
+                    *base = ctx.module.mux(&e, &t, &c);
+                } else {
+                    *base = t;
+                }
+            }
+            Ok(())
+        }
+        Stmt::Case {
+            kind,
+            expr,
+            arms,
+            default,
+        } => {
+            let scrut = build_expr(ctx, expr)?;
+            // per-arm match conditions, in priority order
+            let mut conds: Vec<SigSpec> = Vec::with_capacity(arms.len());
+            for arm in arms {
+                let mut arm_cond: Option<SigSpec> = None;
+                for pat in &arm.patterns {
+                    let c = pattern_match(ctx, &scrut, pat, *kind)?;
+                    arm_cond = Some(match arm_cond {
+                        None => c,
+                        Some(prev) => ctx.module.or(&prev, &c),
+                    });
+                }
+                conds.push(arm_cond.expect("arm has at least one pattern"));
+            }
+            // per-arm result environments
+            let mut arm_envs: Vec<Env> = Vec::with_capacity(arms.len());
+            for arm in arms {
+                let mut e = env.clone();
+                exec_stmt(ctx, &arm.body, &mut e)?;
+                arm_envs.push(e);
+            }
+            let mut default_env = env.clone();
+            if let Some(d) = default {
+                exec_stmt(ctx, d, &mut default_env)?;
+            }
+            match ctx.options.case_lowering {
+                CaseLowering::Chain => {
+                    for (name, slot) in env.iter_mut() {
+                        let mut acc = default_env[name].clone();
+                        for (i, arm_env) in arm_envs.iter().enumerate().rev() {
+                            let v = arm_env[name].clone();
+                            if v == acc {
+                                continue;
+                            }
+                            acc = ctx.module.mux(&acc, &v, &conds[i]);
+                        }
+                        *slot = acc;
+                    }
+                }
+                CaseLowering::Pmux => {
+                    for (name, slot) in env.iter_mut() {
+                        let words: Vec<SigSpec> =
+                            arm_envs.iter().map(|e| e[name].clone()).collect();
+                        if words.iter().all(|w| *w == default_env[name]) {
+                            *slot = default_env[name].clone();
+                            continue;
+                        }
+                        let mut sels = SigSpec::new();
+                        for c in &conds {
+                            sels.concat(c);
+                        }
+                        *slot = ctx.module.pmux(&default_env[name], &words, &sels);
+                    }
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Builds the 1-bit match condition for a case pattern.
+fn pattern_match(
+    ctx: &mut Ctx,
+    scrut: &SigSpec,
+    pat: &Expr,
+    kind: CaseKind,
+) -> Result<SigSpec, VerilogError> {
+    if let Expr::Number { bits, .. } = pat {
+        let has_wild = bits
+            .iter()
+            .any(|b| matches!(b, PatBit::Z | PatBit::X));
+        if has_wild || kind == CaseKind::Casez {
+            // compare only non-wildcard bit positions
+            let mut s_bits = SigSpec::new();
+            let mut p_bits = SigSpec::new();
+            for (i, b) in bits.iter().enumerate() {
+                let sig = match b {
+                    PatBit::Zero => SigBit::Const(TriVal::Zero),
+                    PatBit::One => SigBit::Const(TriVal::One),
+                    PatBit::Z | PatBit::X => continue, // wildcard
+                };
+                let sb = if i < scrut.width() {
+                    scrut.bit(i)
+                } else {
+                    SigBit::Const(TriVal::Zero)
+                };
+                s_bits.extend([sb]);
+                p_bits.extend([sig]);
+            }
+            if s_bits.is_empty() {
+                return Ok(SigSpec::const_u64(1, 1)); // all-wildcard: always matches
+            }
+            return Ok(ctx.module.eq(&s_bits, &p_bits));
+        }
+    }
+    let p = build_expr(ctx, pat)?;
+    Ok(ctx.module.eq(scrut, &p))
+}
+
+fn build_expr(ctx: &mut Ctx, expr: &Expr) -> Result<SigSpec, VerilogError> {
+    match expr {
+        Expr::Ident(name) => ctx.lookup(name),
+        Expr::Number { bits, .. } => Ok(pat_to_sig(bits)),
+        Expr::Unary { op, expr } => {
+            let a = build_expr(ctx, expr)?;
+            Ok(match op {
+                UnaryOp::LogicNot => ctx.module.logic_not(&a),
+                UnaryOp::BitNot => ctx.module.not(&a),
+                UnaryOp::Neg => {
+                    let zero = SigSpec::zeros(a.width() as u32);
+                    ctx.module.sub(&zero, &a)
+                }
+                UnaryOp::RedAnd => ctx.module.reduce_and(&a),
+                UnaryOp::RedOr => ctx.module.reduce_or(&a),
+                UnaryOp::RedXor => ctx.module.reduce_xor(&a),
+            })
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let a = build_expr(ctx, lhs)?;
+            let b = build_expr(ctx, rhs)?;
+            Ok(match op {
+                BinaryOp::Add => ctx.module.add(&a, &b),
+                BinaryOp::Sub => ctx.module.sub(&a, &b),
+                BinaryOp::Mul => ctx.module.mul(&a, &b),
+                BinaryOp::And => ctx.module.and(&a, &b),
+                BinaryOp::Or => ctx.module.or(&a, &b),
+                BinaryOp::Xor => ctx.module.xor(&a, &b),
+                BinaryOp::LogicAnd => ctx.module.logic_and(&a, &b),
+                BinaryOp::LogicOr => ctx.module.logic_or(&a, &b),
+                BinaryOp::Eq => ctx.module.eq(&a, &b),
+                BinaryOp::Ne => ctx.module.ne(&a, &b),
+                BinaryOp::Lt => ctx.module.lt(&a, &b),
+                BinaryOp::Le => ctx.module.le(&a, &b),
+                BinaryOp::Gt => ctx.module.gt(&a, &b),
+                BinaryOp::Ge => ctx.module.ge(&a, &b),
+                BinaryOp::Shl => ctx.module.shl(&a, &b),
+                BinaryOp::Shr => ctx.module.shr(&a, &b),
+            })
+        }
+        Expr::Ternary {
+            cond,
+            then_e,
+            else_e,
+        } => {
+            let c = build_expr(ctx, cond)?;
+            let c = ctx.module.reduce_bool(&c);
+            let t = build_expr(ctx, then_e)?;
+            let e = build_expr(ctx, else_e)?;
+            let w = t.width().max(e.width()) as u32;
+            Ok(ctx.module.mux(&e.zext(w), &t.zext(w), &c))
+        }
+        Expr::Index { expr, index } => {
+            let a = build_expr(ctx, expr)?;
+            match const_eval(index, &ctx.params) {
+                Ok(i) => {
+                    if i < 0 || i as usize >= a.width() {
+                        return Err(ctx.err(format!("bit index {i} out of range")));
+                    }
+                    Ok(a.slice(i as usize, 1))
+                }
+                Err(_) => {
+                    // dynamic index: (a >> index)[0]
+                    let idx = build_expr(ctx, index)?;
+                    let shifted = ctx.module.shr(&a, &idx);
+                    Ok(shifted.slice(0, 1))
+                }
+            }
+        }
+        Expr::Part { expr, msb, lsb } => {
+            let a = build_expr(ctx, expr)?;
+            let m = const_eval(msb, &ctx.params).map_err(|e| ctx.err(e))?;
+            let l = const_eval(lsb, &ctx.params).map_err(|e| ctx.err(e))?;
+            if l < 0 || m < l || m as usize >= a.width() {
+                return Err(ctx.err(format!("part select [{m}:{l}] out of range")));
+            }
+            Ok(a.slice(l as usize, (m - l + 1) as usize))
+        }
+        Expr::Concat(parts) => {
+            // source order is MSB-first; SigSpec is LSB-first
+            let mut out = SigSpec::new();
+            for p in parts.iter().rev() {
+                let s = build_expr(ctx, p)?;
+                out.concat(&s);
+            }
+            Ok(out)
+        }
+        Expr::Repl { count, expr } => {
+            let n = const_eval(count, &ctx.params).map_err(|e| ctx.err(e))?;
+            if n < 0 || n > 4096 {
+                return Err(ctx.err(format!("bad replication count {n}")));
+            }
+            let s = build_expr(ctx, expr)?;
+            let mut out = SigSpec::new();
+            for _ in 0..n {
+                out.concat(&s);
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn compile(src: &str) -> Module {
+        let file = parse(src).unwrap();
+        elaborate(&file, &ElaborateOptions::default())
+            .unwrap()
+            .into_top()
+            .unwrap()
+    }
+
+    fn compile_pmux(src: &str) -> Module {
+        let file = parse(src).unwrap();
+        elaborate(
+            &file,
+            &ElaborateOptions {
+                case_lowering: CaseLowering::Pmux,
+            },
+        )
+        .unwrap()
+        .into_top()
+        .unwrap()
+    }
+
+    #[test]
+    fn assign_makes_cells() {
+        let m = compile(
+            "module m(input [3:0] a, input [3:0] b, output [3:0] y); assign y = a & b; endmodule",
+        );
+        assert_eq!(m.stats().count("and"), 1);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn if_else_makes_one_mux_per_target() {
+        let m = compile(
+            "module m(input s, input [3:0] a, input [3:0] b, output reg [3:0] y);
+             always @(*) begin
+               if (s) y = a; else y = b;
+             end endmodule",
+        );
+        assert_eq!(m.stats().count("mux"), 1);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn nested_if_makes_mux_tree() {
+        let m = compile(
+            "module m(input s, input r, input [3:0] a, input [3:0] b, input [3:0] c,
+                      output reg [3:0] y);
+             always @(*) begin
+               if (s) begin
+                 if (r) y = a; else y = b;
+               end else y = c;
+             end endmodule",
+        );
+        assert_eq!(m.stats().count("mux"), 2);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn case_chain_shape_listing1() {
+        // the paper's Listing 1: 3 eq + 3 mux in a chain
+        let m = compile(
+            "module m(input [1:0] s, input [7:0] p0, input [7:0] p1, input [7:0] p2,
+                      input [7:0] p3, output reg [7:0] y);
+             always @(*) begin
+               case (s)
+                 2'b00: y = p0;
+                 2'b01: y = p1;
+                 2'b10: y = p2;
+                 default: y = p3;
+               endcase
+             end endmodule",
+        );
+        assert_eq!(m.stats().count("mux"), 3);
+        assert_eq!(m.stats().count("eq"), 3);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn case_pmux_shape() {
+        let m = compile_pmux(
+            "module m(input [1:0] s, input [7:0] p0, input [7:0] p1, input [7:0] p2,
+                      input [7:0] p3, output reg [7:0] y);
+             always @(*) begin
+               case (s)
+                 2'b00: y = p0;
+                 2'b01: y = p1;
+                 2'b10: y = p2;
+                 default: y = p3;
+               endcase
+             end endmodule",
+        );
+        assert_eq!(m.stats().count("pmux"), 1);
+        assert_eq!(m.stats().count("eq"), 3);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn casez_wildcards_compare_fewer_bits() {
+        // Listing 2 shape: 3'b1zz compares only bit 2
+        let m = compile(
+            "module m(input [2:0] s, input [3:0] p0, input [3:0] p1, input [3:0] p2,
+                      input [3:0] p3, output reg [3:0] y);
+             always @(*) begin
+               casez (s)
+                 3'b1zz: y = p0;
+                 3'b01z: y = p1;
+                 3'b001: y = p2;
+                 default: y = p3;
+               endcase
+             end endmodule",
+        );
+        assert_eq!(m.stats().count("mux"), 3);
+        // every eq compares a truncated slice
+        for (_, cell) in m.cells() {
+            if cell.kind == smartly_netlist::CellKind::Eq {
+                assert!(cell.port(smartly_netlist::Port::A).unwrap().width() <= 3);
+            }
+        }
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn posedge_makes_dff_with_feedback() {
+        let m = compile(
+            "module m(input clk, input en, input [3:0] d, output reg [3:0] q);
+             always @(posedge clk) begin
+               if (en) q <= d;
+             end endmodule",
+        );
+        assert_eq!(m.stats().count("dff"), 1);
+        assert_eq!(m.stats().count("mux"), 1);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn parameters_resolve_widths() {
+        let m = compile(
+            "module m #(parameter W = 8) (input [W-1:0] a, output [W-1:0] y);
+             assign y = a + 1; endmodule",
+        );
+        let a_wire = m.find_wire("a").unwrap();
+        assert_eq!(m.wire(a_wire).width, 8);
+    }
+
+    #[test]
+    fn concat_and_replication_widths() {
+        let m = compile(
+            "module m(input [1:0] a, output [5:0] y); assign y = {a, {2{a}}}; endmodule",
+        );
+        let y = m.find_wire("y").unwrap();
+        assert_eq!(m.wire(y).width, 6);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn dynamic_index_makes_shift() {
+        let m = compile(
+            "module m(input [7:0] a, input [2:0] i, output y); assign y = a[i]; endmodule",
+        );
+        assert_eq!(m.stats().count("shr"), 1);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_ident_errors() {
+        let file = parse("module m(output y); assign y = nope; endmodule").unwrap();
+        assert!(matches!(
+            elaborate(&file, &ElaborateOptions::default()),
+            Err(VerilogError::Elaborate { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_select_errors() {
+        let file =
+            parse("module m(input [3:0] a, output y); assign y = a[9]; endmodule").unwrap();
+        assert!(elaborate(&file, &ElaborateOptions::default()).is_err());
+    }
+
+    #[test]
+    fn multi_target_case_shares_conditions() {
+        let m = compile(
+            "module m(input [1:0] s, input [3:0] a, input [3:0] b,
+                      output reg [3:0] x, output reg [3:0] y);
+             always @(*) begin
+               x = 4'd0; y = 4'd0;
+               case (s)
+                 2'b00: begin x = a; y = b; end
+                 2'b01: x = b;
+                 default: y = a;
+               endcase
+             end endmodule",
+        );
+        // conditions (eq cells) are built once per arm, not per target
+        assert_eq!(m.stats().count("eq"), 2);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn bit_and_part_lvalues_in_always() {
+        let m = compile(
+            "module m(input s, input [3:0] a, output reg [3:0] y);
+             always @(*) begin
+               y = 4'b0000;
+               y[0] = s;
+               if (s) y[3:2] = a[1:0];
+             end endmodule",
+        );
+        m.validate().unwrap();
+        // the if merges only the sliced bits: a 2-bit mux
+        let mux = m
+            .cells()
+            .find(|(_, c)| c.kind == smartly_netlist::CellKind::Mux);
+        assert!(mux.is_some());
+    }
+}

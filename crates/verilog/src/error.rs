@@ -1,0 +1,70 @@
+//! Frontend error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from lexing, parsing or elaborating Verilog source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerilogError {
+    /// An unexpected character or malformed literal.
+    Lex {
+        /// 1-based line number.
+        line: u32,
+        /// Explanation.
+        message: String,
+    },
+    /// A syntax error.
+    Parse {
+        /// 1-based line number.
+        line: u32,
+        /// Explanation.
+        message: String,
+    },
+    /// A semantic error found during elaboration.
+    Elaborate {
+        /// Module being elaborated.
+        module: String,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl VerilogError {
+    pub(crate) fn lex(line: u32, message: impl Into<String>) -> Self {
+        VerilogError::Lex {
+            line,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn parse(line: u32, message: impl Into<String>) -> Self {
+        VerilogError::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn elab(module: impl Into<String>, message: impl Into<String>) -> Self {
+        VerilogError::Elaborate {
+            module: module.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for VerilogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerilogError::Lex { line, message } => write!(f, "lex error at line {line}: {message}"),
+            VerilogError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            VerilogError::Elaborate { module, message } => {
+                write!(f, "elaboration error in module {module}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for VerilogError {}

@@ -1,0 +1,516 @@
+//! Hand-written Verilog lexer.
+
+use crate::error::VerilogError;
+
+/// A pattern bit in a literal: `0`, `1`, `x` (unknown) or `z` (wildcard in
+/// `casez` patterns, unknown elsewhere).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PatBit {
+    /// Logic 0.
+    Zero,
+    /// Logic 1.
+    One,
+    /// Unknown.
+    X,
+    /// High-impedance / `casez` wildcard.
+    Z,
+}
+
+/// Token kinds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier (including escaped identifiers).
+    Ident(String),
+    /// A number literal: optional size, base, bits (MSB-first as parsed,
+    /// stored LSB-first), e.g. `4'b10x0`. Plain decimals get `size: None`.
+    Number {
+        /// Explicit size in bits, if given.
+        size: Option<u32>,
+        /// LSB-first bit pattern.
+        bits: Vec<PatBit>,
+        /// Original value when it fits in u64 and has no x/z digits.
+        value: Option<u64>,
+    },
+    /// Keyword (lowercase reserved word).
+    Keyword(&'static str),
+    /// Punctuation or operator.
+    Sym(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// What was read.
+    pub kind: TokenKind,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+const KEYWORDS: &[&str] = &[
+    "module", "endmodule", "input", "output", "inout", "wire", "reg", "assign", "always",
+    "begin", "end", "if", "else", "case", "casez", "casex", "endcase", "default", "posedge",
+    "negedge", "or", "parameter", "localparam", "integer", "initial",
+];
+
+/// Streaming lexer over Verilog source.
+#[derive(Debug)]
+pub struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    /// Creates a lexer over `source`.
+    pub fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    /// Lexes the whole input into a token vector (ending with `Eof`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VerilogError::Lex`] on malformed input.
+    pub fn tokenize(mut self) -> Result<Vec<Token>, VerilogError> {
+        let mut out = Vec::new();
+        loop {
+            let t = self.next_token()?;
+            let eof = t.kind == TokenKind::Eof;
+            out.push(t);
+            if eof {
+                return Ok(out);
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek();
+        if c == Some(b'\n') {
+            self.line += 1;
+        }
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), VerilogError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start_line = self.line;
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.peek() {
+                            None => {
+                                return Err(VerilogError::lex(
+                                    start_line,
+                                    "unterminated block comment",
+                                ))
+                            }
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.bump();
+                                self.bump();
+                                break;
+                            }
+                            _ => {
+                                self.bump();
+                            }
+                        }
+                    }
+                }
+                // compiler directives: skip to end of line
+                Some(b'`') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self) -> Result<Token, VerilogError> {
+        self.skip_trivia()?;
+        let line = self.line;
+        let c = match self.peek() {
+            None => {
+                return Ok(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                })
+            }
+            Some(c) => c,
+        };
+        if c.is_ascii_alphabetic() || c == b'_' || c == b'\\' {
+            return Ok(Token {
+                kind: self.lex_ident()?,
+                line,
+            });
+        }
+        if c.is_ascii_digit() || (c == b'\'' && self.peek2().is_some()) {
+            return Ok(Token {
+                kind: self.lex_number()?,
+                line,
+            });
+        }
+        let kind = self.lex_symbol(line)?;
+        Ok(Token { kind, line })
+    }
+
+    fn lex_ident(&mut self) -> Result<TokenKind, VerilogError> {
+        let mut s = String::new();
+        if self.peek() == Some(b'\\') {
+            // escaped identifier: up to whitespace
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_whitespace() {
+                    break;
+                }
+                s.push(c as char);
+                self.bump();
+            }
+            return Ok(TokenKind::Ident(s));
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'$' {
+                s.push(c as char);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if let Some(kw) = KEYWORDS.iter().find(|&&k| k == s) {
+            Ok(TokenKind::Keyword(kw))
+        } else {
+            Ok(TokenKind::Ident(s))
+        }
+    }
+
+    fn lex_number(&mut self) -> Result<TokenKind, VerilogError> {
+        let line = self.line;
+        // leading decimal digits: either a plain decimal or the size prefix
+        let mut digits = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == b'_' {
+                if c != b'_' {
+                    digits.push(c as char);
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // skip whitespace between size and base (legal in Verilog)
+        let save = (self.pos, self.line);
+        while self.peek().is_some_and(|c| c == b' ' || c == b'\t') {
+            self.bump();
+        }
+        if self.peek() != Some(b'\'') {
+            (self.pos, self.line) = save;
+            // plain decimal
+            let value: u64 = digits
+                .parse()
+                .map_err(|_| VerilogError::lex(line, format!("bad decimal '{digits}'")))?;
+            let width = 32.max(64 - value.leading_zeros()).min(64);
+            let bits = (0..width)
+                .map(|i| {
+                    if (value >> i) & 1 == 1 {
+                        PatBit::One
+                    } else {
+                        PatBit::Zero
+                    }
+                })
+                .collect();
+            return Ok(TokenKind::Number {
+                size: None,
+                bits,
+                value: Some(value),
+            });
+        }
+        self.bump(); // '
+        let size: Option<u32> = if digits.is_empty() {
+            None
+        } else {
+            Some(
+                digits
+                    .parse()
+                    .map_err(|_| VerilogError::lex(line, format!("bad size '{digits}'")))?,
+            )
+        };
+        let base = self
+            .bump()
+            .ok_or_else(|| VerilogError::lex(line, "missing base after '"))?
+            .to_ascii_lowercase();
+        let mut body = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == b'_' || c == b'?' {
+                if c != b'_' {
+                    body.push((c as char).to_ascii_lowercase());
+                }
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if body.is_empty() {
+            return Err(VerilogError::lex(line, "empty number body"));
+        }
+        // msb-first pattern bits
+        let mut msb: Vec<PatBit> = Vec::new();
+        let push_digit = |msb: &mut Vec<PatBit>, v: u32, nbits: u32| {
+            for i in (0..nbits).rev() {
+                msb.push(if (v >> i) & 1 == 1 {
+                    PatBit::One
+                } else {
+                    PatBit::Zero
+                });
+            }
+        };
+        match base {
+            b'b' | b'o' | b'h' => {
+                let nbits = match base {
+                    b'b' => 1,
+                    b'o' => 3,
+                    _ => 4,
+                };
+                for ch in body.chars() {
+                    match ch {
+                        'x' => msb.extend(std::iter::repeat(PatBit::X).take(nbits as usize)),
+                        'z' | '?' => {
+                            msb.extend(std::iter::repeat(PatBit::Z).take(nbits as usize))
+                        }
+                        _ => {
+                            let v = ch.to_digit(1 << nbits).ok_or_else(|| {
+                                VerilogError::lex(line, format!("bad digit '{ch}'"))
+                            })?;
+                            push_digit(&mut msb, v, nbits);
+                        }
+                    }
+                }
+            }
+            b'd' => {
+                let value: u64 = body
+                    .parse()
+                    .map_err(|_| VerilogError::lex(line, format!("bad decimal '{body}'")))?;
+                let width = 64 - value.leading_zeros().min(63);
+                push_digit(&mut msb, 0, 0);
+                for i in (0..width.max(1)).rev() {
+                    msb.push(if (value >> i) & 1 == 1 {
+                        PatBit::One
+                    } else {
+                        PatBit::Zero
+                    });
+                }
+            }
+            _ => return Err(VerilogError::lex(line, format!("bad base '{}'", base as char))),
+        }
+        // size adjust: MSB-first → resize → LSB-first
+        let mut lsb: Vec<PatBit> = msb.into_iter().rev().collect();
+        if let Some(sz) = size {
+            // extend with 0 (or x/z if the MSB is x/z, per the standard)
+            let ext = match lsb.last() {
+                Some(PatBit::X) => PatBit::X,
+                Some(PatBit::Z) => PatBit::Z,
+                _ => PatBit::Zero,
+            };
+            lsb.resize(sz as usize, ext);
+        }
+        let value = if lsb
+            .iter()
+            .all(|b| matches!(b, PatBit::Zero | PatBit::One))
+            && lsb.len() <= 64
+        {
+            let mut v = 0u64;
+            for (i, b) in lsb.iter().enumerate() {
+                if *b == PatBit::One {
+                    v |= 1 << i;
+                }
+            }
+            Some(v)
+        } else {
+            None
+        };
+        Ok(TokenKind::Number {
+            size,
+            bits: lsb,
+            value,
+        })
+    }
+
+    fn lex_symbol(&mut self, line: u32) -> Result<TokenKind, VerilogError> {
+        const TWO: &[&str] = &[
+            "&&", "||", "==", "!=", "<=", ">=", "<<", ">>", "=>", "+:", "-:",
+        ];
+        let c1 = self.bump().expect("checked by caller") as char;
+        if let Some(c2) = self.peek() {
+            let pair = [c1 as u8, c2];
+            let pair_str = std::str::from_utf8(&pair).unwrap_or("");
+            if let Some(sym) = TWO.iter().find(|&&s| s == pair_str) {
+                self.bump();
+                return Ok(TokenKind::Sym(sym));
+            }
+        }
+        const ONE: &[&str] = &[
+            "(", ")", "[", "]", "{", "}", ";", ",", ":", "?", "=", "+", "-", "*", "/", "%", "&",
+            "|", "^", "~", "!", "<", ">", "@", "#", ".",
+        ];
+        let s = c1.to_string();
+        if let Some(sym) = ONE.iter().find(|&&o| o == s) {
+            Ok(TokenKind::Sym(sym))
+        } else {
+            Err(VerilogError::lex(line, format!("unexpected character '{c1}'")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn idents_and_keywords() {
+        let ks = kinds("module foo_1 ba$r endmodule");
+        assert_eq!(ks[0], TokenKind::Keyword("module"));
+        assert_eq!(ks[1], TokenKind::Ident("foo_1".into()));
+        // $ continues an identifier after a start character
+        assert_eq!(ks[2], TokenKind::Ident("ba$r".into()));
+        assert_eq!(ks.last(), Some(&TokenKind::Eof));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("a // line\n /* block\n comment */ b");
+        assert_eq!(ks[0], TokenKind::Ident("a".into()));
+        assert_eq!(ks[1], TokenKind::Ident("b".into()));
+    }
+
+    #[test]
+    fn sized_binary_literal() {
+        let ks = kinds("4'b10x0");
+        match &ks[0] {
+            TokenKind::Number { size, bits, value } => {
+                assert_eq!(*size, Some(4));
+                assert_eq!(
+                    bits,
+                    &vec![PatBit::Zero, PatBit::X, PatBit::Zero, PatBit::One]
+                );
+                assert_eq!(*value, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn casez_wildcard_literal() {
+        let ks = kinds("3'b1zz");
+        match &ks[0] {
+            TokenKind::Number { bits, .. } => {
+                assert_eq!(bits, &vec![PatBit::Z, PatBit::Z, PatBit::One]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hex_and_decimal() {
+        let ks = kinds("8'hff 2'd3 13");
+        match &ks[0] {
+            TokenKind::Number { size, value, .. } => {
+                assert_eq!(*size, Some(8));
+                assert_eq!(*value, Some(255));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &ks[1] {
+            TokenKind::Number { value, .. } => assert_eq!(*value, Some(3)),
+            other => panic!("unexpected {other:?}"),
+        }
+        match &ks[2] {
+            TokenKind::Number { size, value, .. } => {
+                assert_eq!(*size, None);
+                assert_eq!(*value, Some(13));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn operators() {
+        let ks = kinds("a && b || !c == d <= e << 2");
+        let syms: Vec<&str> = ks
+            .iter()
+            .filter_map(|k| match k {
+                TokenKind::Sym(s) => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syms, vec!["&&", "||", "!", "==", "<=", "<<"]);
+    }
+
+    #[test]
+    fn truncating_size() {
+        // 2'd7 must truncate to 2 bits = 3
+        let ks = kinds("2'd7");
+        match &ks[0] {
+            TokenKind::Number { bits, value, .. } => {
+                assert_eq!(bits.len(), 2);
+                assert_eq!(*value, Some(3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn underscores_in_literals() {
+        let ks = kinds("16'b1010_1010_1010_1010");
+        match &ks[0] {
+            TokenKind::Number { value, .. } => assert_eq!(*value, Some(0xAAAA)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn directives_skipped() {
+        let ks = kinds("`timescale 1ns/1ps\nmodule");
+        assert_eq!(ks[0], TokenKind::Keyword("module"));
+    }
+
+    #[test]
+    fn bad_char_errors() {
+        assert!(Lexer::new("\"str\"").tokenize().is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! A Verilog-2001 subset frontend: lexer, parser and elaborator.
+//!
+//! The smaRTLy paper operates on netlists produced from RTL `if`/`case`
+//! statements, so the frontend's job is to *generate the muxtrees* the
+//! optimizer consumes — the moral equivalent of Yosys' `read_verilog` +
+//! `proc`. The reproduction bands note that RTL-parsing crates are thin,
+//! so this is a from-scratch implementation.
+//!
+//! Supported subset:
+//!
+//! * `module`/`endmodule` with ANSI or classic port declarations;
+//! * `wire`/`reg` declarations with ranges, `parameter`/`localparam`;
+//! * continuous `assign`;
+//! * `always @(*)` (combinational) and `always @(posedge clk)`
+//!   (sequential) with `begin/end`, `if`/`else`, `case`/`casez`,
+//!   blocking and non-blocking assignments;
+//! * expressions: `?:`, `||`, `&&`, `|`, `^`, `&`, equality, relational,
+//!   shifts, add/sub/mul, unary `! ~ & | ^ -`, bit-select, part-select,
+//!   concatenation and replication, sized/based literals with `x`/`z`
+//!   digits.
+//!
+//! Not supported (documented substitution in `DESIGN.md`): module
+//! instantiation, generate blocks, functions/tasks, signed arithmetic.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//! module mux2 (input wire [7:0] a, input wire [7:0] b,
+//!              input wire s, output wire [7:0] y);
+//!   assign y = s ? a : b;
+//! endmodule
+//! "#;
+//! let design = smartly_verilog::compile(src)?;
+//! let m = design.top().expect("one module");
+//! assert_eq!(m.stats().count("mux"), 1);
+//! # Ok::<(), smartly_verilog::VerilogError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod elaborate;
+mod emit;
+mod error;
+mod lexer;
+mod parser;
+
+pub use elaborate::{elaborate, CaseLowering, ElaborateOptions};
+pub use emit::emit_verilog;
+pub use error::VerilogError;
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::parse;
+
+use smartly_netlist::Design;
+
+/// Parses and elaborates `source` with default options.
+///
+/// # Errors
+///
+/// Returns [`VerilogError`] on lexical, syntactic or elaboration problems
+/// (unknown identifiers, width errors, unsupported constructs).
+pub fn compile(source: &str) -> Result<Design, VerilogError> {
+    let file = parse(source)?;
+    elaborate(&file, &ElaborateOptions::default())
+}
+
+/// Parses and elaborates with explicit [`ElaborateOptions`].
+///
+/// # Errors
+///
+/// Same conditions as [`compile`].
+pub fn compile_with(source: &str, options: &ElaborateOptions) -> Result<Design, VerilogError> {
+    let file = parse(source)?;
+    elaborate(&file, options)
+}

@@ -1,0 +1,753 @@
+//! Recursive-descent parser for the Verilog subset.
+
+use crate::ast::*;
+use crate::error::VerilogError;
+use crate::lexer::{Lexer, Token, TokenKind};
+
+/// Parses a source file.
+///
+/// # Errors
+///
+/// Returns [`VerilogError::Lex`] or [`VerilogError::Parse`].
+pub fn parse(source: &str) -> Result<SourceFile, VerilogError> {
+    let tokens = Lexer::new(source).tokenize()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let mut modules = Vec::new();
+    while !p.at_eof() {
+        modules.push(p.module()?);
+    }
+    if modules.is_empty() {
+        return Err(VerilogError::parse(1, "no modules in source"));
+    }
+    Ok(SourceFile { modules })
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos.min(self.tokens.len() - 1)].line
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), TokenKind::Eof)
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> VerilogError {
+        VerilogError::parse(self.line(), msg.into())
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Sym(x) if *x == s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), VerilogError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{s}', found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_kw(&mut self, k: &str) -> bool {
+        if matches!(self.peek(), TokenKind::Keyword(x) if *x == k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, k: &str) -> Result<(), VerilogError> {
+        if self.eat_kw(k) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword '{k}', found {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, VerilogError> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    // ------------------------------------------------------------- modules
+
+    fn module(&mut self) -> Result<ModuleDecl, VerilogError> {
+        self.expect_kw("module")?;
+        let name = self.ident()?;
+        let mut ports: Vec<PortDecl> = Vec::new();
+        let mut params: Vec<(String, Expr)> = Vec::new();
+        let mut header_names: Vec<String> = Vec::new();
+
+        // #(parameter N = 8, ...)
+        if self.eat_sym("#") {
+            self.expect_sym("(")?;
+            loop {
+                self.eat_kw("parameter");
+                let pname = self.ident()?;
+                self.expect_sym("=")?;
+                let value = self.expr()?;
+                params.push((pname, value));
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+            self.expect_sym(")")?;
+        }
+
+        if self.eat_sym("(") {
+            if !matches!(self.peek(), TokenKind::Sym(")")) {
+                self.port_list(&mut ports, &mut header_names)?;
+            }
+            self.expect_sym(")")?;
+        }
+        self.expect_sym(";")?;
+
+        let mut decls: Vec<NetDecl> = Vec::new();
+        let mut items: Vec<Item> = Vec::new();
+
+        loop {
+            match self.peek().clone() {
+                TokenKind::Keyword("endmodule") => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::Keyword("parameter") | TokenKind::Keyword("localparam") => {
+                    self.bump();
+                    loop {
+                        let pname = self.ident()?;
+                        self.expect_sym("=")?;
+                        let value = self.expr()?;
+                        params.push((pname, value));
+                        if !self.eat_sym(",") {
+                            break;
+                        }
+                    }
+                    self.expect_sym(";")?;
+                }
+                TokenKind::Keyword(dir @ ("input" | "output")) => {
+                    self.bump();
+                    let d = if dir == "input" { Dir::Input } else { Dir::Output };
+                    let is_reg = self.eat_kw("reg");
+                    self.eat_kw("wire");
+                    let range = self.opt_range()?;
+                    loop {
+                        let pname = self.ident()?;
+                        self.merge_port(&mut ports, &header_names, pname, d, &range, is_reg)?;
+                        if !self.eat_sym(",") {
+                            break;
+                        }
+                    }
+                    self.expect_sym(";")?;
+                }
+                TokenKind::Keyword(kw @ ("wire" | "reg")) => {
+                    self.bump();
+                    let is_reg = kw == "reg";
+                    let range = self.opt_range()?;
+                    loop {
+                        let nname = self.ident()?;
+                        // `reg` re-declaration of an output port only sets its flag
+                        if let Some(p) = ports.iter_mut().find(|p| p.name == nname) {
+                            p.is_reg |= is_reg;
+                            if p.range.is_none() {
+                                p.range.clone_from(&range);
+                            }
+                        } else {
+                            decls.push(NetDecl {
+                                name: nname.clone(),
+                                range: range.clone(),
+                                is_reg,
+                            });
+                        }
+                        // net initializer: `wire x = expr;` is sugar for a
+                        // declaration plus a continuous assign
+                        if self.eat_sym("=") {
+                            let rhs = self.expr()?;
+                            items.push(Item::Assign {
+                                lhs: LValue::Ident(nname),
+                                rhs,
+                            });
+                        }
+                        if !self.eat_sym(",") {
+                            break;
+                        }
+                    }
+                    self.expect_sym(";")?;
+                }
+                TokenKind::Keyword("integer") => {
+                    // tolerated but ignored: skip to ';'
+                    self.bump();
+                    while !matches!(self.peek(), TokenKind::Sym(";") | TokenKind::Eof) {
+                        self.bump();
+                    }
+                    self.expect_sym(";")?;
+                }
+                TokenKind::Keyword("assign") => {
+                    self.bump();
+                    loop {
+                        let lhs = self.lvalue()?;
+                        self.expect_sym("=")?;
+                        let rhs = self.expr()?;
+                        items.push(Item::Assign { lhs, rhs });
+                        if !self.eat_sym(",") {
+                            break;
+                        }
+                    }
+                    self.expect_sym(";")?;
+                }
+                TokenKind::Keyword("always") => {
+                    self.bump();
+                    items.push(self.always()?);
+                }
+                other => {
+                    return Err(self.err(format!("unexpected token in module body: {other:?}")))
+                }
+            }
+        }
+
+        Ok(ModuleDecl {
+            name,
+            ports,
+            params,
+            decls,
+            items,
+        })
+    }
+
+    /// Parses the header port list — either ANSI declarations or plain names.
+    fn port_list(
+        &mut self,
+        ports: &mut Vec<PortDecl>,
+        header_names: &mut Vec<String>,
+    ) -> Result<(), VerilogError> {
+        let mut cur_dir: Option<Dir> = None;
+        let mut cur_range: Option<(Expr, Expr)> = None;
+        let mut cur_reg = false;
+        loop {
+            match self.peek().clone() {
+                TokenKind::Keyword(d @ ("input" | "output")) => {
+                    self.bump();
+                    cur_dir = Some(if d == "input" { Dir::Input } else { Dir::Output });
+                    cur_reg = self.eat_kw("reg");
+                    self.eat_kw("wire");
+                    cur_range = self.opt_range()?;
+                    let name = self.ident()?;
+                    ports.push(PortDecl {
+                        name,
+                        dir: cur_dir.expect("just set"),
+                        range: cur_range.clone(),
+                        is_reg: cur_reg,
+                    });
+                }
+                TokenKind::Ident(_) => {
+                    let name = self.ident()?;
+                    match cur_dir {
+                        Some(d) => ports.push(PortDecl {
+                            name,
+                            dir: d,
+                            range: cur_range.clone(),
+                            is_reg: cur_reg,
+                        }),
+                        None => header_names.push(name), // classic style
+                    }
+                }
+                other => return Err(self.err(format!("bad port declaration: {other:?}"))),
+            }
+            if !self.eat_sym(",") {
+                return Ok(());
+            }
+        }
+    }
+
+    fn merge_port(
+        &self,
+        ports: &mut Vec<PortDecl>,
+        header_names: &[String],
+        name: String,
+        dir: Dir,
+        range: &Option<(Expr, Expr)>,
+        is_reg: bool,
+    ) -> Result<(), VerilogError> {
+        if let Some(p) = ports.iter_mut().find(|p| p.name == name) {
+            p.dir = dir;
+            p.is_reg |= is_reg;
+            if p.range.is_none() {
+                p.range.clone_from(range);
+            }
+            return Ok(());
+        }
+        if !header_names.contains(&name) {
+            return Err(self.err(format!("port '{name}' not in module header")));
+        }
+        ports.push(PortDecl {
+            name,
+            dir,
+            range: range.clone(),
+            is_reg,
+        });
+        Ok(())
+    }
+
+    fn opt_range(&mut self) -> Result<Option<(Expr, Expr)>, VerilogError> {
+        if self.eat_sym("[") {
+            let msb = self.expr()?;
+            self.expect_sym(":")?;
+            let lsb = self.expr()?;
+            self.expect_sym("]")?;
+            Ok(Some((msb, lsb)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    // -------------------------------------------------------------- always
+
+    fn always(&mut self) -> Result<Item, VerilogError> {
+        self.expect_sym("@")?;
+        let mut clock: Option<String> = None;
+        let mut combinational = false;
+        if self.eat_sym("*") {
+            combinational = true;
+        } else {
+            self.expect_sym("(")?;
+            if self.eat_sym("*") {
+                combinational = true;
+            } else {
+                loop {
+                    if self.eat_kw("posedge") {
+                        let c = self.ident()?;
+                        if clock.is_some() {
+                            return Err(self.err("multiple posedge clocks unsupported"));
+                        }
+                        clock = Some(c);
+                    } else if self.eat_kw("negedge") {
+                        return Err(self.err("negedge clocking unsupported"));
+                    } else {
+                        let _signal = self.ident()?;
+                        combinational = true;
+                    }
+                    if !(self.eat_kw("or") || self.eat_sym(",")) {
+                        break;
+                    }
+                }
+            }
+            self.expect_sym(")")?;
+        }
+        let stmt = self.stmt()?;
+        match (clock, combinational) {
+            (Some(c), false) => Ok(Item::AlwaysFf { clock: c, stmt }),
+            (None, _) => Ok(Item::AlwaysComb(stmt)),
+            (Some(_), true) => Err(self.err("mixed posedge and level sensitivity unsupported")),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, VerilogError> {
+        match self.peek().clone() {
+            TokenKind::Keyword("begin") => {
+                self.bump();
+                let mut stmts = Vec::new();
+                while !self.eat_kw("end") {
+                    if self.at_eof() {
+                        return Err(self.err("unterminated begin/end block"));
+                    }
+                    stmts.push(self.stmt()?);
+                }
+                Ok(Stmt::Block(stmts))
+            }
+            TokenKind::Keyword("if") => {
+                self.bump();
+                self.expect_sym("(")?;
+                let cond = self.expr()?;
+                self.expect_sym(")")?;
+                let then_branch = Box::new(self.stmt()?);
+                let else_branch = if self.eat_kw("else") {
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                })
+            }
+            TokenKind::Keyword(kw @ ("case" | "casez" | "casex")) => {
+                self.bump();
+                let kind = if kw == "case" {
+                    CaseKind::Plain
+                } else {
+                    // casex treated as casez (x/z both wildcard)
+                    CaseKind::Casez
+                };
+                self.expect_sym("(")?;
+                let expr = self.expr()?;
+                self.expect_sym(")")?;
+                let mut arms = Vec::new();
+                let mut default = None;
+                loop {
+                    if self.eat_kw("endcase") {
+                        break;
+                    }
+                    if self.at_eof() {
+                        return Err(self.err("unterminated case"));
+                    }
+                    if self.eat_kw("default") {
+                        self.eat_sym(":");
+                        default = Some(Box::new(self.stmt()?));
+                        continue;
+                    }
+                    let mut patterns = vec![self.expr()?];
+                    while self.eat_sym(",") {
+                        patterns.push(self.expr()?);
+                    }
+                    self.expect_sym(":")?;
+                    let body = self.stmt()?;
+                    arms.push(CaseArm { patterns, body });
+                }
+                Ok(Stmt::Case {
+                    kind,
+                    expr,
+                    arms,
+                    default,
+                })
+            }
+            TokenKind::Sym(";") => {
+                self.bump();
+                Ok(Stmt::Empty)
+            }
+            _ => {
+                let lhs = self.lvalue()?;
+                // '=' or '<='
+                if !self.eat_sym("=") && !self.eat_sym("<=") {
+                    return Err(self.err("expected '=' or '<=' in assignment"));
+                }
+                let rhs = self.expr()?;
+                self.expect_sym(";")?;
+                Ok(Stmt::Assign { lhs, rhs })
+            }
+        }
+    }
+
+    fn lvalue(&mut self) -> Result<LValue, VerilogError> {
+        let name = self.ident()?;
+        if self.eat_sym("[") {
+            let first = self.expr()?;
+            if self.eat_sym(":") {
+                let lsb = self.expr()?;
+                self.expect_sym("]")?;
+                Ok(LValue::Part {
+                    name,
+                    msb: first,
+                    lsb,
+                })
+            } else {
+                self.expect_sym("]")?;
+                Ok(LValue::Bit { name, index: first })
+            }
+        } else {
+            Ok(LValue::Ident(name))
+        }
+    }
+
+    // --------------------------------------------------------- expressions
+
+    fn expr(&mut self) -> Result<Expr, VerilogError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, VerilogError> {
+        let cond = self.binary(0)?;
+        if self.eat_sym("?") {
+            let then_e = self.expr()?;
+            self.expect_sym(":")?;
+            let else_e = self.expr()?;
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then_e: Box::new(then_e),
+                else_e: Box::new(else_e),
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    /// Precedence-climbing over binary operators.
+    fn binary(&mut self, min_level: u8) -> Result<Expr, VerilogError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, level) = match self.peek() {
+                TokenKind::Sym("||") => (BinaryOp::LogicOr, 1),
+                TokenKind::Sym("&&") => (BinaryOp::LogicAnd, 2),
+                TokenKind::Sym("|") => (BinaryOp::Or, 3),
+                TokenKind::Sym("^") => (BinaryOp::Xor, 4),
+                TokenKind::Sym("&") => (BinaryOp::And, 5),
+                TokenKind::Sym("==") => (BinaryOp::Eq, 6),
+                TokenKind::Sym("!=") => (BinaryOp::Ne, 6),
+                TokenKind::Sym("<") => (BinaryOp::Lt, 7),
+                TokenKind::Sym("<=") => (BinaryOp::Le, 7),
+                TokenKind::Sym(">") => (BinaryOp::Gt, 7),
+                TokenKind::Sym(">=") => (BinaryOp::Ge, 7),
+                TokenKind::Sym("<<") => (BinaryOp::Shl, 8),
+                TokenKind::Sym(">>") => (BinaryOp::Shr, 8),
+                TokenKind::Sym("+") => (BinaryOp::Add, 9),
+                TokenKind::Sym("-") => (BinaryOp::Sub, 9),
+                TokenKind::Sym("*") => (BinaryOp::Mul, 10),
+                _ => break,
+            };
+            if level < min_level {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(level + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, VerilogError> {
+        let op = match self.peek() {
+            TokenKind::Sym("!") => Some(UnaryOp::LogicNot),
+            TokenKind::Sym("~") => Some(UnaryOp::BitNot),
+            TokenKind::Sym("-") => Some(UnaryOp::Neg),
+            TokenKind::Sym("&") => Some(UnaryOp::RedAnd),
+            TokenKind::Sym("|") => Some(UnaryOp::RedOr),
+            TokenKind::Sym("^") => Some(UnaryOp::RedXor),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let expr = self.unary()?;
+            return Ok(Expr::Unary {
+                op,
+                expr: Box::new(expr),
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, VerilogError> {
+        let mut e = self.primary()?;
+        while self.eat_sym("[") {
+            let first = self.expr()?;
+            if self.eat_sym(":") {
+                let lsb = self.expr()?;
+                self.expect_sym("]")?;
+                e = Expr::Part {
+                    expr: Box::new(e),
+                    msb: Box::new(first),
+                    lsb: Box::new(lsb),
+                };
+            } else {
+                self.expect_sym("]")?;
+                e = Expr::Index {
+                    expr: Box::new(e),
+                    index: Box::new(first),
+                };
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, VerilogError> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(Expr::Ident(s)),
+            TokenKind::Number { size, bits, .. } => Ok(Expr::Number { size, bits }),
+            TokenKind::Sym("(") => {
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            TokenKind::Sym("{") => {
+                let first = self.expr()?;
+                // replication: {N{expr}}
+                if self.eat_sym("{") {
+                    let inner = self.expr()?;
+                    self.expect_sym("}")?;
+                    self.expect_sym("}")?;
+                    return Ok(Expr::Repl {
+                        count: Box::new(first),
+                        expr: Box::new(inner),
+                    });
+                }
+                let mut parts = vec![first];
+                while self.eat_sym(",") {
+                    parts.push(self.expr()?);
+                }
+                self.expect_sym("}")?;
+                Ok(Expr::Concat(parts))
+            }
+            other => Err(self.err(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(src: &str) -> ModuleDecl {
+        parse(src).unwrap().modules.remove(0)
+    }
+
+    #[test]
+    fn ansi_ports() {
+        let m = parse_one(
+            "module m(input wire [3:0] a, input b, output reg [7:0] y); endmodule",
+        );
+        assert_eq!(m.ports.len(), 3);
+        assert_eq!(m.ports[0].dir, Dir::Input);
+        assert!(m.ports[0].range.is_some());
+        assert_eq!(m.ports[1].dir, Dir::Input);
+        assert!(m.ports[1].range.is_none());
+        assert_eq!(m.ports[2].dir, Dir::Output);
+        assert!(m.ports[2].is_reg);
+    }
+
+    #[test]
+    fn classic_ports() {
+        let m = parse_one(
+            "module m(a, y);\n input [3:0] a;\n output [3:0] y;\n reg [3:0] y;\nendmodule",
+        );
+        assert_eq!(m.ports.len(), 2);
+        assert_eq!(m.ports[1].dir, Dir::Output);
+        assert!(m.ports[1].is_reg);
+    }
+
+    #[test]
+    fn precedence_shapes() {
+        let m = parse_one("module m(input a, input b, input c, output y); assign y = a | b & c; endmodule");
+        match &m.items[0] {
+            Item::Assign { rhs, .. } => match rhs {
+                Expr::Binary { op: BinaryOp::Or, rhs: r, .. } => {
+                    assert!(matches!(**r, Expr::Binary { op: BinaryOp::And, .. }));
+                }
+                other => panic!("bad shape {other:?}"),
+            },
+            other => panic!("bad item {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ternary_nests_right() {
+        let m = parse_one(
+            "module m(input s, input t, output y); assign y = s ? 1'b0 : t ? 1'b1 : 1'b0; endmodule",
+        );
+        match &m.items[0] {
+            Item::Assign { rhs: Expr::Ternary { else_e, .. }, .. } => {
+                assert!(matches!(**else_e, Expr::Ternary { .. }));
+            }
+            other => panic!("bad {other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_with_default() {
+        let m = parse_one(
+            "module m(input [1:0] s, output reg y);\n always @(*) begin\n case (s)\n 2'b00: y = 1'b0;\n 2'b01, 2'b10: y = 1'b1;\n default: y = 1'b0;\n endcase\n end\nendmodule",
+        );
+        match &m.items[0] {
+            Item::AlwaysComb(Stmt::Block(stmts)) => match &stmts[0] {
+                Stmt::Case { arms, default, .. } => {
+                    assert_eq!(arms.len(), 2);
+                    assert_eq!(arms[1].patterns.len(), 2);
+                    assert!(default.is_some());
+                }
+                other => panic!("bad {other:?}"),
+            },
+            other => panic!("bad {other:?}"),
+        }
+    }
+
+    #[test]
+    fn always_ff_detected() {
+        let m = parse_one(
+            "module m(input clk, input d, output reg q); always @(posedge clk) q <= d; endmodule",
+        );
+        assert!(matches!(&m.items[0], Item::AlwaysFf { clock, .. } if clock == "clk"));
+    }
+
+    #[test]
+    fn sensitivity_list_is_comb() {
+        let m = parse_one(
+            "module m(input a, input b, output reg y); always @(a or b) y = a & b; endmodule",
+        );
+        assert!(matches!(&m.items[0], Item::AlwaysComb(_)));
+    }
+
+    #[test]
+    fn concat_and_replication() {
+        let m = parse_one(
+            "module m(input [1:0] a, output [5:0] y); assign y = {a, {2{a}}}; endmodule",
+        );
+        match &m.items[0] {
+            Item::Assign { rhs: Expr::Concat(parts), .. } => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[1], Expr::Repl { .. }));
+            }
+            other => panic!("bad {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parameters_header_and_body() {
+        let m = parse_one(
+            "module m #(parameter W = 8) (input [W-1:0] a, output [W-1:0] y);\n parameter D = 2;\n assign y = a + D;\nendmodule",
+        );
+        assert_eq!(m.params.len(), 2);
+        assert_eq!(m.params[0].0, "W");
+    }
+
+    #[test]
+    fn error_on_garbage() {
+        assert!(parse("module m(; endmodule").is_err());
+        assert!(parse("modul m(); endmodule").is_err());
+        assert!(parse("module m(input a); assign = 1; endmodule").is_err());
+    }
+
+    #[test]
+    fn nonblocking_assignment() {
+        let m = parse_one(
+            "module m(input clk, input [3:0] d, output reg [3:0] q); always @(posedge clk) begin q <= d; end endmodule",
+        );
+        match &m.items[0] {
+            Item::AlwaysFf { stmt: Stmt::Block(b), .. } => {
+                assert!(matches!(&b[0], Stmt::Assign { .. }));
+            }
+            other => panic!("bad {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_modules() {
+        let f = parse("module a(); endmodule module b(); endmodule").unwrap();
+        assert_eq!(f.modules.len(), 2);
+        assert_eq!(f.modules[1].name, "b");
+    }
+}

@@ -1,0 +1,1 @@
+//! smartly-suite: examples and integration tests for the smaRTLy reproduction.
