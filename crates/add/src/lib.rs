@@ -97,9 +97,7 @@ impl FunctionTable {
         for (cube, t) in cubes.iter().rev() {
             assert_eq!(cube.len(), width as usize, "cube width mismatch");
             // enumerate assignments matching the cube
-            let free: Vec<usize> = (0..width as usize)
-                .filter(|&i| cube[i].is_none())
-                .collect();
+            let free: Vec<usize> = (0..width as usize).filter(|&i| cube[i].is_none()).collect();
             let base: usize = (0..width as usize)
                 .map(|i| match cube[i] {
                     Some(true) => 1usize << i,
@@ -231,7 +229,11 @@ impl Add {
                 AddRef::Terminal(t) => return t,
                 AddRef::Node(i) => {
                     let n = self.node(i);
-                    cur = if (index >> n.var) & 1 == 1 { n.hi } else { n.lo };
+                    cur = if (index >> n.var) & 1 == 1 {
+                        n.hi
+                    } else {
+                        n.lo
+                    };
                 }
             }
         }
@@ -526,7 +528,7 @@ mod tests {
                 assert_eq!(add.eval(idx), t.get(idx));
             }
             // node count can never exceed a complete tree
-            assert!(add.node_count() <= (1 << w) - 1);
+            assert!(add.node_count() < (1 << w));
             assert!(add.depth() <= w as usize);
         }
     }

@@ -145,8 +145,13 @@ pub fn write_aag(mapped: &MappedAig) -> String {
         writeln!(out, "{}", lit_code(*l, &var_of)).expect("write");
     }
     for (cur, next) in latch_inputs.iter().zip(&latch_nexts) {
-        writeln!(out, "{} {}", lit_code(*cur, &var_of), lit_code(*next, &var_of))
-            .expect("write");
+        writeln!(
+            out,
+            "{} {}",
+            lit_code(*cur, &var_of),
+            lit_code(*next, &var_of)
+        )
+        .expect("write");
     }
     for (_, _, l) in &outputs_flat {
         writeln!(out, "{}", lit_code(*l, &var_of)).expect("write");
@@ -245,20 +250,20 @@ pub fn parse_aag(text: &str) -> Result<AagFile, ParseAagError> {
     for _ in 0..nl {
         let (n, l) = take_line("latches", &mut lines)?;
         let mut it = l.split_whitespace();
-        let cur: u64 = it
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| ParseAagError::BadLine {
-                line: n + 1,
-                content: l.to_string(),
-            })?;
-        let next: u64 = it
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| ParseAagError::BadLine {
-                line: n + 1,
-                content: l.to_string(),
-            })?;
+        let cur: u64 =
+            it.next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseAagError::BadLine {
+                    line: n + 1,
+                    content: l.to_string(),
+                })?;
+        let next: u64 =
+            it.next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| ParseAagError::BadLine {
+                    line: n + 1,
+                    content: l.to_string(),
+                })?;
         let lit = aig.add_input(); // latch output behaves as an input
         lit_of_var.insert(cur / 2, lit);
         latch_raw.push((lit, next, n + 1));

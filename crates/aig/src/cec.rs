@@ -113,12 +113,12 @@ pub fn check_equiv(
         outs_b.iter().map(|(n, l)| (n.as_str(), l)).collect();
     let mut pairs: Vec<(String, usize, AigLit, AigLit)> = Vec::new();
     for (name, lits_a) in &outs_a {
-        let lits_b = out_b_map.get(name.as_str()).ok_or_else(|| {
-            NetlistError::NotFound {
+        let lits_b = out_b_map
+            .get(name.as_str())
+            .ok_or_else(|| NetlistError::NotFound {
                 module: gate.name.clone(),
                 name: format!("matching output '{name}'"),
-            }
-        })?;
+            })?;
         if lits_a.len() != lits_b.len() {
             return Err(NetlistError::NotFound {
                 module: gate.name.clone(),
@@ -146,7 +146,8 @@ pub fn check_equiv(
 
     // SAT miters, sharing one incremental solver and one encoded graph
     let mut enc = TseitinEncoder::new();
-    enc.solver_mut().set_conflict_budget(options.conflict_budget);
+    enc.solver_mut()
+        .set_conflict_budget(options.conflict_budget);
     // flattened input node order → solver literal
     let mut input_vars: Vec<Lit> = Vec::new();
     let mut input_names: Vec<(String, usize)> = Vec::new();
@@ -194,7 +195,7 @@ pub fn check_equiv(
 fn encode_cone(
     sm: &SharedMapper,
     enc: &mut TseitinEncoder,
-    memo: &mut Vec<Option<Lit>>,
+    memo: &mut [Option<Lit>],
     input_vars: &[Lit],
     root: AigLit,
 ) -> Lit {
@@ -268,10 +269,7 @@ fn random_prefilter(
     let n_inputs: usize = sm.inputs().iter().map(|(_, l)| l.len()).sum();
     for _ in 0..options.sim_vectors {
         let flat: Vec<bool> = (0..n_inputs).map(|_| next() & 1 == 1).collect();
-        let roots: Vec<AigLit> = pairs
-            .iter()
-            .flat_map(|&(_, _, a, b)| [a, b])
-            .collect();
+        let roots: Vec<AigLit> = pairs.iter().flat_map(|&(_, _, a, b)| [a, b]).collect();
         let vals = sm.aig().eval(&flat, &roots);
         for (k, (name, bit, _, _)) in pairs.iter().enumerate() {
             if vals[2 * k] != vals[2 * k + 1] {

@@ -1,9 +1,7 @@
 //! Word-level netlist → AIG lowering (`aigmap`).
 
 use crate::graph::{Aig, AigLit};
-use smartly_netlist::{
-    CellKind, Module, NetIndex, NetlistError, Port, SigBit, SigSpec, TriVal,
-};
+use smartly_netlist::{CellKind, Module, NetIndex, NetlistError, Port, SigBit, SigSpec, TriVal};
 use std::collections::HashMap;
 
 /// A module lowered to an AIG, with named port bindings.
@@ -228,12 +226,15 @@ impl SharedMapper {
                 .map(|b| match index.canon(*b) {
                     SigBit::Const(TriVal::One) => Ok(AigLit::TRUE),
                     SigBit::Const(_) => Ok(AigLit::FALSE),
-                    wire_bit => lit_of.get(&wire_bit).copied().ok_or_else(|| {
-                        NetlistError::NotFound {
-                            module: module.name.clone(),
-                            name: format!("driver of {wire_bit:?}"),
-                        }
-                    }),
+                    wire_bit => {
+                        lit_of
+                            .get(&wire_bit)
+                            .copied()
+                            .ok_or_else(|| NetlistError::NotFound {
+                                module: module.name.clone(),
+                                name: format!("driver of {wire_bit:?}"),
+                            })
+                    }
                 })
                 .collect()
         };
@@ -369,7 +370,11 @@ fn map_cell(
                 let mut next = Vec::with_capacity(w);
                 for i in 0..w {
                     let shifted = if kind == Shl {
-                        if i >= amount { cur[i - amount] } else { AigLit::FALSE }
+                        if i >= amount {
+                            cur[i - amount]
+                        } else {
+                            AigLit::FALSE
+                        }
                     } else if i + amount < w {
                         cur[i + amount]
                     } else {
@@ -408,10 +413,7 @@ fn map_cell(
         }
         Mux => {
             let sel = s[0];
-            a.iter()
-                .zip(b)
-                .map(|(&x, &y)| aig.mux(sel, y, x))
-                .collect()
+            a.iter().zip(b).map(|(&x, &y)| aig.mux(sel, y, x)).collect()
         }
         Pmux => {
             // priority chain: lowest select bit wins

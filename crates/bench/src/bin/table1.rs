@@ -9,10 +9,7 @@ use smartly_core::subgraph;
 use smartly_netlist::{Module, NetIndex, SigBit};
 use std::collections::HashMap;
 
-fn demo(
-    premises: &[(&str, bool)],
-    expect: &[(&str, bool)],
-) -> (String, String, bool) {
+fn demo(premises: &[(&str, bool)], expect: &[(&str, bool)]) -> (String, String, bool) {
     let mut m = Module::new("t");
     let a = m.add_input("a", 1);
     let b = m.add_input("b", 1);
@@ -38,15 +35,7 @@ fn demo(
     for (name, v) in premises {
         assign.insert(index.canon(bit_of(name)), *v);
     }
-    let (sub, _) = subgraph::extract(
-        &m,
-        &index,
-        &ranks,
-        index.canon(y.bit(0)),
-        &assign,
-        4,
-        true,
-    );
+    let (sub, _) = subgraph::extract(&m, &index, &ranks, index.canon(y.bit(0)), &assign, 4, true);
     let outcome = propagate(&m, &index, &sub, &mut assign);
     let ok = !matches!(outcome, InferOutcome::Contradiction)
         && expect
@@ -68,8 +57,9 @@ fn demo(
 
 fn main() {
     println!("Table I — inference rules for OR cells (verified live)");
-    println!("{:34} {:28} {}", "Condition", "Result", "derived?");
-    let rows: Vec<(Vec<(&str, bool)>, Vec<(&str, bool)>)> = vec![
+    println!("{:34} {:28} derived?", "Condition", "Result");
+    type Assignments<'a> = Vec<(&'a str, bool)>;
+    let rows: Vec<(Assignments, Assignments)> = vec![
         (vec![("a", true)], vec![("y", true)]),
         (vec![("b", true)], vec![("y", true)]),
         (vec![("a", false), ("b", false)], vec![("y", false)]),

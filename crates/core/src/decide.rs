@@ -9,9 +9,7 @@
 //! (the branch is unreachable and may take either value).
 
 use crate::subgraph::SubGraph;
-use smartly_netlist::{
-    eval_cell, CellInputs, CellKind, Module, NetIndex, Port, SigBit, TriVal,
-};
+use smartly_netlist::{eval_cell, CellInputs, CellKind, Module, NetIndex, Port, SigBit, TriVal};
 use smartly_sat::{Lit, SolveResult, TseitinEncoder};
 use std::collections::HashMap;
 
@@ -87,7 +85,10 @@ pub fn decide(
         .unwrap_or(u64::MAX)
         .saturating_mul(sub.cells.len() as u64);
     if free.len() <= options.sim_threshold && sim_cost <= SIM_COST_LIMIT {
-        (simulate(module, index, sub, assign, &free), Engine::Simulation)
+        (
+            simulate(module, index, sub, assign, &free),
+            Engine::Simulation,
+        )
     } else if free.len() <= options.sat_threshold {
         (sat_decide(module, index, sub, assign, options), Engine::Sat)
     } else {
@@ -444,12 +445,7 @@ mod tests {
                 sim_threshold,
                 ..Default::default()
             };
-            let (d, _) = run(
-                &m,
-                y.bit(0),
-                &[(s.bit(0), true), (sr.bit(0), false)],
-                &opts,
-            );
+            let (d, _) = run(&m, y.bit(0), &[(s.bit(0), true), (sr.bit(0), false)], &opts);
             assert_eq!(d, Decision::Unreachable, "sim_threshold {sim_threshold}");
         }
     }

@@ -42,12 +42,7 @@ enum SetResult {
     Clash,
 }
 
-fn set(
-    index: &NetIndex,
-    assign: &mut HashMap<SigBit, bool>,
-    bit: SigBit,
-    v: bool,
-) -> SetResult {
+fn set(index: &NetIndex, assign: &mut HashMap<SigBit, bool>, bit: SigBit, v: bool) -> SetResult {
     let c = index.canon(bit);
     match c {
         SigBit::Const(TriVal::One) => {
@@ -252,9 +247,10 @@ fn infer_cell(
                 .map(|i| (val(a[i], assign), val(b[i], assign)))
                 .collect();
             // forward: all pairs known ⇒ y; any known mismatch ⇒ y = 0
-            if pairs.iter().any(|(x, z)| {
-                matches!((x, z), (Some(p), Some(q)) if p != q)
-            }) {
+            if pairs
+                .iter()
+                .any(|(x, z)| matches!((x, z), (Some(p), Some(q)) if p != q))
+            {
                 put!(y[0], neg);
             } else if pairs.iter().all(|(x, z)| x.is_some() && z.is_some()) {
                 put!(y[0], !neg);
@@ -282,9 +278,7 @@ fn infer_cell(
                     } else {
                         // if all but one pair are known-equal, the last differs
                         let unknown: Vec<usize> = (0..a.width())
-                            .filter(|&i| {
-                                !matches!(pairs[i], (Some(p), Some(q)) if p == q)
-                            })
+                            .filter(|&i| !matches!(pairs[i], (Some(p), Some(q)) if p == q))
                             .collect();
                         if unknown.len() == 1 {
                             let i = unknown[0];
@@ -304,17 +298,17 @@ fn infer_cell(
             // y related to OR/AND over a's bits (LogicNot = NOR)
             let is_and = cell.kind == ReduceAnd;
             let out_invert = cell.kind == LogicNot;
-            let vals: Vec<Option<bool>> =
-                (0..a.width()).map(|i| val(a[i], assign)).collect();
-            let vy = val(y[0], assign).map(|v| v != out_invert); // as or/and value
+            let vals: Vec<Option<bool>> = (0..a.width()).map(|i| val(a[i], assign)).collect();
+            // vy: y as or/and value
+            let vy = val(y[0], assign).map(|v| v != out_invert);
             // forward
             if is_and {
-                if vals.iter().any(|v| *v == Some(false)) {
+                if vals.contains(&Some(false)) {
                     put!(y[0], out_invert);
                 } else if vals.iter().all(|v| *v == Some(true)) {
                     put!(y[0], !out_invert);
                 }
-            } else if vals.iter().any(|v| *v == Some(true)) {
+            } else if vals.contains(&Some(true)) {
                 put!(y[0], !out_invert);
             } else if vals.iter().all(|v| *v == Some(false)) {
                 put!(y[0], out_invert);
@@ -333,11 +327,10 @@ fn infer_cell(
                 }
                 (true, Some(false)) | (false, Some(true)) => {
                     let want = !is_and;
-                    let undecided: Vec<usize> = (0..a.width())
-                        .filter(|&i| vals[i].is_none())
-                        .collect();
-                    let rest_blocked = (0..a.width())
-                        .all(|i| vals[i] == Some(!want) || vals[i].is_none());
+                    let undecided: Vec<usize> =
+                        (0..a.width()).filter(|&i| vals[i].is_none()).collect();
+                    let rest_blocked =
+                        (0..a.width()).all(|i| vals[i] == Some(!want) || vals[i].is_none());
                     if undecided.len() == 1 && rest_blocked {
                         put!(a[undecided[0]], want);
                     }
@@ -346,13 +339,9 @@ fn infer_cell(
             }
         }
         ReduceXor => {
-            let vals: Vec<Option<bool>> =
-                (0..a.width()).map(|i| val(a[i], assign)).collect();
+            let vals: Vec<Option<bool>> = (0..a.width()).map(|i| val(a[i], assign)).collect();
             let vy = val(y[0], assign);
-            let known_parity = vals
-                .iter()
-                .filter_map(|v| *v)
-                .fold(false, |acc, v| acc ^ v);
+            let known_parity = vals.iter().filter_map(|v| *v).fold(false, |acc, v| acc ^ v);
             let unknown: Vec<usize> = (0..a.width()).filter(|&i| vals[i].is_none()).collect();
             if unknown.is_empty() {
                 put!(y[0], known_parity);
@@ -495,8 +484,7 @@ mod tests {
         let r = m.add_input("r", 1);
         let sr = m.or(&s, &r);
         m.add_output("y", &sr);
-        let (index, sub, mut assign) =
-            setup(&m, r.bit(0), &[(sr.bit(0), true), (s.bit(0), false)]);
+        let (index, sub, mut assign) = setup(&m, r.bit(0), &[(sr.bit(0), true), (s.bit(0), false)]);
         propagate(&m, &index, &sub, &mut assign);
         assert_eq!(assign.get(&index.canon(r.bit(0))), Some(&true));
     }
@@ -522,8 +510,7 @@ mod tests {
         let r = m.add_input("r", 1);
         let x = m.xor(&s, &r);
         m.add_output("y", &x);
-        let (index, sub, mut assign) =
-            setup(&m, r.bit(0), &[(x.bit(0), true), (s.bit(0), true)]);
+        let (index, sub, mut assign) = setup(&m, r.bit(0), &[(x.bit(0), true), (s.bit(0), true)]);
         propagate(&m, &index, &sub, &mut assign);
         assert_eq!(assign.get(&index.canon(r.bit(0))), Some(&false));
     }
@@ -550,8 +537,7 @@ mod tests {
         let sr = m.or(&s, &r);
         m.add_output("y", &sr);
         // s=1 but s|r = 0: impossible
-        let (index, sub, mut assign) =
-            setup(&m, r.bit(0), &[(s.bit(0), true), (sr.bit(0), false)]);
+        let (index, sub, mut assign) = setup(&m, r.bit(0), &[(s.bit(0), true), (sr.bit(0), false)]);
         assert_eq!(
             propagate(&m, &index, &sub, &mut assign),
             InferOutcome::Contradiction
@@ -580,8 +566,7 @@ mod tests {
         let y = m.mux(&a, &b, &s);
         m.add_output("y", &y);
         // s=1 and b=0 ⇒ y=0
-        let (index, sub, mut assign) =
-            setup(&m, y.bit(0), &[(s.bit(0), true), (b.bit(0), false)]);
+        let (index, sub, mut assign) = setup(&m, y.bit(0), &[(s.bit(0), true), (b.bit(0), false)]);
         propagate(&m, &index, &sub, &mut assign);
         assert_eq!(assign.get(&index.canon(y.bit(0))), Some(&false));
     }
@@ -596,11 +581,7 @@ mod tests {
         let sr = m.or(&s, &r);
         let out = m.and(&sr, &t);
         m.add_output("y", &out);
-        let (index, sub, mut assign) = setup(
-            &m,
-            out.bit(0),
-            &[(s.bit(0), true), (t.bit(0), true)],
-        );
+        let (index, sub, mut assign) = setup(&m, out.bit(0), &[(s.bit(0), true), (t.bit(0), true)]);
         propagate(&m, &index, &sub, &mut assign);
         assert_eq!(assign.get(&index.canon(out.bit(0))), Some(&true));
     }

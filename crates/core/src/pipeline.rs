@@ -147,8 +147,16 @@ impl Pipeline {
     /// Propagates netlist errors from area computation or (when `verify`
     /// is set) the equivalence check; an inequivalent result is *not* an
     /// error — it is reported in [`PipelineReport::equivalence`].
-    pub fn run(&self, module: &mut Module, level: OptLevel) -> Result<PipelineReport, NetlistError> {
-        let original = if self.verify { Some(module.clone()) } else { None };
+    pub fn run(
+        &self,
+        module: &mut Module,
+        level: OptLevel,
+    ) -> Result<PipelineReport, NetlistError> {
+        let original = if self.verify {
+            Some(module.clone())
+        } else {
+            None
+        };
         let mut report = PipelineReport {
             area_before: aig_area(module)?,
             ..Default::default()

@@ -163,7 +163,12 @@ pub fn restructure(module: &mut Module, options: &RestructureOptions) -> Restruc
         let mut leaves: Vec<SigSpec> = Vec::new();
         let width_bits = collected.universe.len() as u32;
         let mut table = FunctionTable::new_filled(width_bits, 0);
-        fill_table(&collected.tree, &mut leaves, &mut table, &all_indices(width_bits));
+        fill_table(
+            &collected.tree,
+            &mut leaves,
+            &mut table,
+            &all_indices(width_bits),
+        );
         let add = Add::build_greedy(&table);
 
         // ----- Check(...) -----
@@ -181,9 +186,7 @@ pub fn restructure(module: &mut Module, options: &RestructureOptions) -> Restruc
                         .fanout(index.canon(*b))
                         .iter()
                         .all(|s| match &s.consumer {
-                            smartly_netlist::Consumer::Cell(c) => {
-                                collected.mux_cells.contains(c)
-                            }
+                            smartly_netlist::Consumer::Cell(c) => collected.mux_cells.contains(c),
                             smartly_netlist::Consumer::Output(_) => false,
                         })
                 })
@@ -202,7 +205,8 @@ pub fn restructure(module: &mut Module, options: &RestructureOptions) -> Restruc
             .sum();
         let mux_gain = (old_muxes as i64 - new_muxes as i64) * 3 * collected.width as i64;
         let saving = eq_gain + mux_gain;
-        let height_ok = !options.respect_height || add.depth() <= old_muxes.max(add.width() as usize);
+        let height_ok =
+            !options.respect_height || add.depth() <= old_muxes.max(add.width() as usize);
         if saving < options.min_saving || !height_ok {
             continue;
         }
@@ -393,7 +397,6 @@ fn select_cube(
     }
 }
 
-
 /// Walks a mux chain/tree, checking `OnlyEq` and `SingleCtrl`, and
 /// collecting cubes over a shared control-bit universe.
 fn collect_tree(
@@ -433,6 +436,7 @@ fn collect_tree(
         (sink_count == cell.output().width()).then_some(first.cell)
     };
 
+    #[allow(clippy::too_many_arguments)]
     fn walk(
         module: &Module,
         index: &NetIndex,
@@ -726,8 +730,7 @@ mod tests {
         let build = |restructured: bool| -> Module {
             let mut m = Module::new("pm");
             let s = m.add_input("s", 2);
-            let p: Vec<SigSpec> =
-                (0..4).map(|i| m.add_input(&format!("p{i}"), 4)).collect();
+            let p: Vec<SigSpec> = (0..4).map(|i| m.add_input(&format!("p{i}"), 4)).collect();
             let e0 = m.eq(&s, &SigSpec::const_u64(0, 2));
             let e1 = m.eq(&s, &SigSpec::const_u64(1, 2));
             let e2 = m.eq(&s, &SigSpec::const_u64(3, 2));
@@ -744,12 +747,8 @@ mod tests {
         };
         let orig = build(false);
         let opt = build(true);
-        let r = smartly_aig::check_equiv(
-            &orig,
-            &opt,
-            &smartly_aig::EquivOptions::default(),
-        )
-        .expect("cec runs");
+        let r = smartly_aig::check_equiv(&orig, &opt, &smartly_aig::EquivOptions::default())
+            .expect("cec runs");
         assert_eq!(r, smartly_aig::EquivResult::Equivalent);
     }
 

@@ -151,75 +151,71 @@ pub fn sat_redundancy(module: &mut Module, options: &SatRedundancyOptions) -> Sa
     let cone_cache = std::cell::RefCell::new(ConeCache::new());
 
     // resolve a select bit's value under the path condition
-    let resolve_select = |bit: SigBit,
-                              known: &HashMap<SigBit, bool>,
-                              stats: &mut SatPassStats|
-     -> Option<bool> {
-        let c = index.canon(bit);
-        if let SigBit::Const(v) = c {
-            return v.to_bool();
-        }
-        if let Some(&v) = known.get(&c) {
-            return Some(v);
-        }
-        if stats.queries >= options.max_queries {
-            return None;
-        }
-        stats.queries += 1;
-        let (sub, sg_stats) = extract_cached(
-            module,
-            &index,
-            &ranks,
-            c,
-            known,
-            options.k,
-            options.prune,
-            options.measure_gather,
-            &mut cone_cache.borrow_mut(),
-        );
-        stats.absorb_subgraph(sg_stats);
-        if sub.cells.len() > options.max_subgraph_cells {
-            return None; // too large: forgo the query (paper threshold)
-        }
-        let mut assign: HashMap<SigBit, bool> = known
-            .iter()
-            .map(|(b, v)| (index.canon(*b), *v))
-            .collect();
-        if options.inference {
-            match propagate(module, &index, &sub, &mut assign) {
-                InferOutcome::Contradiction => {
-                    stats.unreachable += 1;
-                    return Some(false); // unreachable path: any value is sound
-                }
-                InferOutcome::Fixpoint { .. } => {}
+    let resolve_select =
+        |bit: SigBit, known: &HashMap<SigBit, bool>, stats: &mut SatPassStats| -> Option<bool> {
+            let c = index.canon(bit);
+            if let SigBit::Const(v) = c {
+                return v.to_bool();
             }
-            if let Some(&v) = assign.get(&c) {
-                stats.by_inference += 1;
+            if let Some(&v) = known.get(&c) {
                 return Some(v);
             }
-        }
-        let opts = DecideOptions {
-            sim_threshold: options.sim_threshold,
-            sat_threshold: options.sat_threshold,
-            conflict_budget: options.conflict_budget,
-        };
-        let (d, engine) = decide(module, &index, &sub, &assign, &opts);
-        match d {
-            Decision::Const(v) => {
-                match engine {
-                    Engine::Simulation => stats.by_sim += 1,
-                    Engine::Sat => stats.by_sat += 1,
-                    Engine::None => {}
+            if stats.queries >= options.max_queries {
+                return None;
+            }
+            stats.queries += 1;
+            let (sub, sg_stats) = extract_cached(
+                module,
+                &index,
+                &ranks,
+                c,
+                known,
+                options.k,
+                options.prune,
+                options.measure_gather,
+                &mut cone_cache.borrow_mut(),
+            );
+            stats.absorb_subgraph(sg_stats);
+            if sub.cells.len() > options.max_subgraph_cells {
+                return None; // too large: forgo the query (paper threshold)
+            }
+            let mut assign: HashMap<SigBit, bool> =
+                known.iter().map(|(b, v)| (index.canon(*b), *v)).collect();
+            if options.inference {
+                match propagate(module, &index, &sub, &mut assign) {
+                    InferOutcome::Contradiction => {
+                        stats.unreachable += 1;
+                        return Some(false); // unreachable path: any value is sound
+                    }
+                    InferOutcome::Fixpoint { .. } => {}
                 }
-                Some(v)
+                if let Some(&v) = assign.get(&c) {
+                    stats.by_inference += 1;
+                    return Some(v);
+                }
             }
-            Decision::Unreachable => {
-                stats.unreachable += 1;
-                Some(false)
+            let opts = DecideOptions {
+                sim_threshold: options.sim_threshold,
+                sat_threshold: options.sat_threshold,
+                conflict_budget: options.conflict_budget,
+            };
+            let (d, engine) = decide(module, &index, &sub, &assign, &opts);
+            match d {
+                Decision::Const(v) => {
+                    match engine {
+                        Engine::Simulation => stats.by_sim += 1,
+                        Engine::Sat => stats.by_sat += 1,
+                        Engine::None => {}
+                    }
+                    Some(v)
+                }
+                Decision::Unreachable => {
+                    stats.unreachable += 1;
+                    Some(false)
+                }
+                Decision::Unknown | Decision::Skipped => None,
             }
-            Decision::Unknown | Decision::Skipped => None,
-        }
-    };
+        };
 
     // iterative DFS over the tree forest
     struct Frame {
@@ -503,8 +499,9 @@ mod tests {
         let sel = m.add_input("sel", 2);
         let p: Vec<SigSpec> = (0..3).map(|i| m.add_input(&format!("p{i}"), 4)).collect();
         let e0 = m.eq(&sel, &SigSpec::const_u64(0, 2));
-        let e1 = m.eq(&sel, &SigSpec::const_u64(0, 2)); // duplicate of e0!
-        // y = e0 ? p0 : (e1 ? p1 : p2) — under e0=0, e1 must be 0 too
+        // e1 duplicates e0; y = e0 ? p0 : (e1 ? p1 : p2), so under e0=0
+        // the e1 branch is dead — the pass must see through it.
+        let e1 = m.eq(&sel, &SigSpec::const_u64(0, 2));
         let inner = m.mux(&p[2], &p[1], &e1);
         let outer = m.mux(&inner, &p[0], &e0);
         m.add_output("y", &outer);

@@ -114,7 +114,9 @@ fn undirected_ball(module: &Module, index: &NetIndex, start: SigBit, k: usize) -
     };
     enqueue_bit(start, 0, &mut queue);
     while let Some((id, depth)) = queue.pop_front() {
-        let Some(cell) = module.cell(id) else { continue };
+        let Some(cell) = module.cell(id) else {
+            continue;
+        };
         if !is_supported(cell.kind) {
             continue;
         }

@@ -1,0 +1,232 @@
+//! Corpus runner: drives the public workload suite through the engine at
+//! every optimization level and produces a Table-III-style summary plus a
+//! machine-readable benchmark artifact.
+
+use crate::engine::{optimize_design, DriverOptions};
+use crate::json::Json;
+use crate::DriverError;
+use smartly_core::OptLevel;
+use smartly_netlist::Design;
+use smartly_workloads::{public_corpus, Scale};
+use std::fmt;
+use std::time::Duration;
+
+/// Configuration for [`run_public_corpus`].
+#[derive(Clone, Debug)]
+pub struct CorpusOptions {
+    /// Corpus size (`tiny` for CI, `paper` for full runs).
+    pub scale: Scale,
+    /// Worker threads (0 = one per CPU); circuits are optimized in
+    /// parallel within each level.
+    pub jobs: usize,
+    /// Verify every optimized circuit against its original.
+    pub verify: bool,
+}
+
+impl Default for CorpusOptions {
+    fn default() -> Self {
+        CorpusOptions {
+            scale: Scale::Tiny,
+            jobs: 0,
+            verify: false,
+        }
+    }
+}
+
+/// Parses a CLI-style scale name.
+pub fn scale_from_str(s: &str) -> Option<Scale> {
+    match s {
+        "tiny" => Some(Scale::Tiny),
+        "small" => Some(Scale::Small),
+        "paper" => Some(Scale::Paper),
+        _ => None,
+    }
+}
+
+fn scale_name(s: Scale) -> &'static str {
+    match s {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    }
+}
+
+/// One circuit × level measurement.
+#[derive(Clone, Debug)]
+pub struct LevelResult {
+    /// Which level ran.
+    pub level: OptLevel,
+    /// AIG area after optimization.
+    pub area_after: usize,
+    /// Wall time for this circuit at this level.
+    pub wall: Duration,
+    /// Verification verdict when enabled.
+    pub equivalent: Option<bool>,
+}
+
+/// Per-circuit results across all levels.
+#[derive(Clone, Debug)]
+pub struct CorpusRow {
+    /// Circuit name (Table II/III row).
+    pub name: String,
+    /// AIG area before any optimization.
+    pub area_original: usize,
+    /// One entry per level, in [`OptLevel::ALL`] order.
+    pub levels: Vec<LevelResult>,
+}
+
+impl CorpusRow {
+    fn level(&self, level: OptLevel) -> Option<&LevelResult> {
+        self.levels.iter().find(|l| l.level == level)
+    }
+
+    /// Reduction of `level` relative to the Yosys baseline result (the
+    /// paper's Table III metric), when both are present.
+    pub fn reduction_vs_baseline(&self, level: OptLevel) -> Option<f64> {
+        let base = self.level(OptLevel::Baseline)?.area_after;
+        let ours = self.level(level)?.area_after;
+        if base == 0 {
+            None
+        } else {
+            Some(1.0 - ours as f64 / base as f64)
+        }
+    }
+}
+
+/// The whole suite's results.
+#[derive(Clone, Debug)]
+pub struct CorpusReport {
+    /// Scale the suite ran at.
+    pub scale: Scale,
+    /// Per-circuit rows, in corpus order.
+    pub rows: Vec<CorpusRow>,
+}
+
+/// Runs the public corpus at every [`OptLevel`] with the engine's
+/// parallel pool (circuits are modules of one design per level).
+///
+/// # Errors
+///
+/// Returns [`DriverError`] when a generated circuit fails to compile
+/// (a workloads bug) or a pipeline hits a netlist error.
+pub fn run_public_corpus(opts: &CorpusOptions) -> Result<CorpusReport, DriverError> {
+    let cases = public_corpus(opts.scale);
+    let mut rows: Vec<CorpusRow> = cases
+        .iter()
+        .map(|c| CorpusRow {
+            name: c.name.clone(),
+            area_original: 0,
+            levels: Vec::new(),
+        })
+        .collect();
+
+    // Compile each circuit once; every level starts from a clone of the
+    // pristine module (4x cheaper than re-running the frontend per level).
+    let pristine: Vec<smartly_netlist::Module> = cases
+        .iter()
+        .map(|c| c.compile())
+        .collect::<Result<_, _>>()?;
+
+    for level in OptLevel::ALL {
+        let mut design = Design::from_modules(pristine.clone());
+        let driver_opts = DriverOptions {
+            level,
+            jobs: opts.jobs,
+            verify: opts.verify,
+            // circuits are all distinct; skip the hashing pass
+            memoize: false,
+            ..Default::default()
+        };
+        let report = optimize_design(&mut design, &driver_opts)?;
+        for (row, module) in rows.iter_mut().zip(&report.modules) {
+            if let Some(r) = &module.report {
+                row.area_original = r.area_before;
+                row.levels.push(LevelResult {
+                    level,
+                    area_after: r.area_after,
+                    wall: module.wall,
+                    equivalent: module.verified_equivalent(),
+                });
+            }
+        }
+    }
+    Ok(CorpusReport {
+        scale: opts.scale,
+        rows,
+    })
+}
+
+impl CorpusReport {
+    /// Machine-readable artifact (the `BENCH_driver.json` schema): per
+    /// circuit, area before/after and wall time for every level.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("bench", Json::Str("smartly corpus".into()));
+        obj.set("scale", Json::Str(scale_name(self.scale).into()));
+        let circuits = self
+            .rows
+            .iter()
+            .map(|row| {
+                let mut c = Json::object();
+                c.set("name", Json::Str(row.name.clone()));
+                c.set("area_original", Json::UInt(row.area_original as u64));
+                for lr in &row.levels {
+                    let mut l = Json::object();
+                    l.set("area_after", Json::UInt(lr.area_after as u64));
+                    l.set("wall_us", Json::UInt(lr.wall.as_micros() as u64));
+                    if let Some(red) = row.reduction_vs_baseline(lr.level) {
+                        l.set("reduction_vs_yosys", Json::Float(red));
+                    }
+                    if let Some(eq) = lr.equivalent {
+                        l.set("equivalent", Json::Bool(eq));
+                    }
+                    c.set(lr.level.name(), l);
+                }
+                c
+            })
+            .collect();
+        obj.set("circuits", Json::Array(circuits));
+        obj
+    }
+}
+
+impl fmt::Display for CorpusReport {
+    /// Table-III-style summary: per-method reduction vs the Yosys
+    /// baseline.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<16} {:>10} {:>10} {:>8} {:>8} {:>8}",
+            "circuit", "original", "yosys", "sat%", "rebuild%", "full%"
+        )?;
+        for row in &self.rows {
+            let yosys = row.level(OptLevel::Baseline).map_or(0, |l| l.area_after);
+            let pct = |level| {
+                row.reduction_vs_baseline(level)
+                    .map_or("-".to_string(), |r| format!("{:.2}", 100.0 * r))
+            };
+            writeln!(
+                f,
+                "{:<16} {:>10} {:>10} {:>8} {:>8} {:>8}",
+                row.name,
+                row.area_original,
+                yosys,
+                pct(OptLevel::SatOnly),
+                pct(OptLevel::RebuildOnly),
+                pct(OptLevel::Full),
+            )?;
+        }
+        let wall: Duration = self
+            .rows
+            .iter()
+            .flat_map(|r| r.levels.iter().map(|l| l.wall))
+            .sum();
+        write!(
+            f,
+            "{} circuits x {} levels, {:.1} s total optimize time",
+            self.rows.len(),
+            OptLevel::ALL.len(),
+            wall.as_secs_f64(),
+        )
+    }
+}

@@ -1,0 +1,362 @@
+//! The design-level optimization engine: a work-stealing pool of scoped
+//! threads running the per-module [`Pipeline`] over every module of a
+//! [`Design`], with structural memoization and per-module guards.
+
+use crate::report::{DesignReport, ModuleOutcome, ModuleReport};
+use smartly_core::{OptLevel, Pipeline};
+use smartly_netlist::{Design, Module, NetlistError};
+use std::collections::HashMap;
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Configuration for [`optimize_design`].
+#[derive(Clone, Debug)]
+pub struct DriverOptions {
+    /// Optimization level (paper Table III column).
+    pub level: OptLevel,
+    /// Worker threads; `0` means one per available CPU.
+    pub jobs: usize,
+    /// Verify every optimized module against its original with the AIG
+    /// miter (memo-cache hits inherit their representative's verdict).
+    pub verify: bool,
+    /// Optimize structurally identical modules once and clone the result
+    /// (common in generated/industrial RTL).
+    pub memoize: bool,
+    /// Size guard: modules with more live cells than this are passed
+    /// through untouched and reported as skipped.
+    pub max_cells: Option<usize>,
+    /// Soft time guard: a module whose optimization ran longer than this
+    /// is reverted to its original netlist and reported as timed out.
+    ///
+    /// The guard is checked *after* the pipeline returns (passes are not
+    /// preemptible), so it bounds damage, not latency — and because it
+    /// depends on wall time, enabling it can make reports differ between
+    /// otherwise identical runs.
+    pub timeout: Option<Duration>,
+    /// Base pipeline configuration; `verify` above overrides its flag.
+    pub pipeline: Pipeline,
+}
+
+impl Default for DriverOptions {
+    fn default() -> Self {
+        DriverOptions {
+            level: OptLevel::Full,
+            jobs: 0,
+            verify: false,
+            memoize: true,
+            max_cells: None,
+            timeout: None,
+            pipeline: Pipeline::default(),
+        }
+    }
+}
+
+impl DriverOptions {
+    fn effective_jobs(&self, work_items: usize) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let jobs = if self.jobs == 0 { hw } else { self.jobs };
+        jobs.clamp(1, work_items.max(1))
+    }
+}
+
+/// Parses a CLI-style level name (`yosys`, `sat`, `rebuild`, `full`).
+pub fn level_from_str(s: &str) -> Option<OptLevel> {
+    OptLevel::ALL.into_iter().find(|l| l.name() == s)
+}
+
+/// The module's canonical text: its Verilog emission with the name
+/// blanked, so two modules elaborated from identical bodies compare
+/// equal. The memo cache keys on this full text — not a hash of it — so
+/// a hash collision can never substitute the wrong module's result.
+fn canonical_text(module: &mut Module) -> String {
+    let saved = std::mem::replace(&mut module.name, "__memo__".to_string());
+    let text = smartly_verilog::emit_verilog(module);
+    module.name = saved;
+    text
+}
+
+/// A stable 64-bit structural fingerprint of a module, independent of the
+/// module's *name*: two modules elaborated from identical bodies hash
+/// equal. FNV-1a over the canonical emission, deterministic across
+/// processes and builds. (A fingerprint for logging/diffing; the memo
+/// cache itself compares full canonical texts.)
+pub fn structural_key(module: &Module) -> u64 {
+    let mut canon = module.clone();
+    let text = canonical_text(&mut canon);
+    let mut h = Fnv1a::default();
+    h.write(text.as_bytes());
+    h.finish()
+}
+
+/// FNV-1a: tiny, seedless, stable across runs (unlike `DefaultHasher`,
+/// which only promises stability within one program execution).
+struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Per-module work cell shared with the worker pool.
+struct Slot {
+    module: Module,
+    done: Option<ModuleReport>,
+    error: Option<NetlistError>,
+}
+
+/// Optimizes every module of `design` in place and returns the aggregate
+/// report.
+///
+/// Modules are distributed over a pool of scoped worker threads through a
+/// shared atomic cursor (idle workers steal the next heaviest pending
+/// module), so wall time tracks the slowest module rather than the sum.
+/// The report lists modules in the design's original order regardless of
+/// completion order, and every field except wall times is a pure function
+/// of the input — `--jobs 1` and `--jobs N` produce identical
+/// [`DesignReport::digest`]s.
+///
+/// # Errors
+///
+/// Returns the first netlist error in module order. `design` keeps its
+/// original netlist for every module that errored or never ran (an
+/// erroring worker restores the pristine module before recording the
+/// failure), so a recovering caller never sees half-optimized state.
+pub fn optimize_design(
+    design: &mut Design,
+    opts: &DriverOptions,
+) -> Result<DesignReport, NetlistError> {
+    let started = Instant::now();
+    let mut modules = design.take_modules();
+    let n = modules.len();
+
+    // Memoization: representative = first module (in design order) with
+    // the same canonical text. Duplicates are filled in after the pool
+    // runs. Keying on the full text (not a hash) makes a false memo hit
+    // impossible.
+    let rep_of: Vec<usize> = if opts.memoize {
+        let mut first: HashMap<String, usize> = HashMap::new();
+        modules
+            .iter_mut()
+            .enumerate()
+            .map(|(i, m)| *first.entry(canonical_text(m)).or_insert(i))
+            .collect()
+    } else {
+        (0..n).collect()
+    };
+
+    // Heaviest-first work order: start the biggest modules early so a
+    // giant module never lands last on an otherwise drained queue.
+    let mut work: Vec<usize> = (0..n).filter(|&i| rep_of[i] == i).collect();
+    let weight: Vec<usize> = modules.iter().map(Module::live_cell_count).collect();
+    work.sort_by_key(|&i| (std::cmp::Reverse(weight[i]), i));
+
+    let slots: Vec<Mutex<Slot>> = modules
+        .into_iter()
+        .map(|m| {
+            Mutex::new(Slot {
+                module: m,
+                done: None,
+                error: None,
+            })
+        })
+        .collect();
+
+    let mut pipeline = opts.pipeline.clone();
+    pipeline.verify = opts.verify;
+
+    let jobs = opts.effective_jobs(work.len());
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let w = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(&idx) = work.get(w) else { break };
+                let mut slot = slots[idx].lock().expect("slot poisoned");
+                run_one(&mut slot, &pipeline, opts);
+            });
+        }
+    });
+
+    // Reassemble in original order; duplicates clone their representative.
+    let mut reports: Vec<ModuleReport> = Vec::with_capacity(n);
+    let mut out_modules: Vec<Option<Module>> = (0..n).map(|_| None).collect();
+    let mut first_error: Option<NetlistError> = None;
+
+    let mut finished: Vec<Slot> = slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("slot poisoned"))
+        .collect();
+
+    for i in 0..n {
+        let rep = rep_of[i];
+        if rep == i {
+            let slot = &mut finished[i];
+            if let Some(err) = slot.error.take() {
+                first_error.get_or_insert(err);
+            }
+            // A missing report means the worker errored (or panicked)
+            // on this slot; keep alignment with a passthrough entry.
+            let report = slot
+                .done
+                .take()
+                .unwrap_or_else(|| ModuleReport::untouched(&slot.module));
+            reports.push(report);
+            out_modules[i] = Some(std::mem::replace(&mut slot.module, Module::new("")));
+        } else {
+            // rep < i always (first occurrence), so its slot is done.
+            let mut cloned = out_modules[rep].as_ref().expect("rep filled").clone();
+            let name = std::mem::take(&mut finished[i].module.name);
+            cloned.name = name.clone();
+            let rep_name = reports[rep].name.clone();
+            reports.push(reports[rep].as_memo_hit(name, rep_name));
+            out_modules[i] = Some(cloned);
+        }
+    }
+
+    design.replace_modules(
+        out_modules
+            .into_iter()
+            .map(|m| m.expect("filled"))
+            .collect(),
+    );
+
+    if let Some(err) = first_error {
+        return Err(err);
+    }
+
+    Ok(DesignReport::aggregate(
+        opts.level,
+        jobs,
+        reports,
+        started.elapsed(),
+    ))
+}
+
+fn run_one(slot: &mut Slot, pipeline: &Pipeline, opts: &DriverOptions) {
+    let cells_before = slot.module.live_cell_count();
+    if let Some(limit) = opts.max_cells {
+        if cells_before > limit {
+            slot.done = Some(ModuleReport {
+                name: slot.module.name.clone(),
+                cells_before,
+                cells_after: cells_before,
+                outcome: ModuleOutcome::SkippedTooLarge { limit },
+                report: None,
+                wall: Duration::ZERO,
+            });
+            return;
+        }
+    }
+
+    // Keep the pristine module: restored on pipeline error (so the
+    // design never silently holds half-optimized netlists) and on a blown
+    // timeout budget. Lives only while this worker runs this module, so
+    // peak overhead is one module per worker, not per design.
+    let original = slot.module.clone();
+    let t0 = Instant::now();
+    match pipeline.run(&mut slot.module, opts.level) {
+        Ok(report) => {
+            let wall = t0.elapsed();
+            if let Some(budget) = opts.timeout {
+                if wall > budget {
+                    slot.module = original;
+                    slot.done = Some(ModuleReport {
+                        name: slot.module.name.clone(),
+                        cells_before,
+                        cells_after: cells_before,
+                        outcome: ModuleOutcome::TimedOut { budget },
+                        report: None,
+                        wall,
+                    });
+                    return;
+                }
+            }
+            slot.done = Some(ModuleReport {
+                name: slot.module.name.clone(),
+                cells_before,
+                cells_after: slot.module.live_cell_count(),
+                outcome: ModuleOutcome::Optimized,
+                report: Some(report),
+                wall,
+            });
+        }
+        Err(err) => {
+            slot.module = original;
+            slot.error = Some(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mux_module(name: &str) -> Module {
+        let mut m = Module::new(name);
+        let a = m.add_input("a", 4);
+        let b = m.add_input("b", 4);
+        let s = m.add_input("s", 1);
+        let r = m.add_input("r", 1);
+        let sr = m.or(&s, &r);
+        let inner = m.mux(&b, &a, &sr);
+        let outer = m.mux(&a, &inner, &s);
+        m.add_output("y", &outer);
+        m
+    }
+
+    #[test]
+    fn structural_key_ignores_module_name_only() {
+        let a = mux_module("alpha");
+        let b = mux_module("beta");
+        assert_eq!(structural_key(&a), structural_key(&b));
+
+        let mut c = mux_module("gamma");
+        let extra = c.add_input("z", 1);
+        c.add_output("zz", &extra);
+        assert_ne!(structural_key(&a), structural_key(&c));
+    }
+
+    #[test]
+    fn level_names_round_trip() {
+        for level in OptLevel::ALL {
+            assert_eq!(level_from_str(level.name()), Some(level));
+        }
+        assert_eq!(level_from_str("bogus"), None);
+    }
+
+    #[test]
+    fn size_guard_skips_large_modules() {
+        let mut d = Design::new();
+        d.add_module(mux_module("big"));
+        let opts = DriverOptions {
+            max_cells: Some(1),
+            ..Default::default()
+        };
+        let report = optimize_design(&mut d, &opts).expect("driver");
+        assert!(matches!(
+            report.modules[0].outcome,
+            ModuleOutcome::SkippedTooLarge { .. }
+        ));
+        // untouched: same cell count as input
+        assert_eq!(
+            report.modules[0].cells_after,
+            report.modules[0].cells_before
+        );
+    }
+}

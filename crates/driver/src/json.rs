@@ -1,0 +1,167 @@
+//! A minimal, dependency-free JSON value tree with deterministic
+//! rendering.
+//!
+//! The workspace builds offline, so `serde_json` is unavailable; the
+//! driver's machine-readable reports only need *writing*, and only for a
+//! fixed schema, so a tiny value enum with insertion-ordered objects is
+//! enough. Rendering is deterministic: object keys keep the order they
+//! were inserted in, and floats are formatted with a fixed precision.
+
+use std::fmt::Write as _;
+
+/// A JSON value. Objects preserve insertion order, which makes rendered
+/// output byte-stable — the property the driver's determinism tests rely
+/// on.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Unsigned integer (the reports never need negatives).
+    UInt(u64),
+    /// Floating point, rendered with 6 decimal digits.
+    Float(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Insertion-ordered object.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object under construction.
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Inserts `key: value` (panics when `self` is not an object — a
+    /// driver-internal schema bug, not a runtime condition).
+    pub fn set(&mut self, key: &str, value: Json) -> &mut Self {
+        match self {
+            Json::Object(entries) => entries.push((key.to_string(), value)),
+            _ => panic!("Json::set on non-object"),
+        }
+        self
+    }
+
+    /// Renders compactly (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Renders with `indent`-space pretty-printing.
+    pub fn render_pretty(&self, indent: usize) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(indent), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        let (nl, pad, pad_in) = match indent {
+            Some(n) => ("\n", " ".repeat(n * depth), " ".repeat(n * (depth + 1))),
+            None => ("", String::new(), String::new()),
+        };
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(v) => write!(out, "{v}").expect("write"),
+            Json::Float(v) => {
+                if v.is_finite() {
+                    write!(out, "{v:.6}").expect("write");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    item.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Object(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(nl);
+                    out.push_str(&pad_in);
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                }
+                out.push_str(nl);
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("write");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Json;
+
+    #[test]
+    fn renders_deterministically_in_insertion_order() {
+        let mut obj = Json::object();
+        obj.set("zeta", Json::UInt(1));
+        obj.set("alpha", Json::Array(vec![Json::Bool(true), Json::Null]));
+        obj.set("s", Json::Str("a\"b\n".into()));
+        assert_eq!(
+            obj.render(),
+            r#"{"zeta":1,"alpha":[true,null],"s":"a\"b\n"}"#
+        );
+        assert_eq!(obj.render(), obj.clone().render());
+    }
+
+    #[test]
+    fn pretty_print_shape() {
+        let mut obj = Json::object();
+        obj.set("a", Json::UInt(2));
+        assert_eq!(obj.render_pretty(2), "{\n  \"a\": 2\n}\n");
+    }
+}

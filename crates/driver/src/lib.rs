@@ -1,0 +1,113 @@
+//! Design-level driver: the engine that turns the per-module smaRTLy
+//! passes into a whole-design optimizer.
+//!
+//! The core crates optimize one [`smartly_netlist::Module`] at a time;
+//! real RTL arrives as multi-module designs. This crate adds the missing
+//! orchestration layer:
+//!
+//! * [`optimize_design`] — runs the [`smartly_core::Pipeline`] over every
+//!   module of a [`smartly_netlist::Design`] on a pool of scoped worker
+//!   threads (a shared atomic cursor over a heaviest-first work list, so
+//!   idle workers steal the next pending module);
+//! * a **structural memo cache** — modules with identical bodies (common
+//!   in generated and industrial RTL) are optimized once and the result
+//!   is cloned for every duplicate ([`structural_key`]);
+//! * **guards** — [`DriverOptions::max_cells`] skips oversized modules,
+//!   [`DriverOptions::timeout`] reverts modules whose optimization ran
+//!   too long;
+//! * a deterministic [`DesignReport`] — per-module
+//!   [`smartly_core::PipelineReport`]s aggregated in stable module order;
+//!   [`DesignReport::digest`] is byte-identical across `jobs` settings;
+//! * [`emit_design`] — post-optimization Verilog for the whole design;
+//! * [`run_public_corpus`] — the benchmark harness behind
+//!   `smartly corpus` and the `BENCH_driver.json` artifact.
+//!
+//! # Example
+//!
+//! ```
+//! use smartly_driver::{optimize_design, DriverOptions};
+//!
+//! let src = r#"
+//! module leaf (input wire s, input wire [3:0] a, input wire [3:0] b,
+//!              output reg [3:0] y);
+//!   always @(*) begin
+//!     if (s) begin if (s) y = a; else y = b; end else y = b;
+//!   end
+//! endmodule
+//! module leaf_copy (input wire s, input wire [3:0] a, input wire [3:0] b,
+//!                   output reg [3:0] y);
+//!   always @(*) begin
+//!     if (s) begin if (s) y = a; else y = b; end else y = b;
+//!   end
+//! endmodule
+//! "#;
+//! let mut design = smartly_verilog::compile(src)?;
+//! let opts = DriverOptions { verify: true, ..Default::default() };
+//! let report = optimize_design(&mut design, &opts)?;
+//! assert_eq!(report.modules.len(), 2);
+//! assert_eq!(report.memo_hits(), 1); // leaf_copy cloned from leaf
+//! assert_eq!(report.all_equivalent(), Some(true));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod corpus;
+mod engine;
+pub mod json;
+mod report;
+
+pub use corpus::{
+    run_public_corpus, scale_from_str, CorpusOptions, CorpusReport, CorpusRow, LevelResult,
+};
+pub use engine::{level_from_str, optimize_design, structural_key, DriverOptions};
+pub use report::{DesignReport, ModuleOutcome, ModuleReport};
+
+use smartly_netlist::{Design, NetlistError};
+use smartly_verilog::{emit_verilog, VerilogError};
+
+/// Everything the driver can fail with.
+#[derive(Debug)]
+pub enum DriverError {
+    /// A netlist-level failure inside the pipeline.
+    Netlist(NetlistError),
+    /// A frontend failure while compiling source.
+    Verilog(VerilogError),
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DriverError::Netlist(e) => write!(f, "netlist error: {e}"),
+            DriverError::Verilog(e) => write!(f, "verilog error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+impl From<NetlistError> for DriverError {
+    fn from(e: NetlistError) -> Self {
+        DriverError::Netlist(e)
+    }
+}
+
+impl From<VerilogError> for DriverError {
+    fn from(e: VerilogError) -> Self {
+        DriverError::Verilog(e)
+    }
+}
+
+/// Renders every module of `design` back to structural Verilog, in module
+/// order, separated by blank lines.
+pub fn emit_design(design: &Design) -> String {
+    let mut out = String::new();
+    for (i, module) in design.modules().iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&emit_verilog(module));
+    }
+    out
+}

@@ -1,0 +1,366 @@
+//! Deterministic design-level reports aggregating per-module
+//! [`PipelineReport`]s.
+
+use crate::json::Json;
+use smartly_aig::EquivResult;
+use smartly_core::{OptLevel, PipelineReport};
+use smartly_netlist::Module;
+use std::fmt;
+use std::time::Duration;
+
+/// How the driver handled one module.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModuleOutcome {
+    /// The pipeline ran on this module.
+    Optimized,
+    /// Structurally identical to an earlier module; its optimized netlist
+    /// and report were cloned instead of re-running the pipeline.
+    MemoHit {
+        /// Name of the representative module that was actually optimized.
+        of: String,
+    },
+    /// Exceeded [`crate::DriverOptions::max_cells`]; passed through
+    /// untouched.
+    SkippedTooLarge {
+        /// The configured cell limit.
+        limit: usize,
+    },
+    /// Optimization finished but blew the
+    /// [`crate::DriverOptions::timeout`] budget; the original netlist was
+    /// restored.
+    TimedOut {
+        /// The configured budget.
+        budget: Duration,
+    },
+    /// No report was produced (worker error); passed through untouched.
+    Untouched,
+}
+
+impl ModuleOutcome {
+    /// Stable lowercase tag for machine-readable output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ModuleOutcome::Optimized => "optimized",
+            ModuleOutcome::MemoHit { .. } => "memo_hit",
+            ModuleOutcome::SkippedTooLarge { .. } => "skipped_too_large",
+            ModuleOutcome::TimedOut { .. } => "timed_out",
+            ModuleOutcome::Untouched => "untouched",
+        }
+    }
+}
+
+/// One module's slice of a [`DesignReport`].
+#[derive(Clone, Debug)]
+pub struct ModuleReport {
+    /// Module name.
+    pub name: String,
+    /// Live cells before the driver touched the module.
+    pub cells_before: usize,
+    /// Live cells afterwards.
+    pub cells_after: usize,
+    /// What happened.
+    pub outcome: ModuleOutcome,
+    /// The pipeline's own report (present for `Optimized` and `MemoHit`).
+    pub report: Option<PipelineReport>,
+    /// Wall time spent on this module (zero for memo hits and skips).
+    /// Excluded from [`DesignReport::digest`].
+    pub wall: Duration,
+}
+
+impl ModuleReport {
+    /// A passthrough entry for a module the driver did not change.
+    pub fn untouched(module: &Module) -> Self {
+        let cells = module.live_cell_count();
+        ModuleReport {
+            name: module.name.clone(),
+            cells_before: cells,
+            cells_after: cells,
+            outcome: ModuleOutcome::Untouched,
+            report: None,
+            wall: Duration::ZERO,
+        }
+    }
+
+    /// Clones this (representative) report for a structurally identical
+    /// module named `name`. Only an actually *optimized* representative
+    /// yields a `MemoHit`; a skipped, timed-out or untouched one
+    /// replicates its own outcome so report consumers see the real
+    /// reason nothing ran.
+    pub fn as_memo_hit(&self, name: String, of: String) -> Self {
+        let outcome = match &self.outcome {
+            ModuleOutcome::Optimized | ModuleOutcome::MemoHit { .. } => {
+                ModuleOutcome::MemoHit { of }
+            }
+            other => other.clone(),
+        };
+        ModuleReport {
+            name,
+            cells_before: self.cells_before,
+            cells_after: self.cells_after,
+            outcome,
+            report: self.report.clone(),
+            wall: Duration::ZERO,
+        }
+    }
+
+    /// `Some(true)` when this module was verified equivalent, `Some(false)`
+    /// when verification refuted or gave up, `None` when it never ran.
+    pub fn verified_equivalent(&self) -> Option<bool> {
+        self.report
+            .as_ref()
+            .and_then(|r| r.equivalence.as_ref())
+            .map(|e| *e == EquivResult::Equivalent)
+    }
+
+    fn to_json(&self, include_timing: bool) -> Json {
+        let mut obj = Json::object();
+        obj.set("name", Json::Str(self.name.clone()));
+        obj.set("outcome", Json::Str(self.outcome.tag().to_string()));
+        match &self.outcome {
+            ModuleOutcome::MemoHit { of } => {
+                obj.set("memo_of", Json::Str(of.clone()));
+            }
+            ModuleOutcome::SkippedTooLarge { limit } => {
+                obj.set("cell_limit", Json::UInt(*limit as u64));
+            }
+            ModuleOutcome::TimedOut { budget } => {
+                obj.set("budget_ms", Json::UInt(budget.as_millis() as u64));
+            }
+            _ => {}
+        }
+        obj.set("cells_before", Json::UInt(self.cells_before as u64));
+        obj.set("cells_after", Json::UInt(self.cells_after as u64));
+        if let Some(r) = &self.report {
+            obj.set("area_before", Json::UInt(r.area_before as u64));
+            obj.set("area_after", Json::UInt(r.area_after as u64));
+            obj.set("reduction", Json::Float(r.reduction()));
+            obj.set("baseline_rewrites", Json::UInt(r.baseline_rewrites as u64));
+            obj.set("sat_rewrites", Json::UInt(r.sat_rewrites as u64));
+            let mut sat = Json::object();
+            sat.set("queries", Json::UInt(r.sat_stats.queries as u64));
+            sat.set("by_inference", Json::UInt(r.sat_stats.by_inference as u64));
+            sat.set("by_sim", Json::UInt(r.sat_stats.by_sim as u64));
+            sat.set("by_sat", Json::UInt(r.sat_stats.by_sat as u64));
+            sat.set("unreachable", Json::UInt(r.sat_stats.unreachable as u64));
+            sat.set(
+                "gates_before_prune",
+                Json::UInt(r.sat_stats.gates_before_prune as u64),
+            );
+            sat.set(
+                "gates_after_prune",
+                Json::UInt(r.sat_stats.gates_after_prune as u64),
+            );
+            obj.set("sat_stats", sat);
+            let mut rb = Json::object();
+            rb.set("candidates", Json::UInt(r.rebuild_stats.candidates as u64));
+            rb.set("rebuilt", Json::UInt(r.rebuild_stats.rebuilt as u64));
+            rb.set(
+                "muxes_removed",
+                Json::UInt(r.rebuild_stats.muxes_removed as u64),
+            );
+            rb.set(
+                "muxes_added",
+                Json::UInt(r.rebuild_stats.muxes_added as u64),
+            );
+            rb.set("eqs_freed", Json::UInt(r.rebuild_stats.eqs_freed as u64));
+            obj.set("rebuild_stats", rb);
+            obj.set("cells_cleaned", Json::UInt(r.cells_cleaned as u64));
+            obj.set(
+                "equivalence",
+                match &r.equivalence {
+                    None => Json::Null,
+                    Some(EquivResult::Equivalent) => Json::Str("equivalent".into()),
+                    Some(EquivResult::NotEquivalent { output, bit, .. }) => {
+                        let mut o = Json::object();
+                        o.set("verdict", Json::Str("not_equivalent".into()));
+                        o.set("output", Json::Str(output.clone()));
+                        o.set("bit", Json::UInt(*bit as u64));
+                        o
+                    }
+                    Some(EquivResult::Unknown { output, bit }) => {
+                        let mut o = Json::object();
+                        o.set("verdict", Json::Str("unknown".into()));
+                        o.set("output", Json::Str(output.clone()));
+                        o.set("bit", Json::UInt(*bit as u64));
+                        o
+                    }
+                },
+            );
+        }
+        if include_timing {
+            obj.set("wall_us", Json::UInt(self.wall.as_micros() as u64));
+        }
+        obj
+    }
+}
+
+/// The driver's aggregate result over a whole [`smartly_netlist::Design`],
+/// in stable module order.
+#[derive(Clone, Debug)]
+pub struct DesignReport {
+    /// Level the run used.
+    pub level: OptLevel,
+    /// Worker threads the pool actually ran with.
+    pub jobs: usize,
+    /// Per-module entries, in the design's module order.
+    pub modules: Vec<ModuleReport>,
+    /// Total wall time for the whole design (excluded from
+    /// [`DesignReport::digest`]).
+    pub wall: Duration,
+}
+
+impl DesignReport {
+    /// Builds the aggregate from per-module entries.
+    pub fn aggregate(
+        level: OptLevel,
+        jobs: usize,
+        modules: Vec<ModuleReport>,
+        wall: Duration,
+    ) -> Self {
+        DesignReport {
+            level,
+            jobs,
+            modules,
+            wall,
+        }
+    }
+
+    /// Sum of AIG areas before optimization (modules with reports only).
+    pub fn area_before(&self) -> usize {
+        self.modules
+            .iter()
+            .filter_map(|m| m.report.as_ref())
+            .map(|r| r.area_before)
+            .sum()
+    }
+
+    /// Sum of AIG areas after optimization.
+    pub fn area_after(&self) -> usize {
+        self.modules
+            .iter()
+            .filter_map(|m| m.report.as_ref())
+            .map(|r| r.area_after)
+            .sum()
+    }
+
+    /// Fractional area reduction over the whole design.
+    pub fn reduction(&self) -> f64 {
+        let before = self.area_before();
+        if before == 0 {
+            0.0
+        } else {
+            1.0 - self.area_after() as f64 / before as f64
+        }
+    }
+
+    /// Number of memo-cache hits.
+    pub fn memo_hits(&self) -> usize {
+        self.modules
+            .iter()
+            .filter(|m| matches!(m.outcome, ModuleOutcome::MemoHit { .. }))
+            .count()
+    }
+
+    /// `Some(true)` when every verified module proved equivalent,
+    /// `Some(false)` if any refuted/unknown, `None` when verification
+    /// never ran.
+    pub fn all_equivalent(&self) -> Option<bool> {
+        let verdicts: Vec<bool> = self
+            .modules
+            .iter()
+            .filter_map(ModuleReport::verified_equivalent)
+            .collect();
+        if verdicts.is_empty() {
+            None
+        } else {
+            Some(verdicts.into_iter().all(|v| v))
+        }
+    }
+
+    /// Full machine-readable report, including wall times.
+    pub fn to_json(&self) -> Json {
+        self.json_inner(true)
+    }
+
+    /// A canonical, timing-free rendering: two runs over the same design
+    /// at the same options produce byte-identical digests regardless of
+    /// `jobs` (the determinism contract the integration tests pin down).
+    pub fn digest(&self) -> String {
+        self.json_inner(false).render()
+    }
+
+    fn json_inner(&self, include_timing: bool) -> Json {
+        let mut obj = Json::object();
+        obj.set("level", Json::Str(self.level.name().to_string()));
+        obj.set(
+            "modules",
+            Json::Array(
+                self.modules
+                    .iter()
+                    .map(|m| m.to_json(include_timing))
+                    .collect(),
+            ),
+        );
+        obj.set("area_before", Json::UInt(self.area_before() as u64));
+        obj.set("area_after", Json::UInt(self.area_after() as u64));
+        obj.set("reduction", Json::Float(self.reduction()));
+        obj.set("memo_hits", Json::UInt(self.memo_hits() as u64));
+        obj.set(
+            "all_equivalent",
+            match self.all_equivalent() {
+                None => Json::Null,
+                Some(v) => Json::Bool(v),
+            },
+        );
+        if include_timing {
+            obj.set("jobs", Json::UInt(self.jobs as u64));
+            obj.set("wall_us", Json::UInt(self.wall.as_micros() as u64));
+        }
+        obj
+    }
+}
+
+impl fmt::Display for DesignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "design: {} modules, level {}, {} jobs, {:.1} ms",
+            self.modules.len(),
+            self.level.name(),
+            self.jobs,
+            self.wall.as_secs_f64() * 1e3,
+        )?;
+        for m in &self.modules {
+            let verdict = match m.verified_equivalent() {
+                Some(true) => " [equiv]",
+                Some(false) => " [NOT EQUIV]",
+                None => "",
+            };
+            match (&m.outcome, &m.report) {
+                (ModuleOutcome::MemoHit { of }, Some(r)) => writeln!(
+                    f,
+                    "  {:<24} memo({of}): area {} -> {}{verdict}",
+                    m.name, r.area_before, r.area_after
+                )?,
+                (_, Some(r)) => writeln!(
+                    f,
+                    "  {:<24} area {} -> {} ({:.2}%){verdict} in {:.1} ms",
+                    m.name,
+                    r.area_before,
+                    r.area_after,
+                    100.0 * r.reduction(),
+                    m.wall.as_secs_f64() * 1e3,
+                )?,
+                (outcome, None) => writeln!(f, "  {:<24} {}", m.name, outcome.tag())?,
+            }
+        }
+        write!(
+            f,
+            "total AIG area {} -> {} ({:.2}% reduction), {} memo hits",
+            self.area_before(),
+            self.area_after(),
+            100.0 * self.reduction(),
+            self.memo_hits(),
+        )
+    }
+}

@@ -1,0 +1,227 @@
+//! Integration tests for the design-level driver: determinism across
+//! thread counts, memo-cache behavior, verification, and Verilog
+//! round-tripping.
+
+use smartly_driver::{emit_design, optimize_design, DriverOptions, ModuleOutcome};
+use smartly_netlist::Design;
+
+/// A multi-module source mixing the paper's Fig. 3 shape (SAT
+/// opportunity), a case chain (rebuild opportunity), and a plain
+/// datapath.
+const MULTI: &str = r#"
+module fig3_cone (input wire s, input wire r, input wire [7:0] a,
+                  input wire [7:0] b, input wire [7:0] c, output reg [7:0] y);
+  always @(*) begin
+    if (s) begin
+      if (s | r) y = a; else y = b;
+    end else y = c;
+  end
+endmodule
+
+module case_chain (input wire [1:0] sel, input wire [7:0] p0,
+                   input wire [7:0] p1, input wire [7:0] p2,
+                   input wire [7:0] p3, output reg [7:0] q);
+  always @(*) begin
+    case (sel)
+      2'b00: q = p0;
+      2'b01: q = p1;
+      2'b10: q = p2;
+      default: q = p3;
+    endcase
+  end
+endmodule
+
+module datapath (input wire [7:0] a, input wire [7:0] b,
+                 output wire [7:0] s, output wire lt);
+  assign s = a + b;
+  assign lt = a < b;
+endmodule
+"#;
+
+/// `MULTI` plus two byte-identical copies of `fig3_cone` under other
+/// names — the generated-RTL duplication pattern the memo cache targets.
+const MULTI_DUP: &str = r#"
+module fig3_cone (input wire s, input wire r, input wire [7:0] a,
+                  input wire [7:0] b, input wire [7:0] c, output reg [7:0] y);
+  always @(*) begin
+    if (s) begin
+      if (s | r) y = a; else y = b;
+    end else y = c;
+  end
+endmodule
+
+module fig3_cone_mirror (input wire s, input wire r, input wire [7:0] a,
+                  input wire [7:0] b, input wire [7:0] c, output reg [7:0] y);
+  always @(*) begin
+    if (s) begin
+      if (s | r) y = a; else y = b;
+    end else y = c;
+  end
+endmodule
+
+module fig3_cone_again (input wire s, input wire r, input wire [7:0] a,
+                  input wire [7:0] b, input wire [7:0] c, output reg [7:0] y);
+  always @(*) begin
+    if (s) begin
+      if (s | r) y = a; else y = b;
+    end else y = c;
+  end
+endmodule
+"#;
+
+fn compile(src: &str) -> Design {
+    smartly_verilog::compile(src).expect("source compiles")
+}
+
+#[test]
+fn jobs_do_not_change_the_report_or_the_netlist() {
+    let run = |jobs: usize| {
+        let mut design = compile(MULTI);
+        let opts = DriverOptions {
+            jobs,
+            verify: true,
+            ..Default::default()
+        };
+        let report = optimize_design(&mut design, &opts).expect("driver");
+        (report, emit_design(&design))
+    };
+    let (r1, v1) = run(1);
+    let (r4, v4) = run(4);
+
+    // determinism: byte-identical timing-free reports and emitted Verilog
+    assert_eq!(r1.digest(), r4.digest());
+    assert_eq!(v1, v4);
+
+    // every module verified equivalent at both settings
+    assert_eq!(r1.all_equivalent(), Some(true));
+    assert_eq!(r4.all_equivalent(), Some(true));
+    assert_eq!(r1.modules.len(), 3);
+    for m in &r1.modules {
+        assert!(
+            m.verified_equivalent() == Some(true),
+            "{} must verify",
+            m.name
+        );
+    }
+
+    // the run did real work: the fig3 cone shrinks under Full
+    assert!(r1.area_after() < r1.area_before());
+}
+
+#[test]
+fn optimized_design_round_trips_through_verilog() {
+    let mut design = compile(MULTI);
+    let opts = DriverOptions::default();
+    optimize_design(&mut design, &opts).expect("driver");
+    let emitted = emit_design(&design);
+    let reparsed = compile(&emitted);
+    assert_eq!(reparsed.len(), design.len());
+    let names: Vec<&str> = reparsed.modules().iter().map(|m| m.name.as_str()).collect();
+    assert_eq!(names, vec!["fig3_cone", "case_chain", "datapath"]);
+    for m in reparsed.modules() {
+        m.validate().expect("emitted module validates");
+    }
+}
+
+#[test]
+fn memo_cache_hits_duplicated_modules() {
+    let mut design = compile(MULTI_DUP);
+    let opts = DriverOptions {
+        verify: true,
+        ..Default::default()
+    };
+    let report = optimize_design(&mut design, &opts).expect("driver");
+
+    assert_eq!(report.memo_hits(), 2);
+    assert!(matches!(
+        report.modules[0].outcome,
+        ModuleOutcome::Optimized
+    ));
+    for (i, expected_name) in [(1, "fig3_cone_mirror"), (2, "fig3_cone_again")] {
+        let m = &report.modules[i];
+        assert_eq!(m.name, expected_name);
+        match &m.outcome {
+            ModuleOutcome::MemoHit { of } => assert_eq!(of, "fig3_cone"),
+            other => panic!("expected memo hit, got {other:?}"),
+        }
+        // the clone inherits its representative's numbers and verdict
+        assert_eq!(m.cells_after, report.modules[0].cells_after);
+        assert_eq!(m.verified_equivalent(), Some(true));
+    }
+
+    // cloned modules keep their own names in the design and the emission
+    let names: Vec<&str> = design.modules().iter().map(|m| m.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["fig3_cone", "fig3_cone_mirror", "fig3_cone_again"]
+    );
+    let emitted = emit_design(&design);
+    assert!(emitted.contains("module fig3_cone_mirror ("));
+    assert!(emitted.contains("module fig3_cone_again ("));
+
+    // and the memoized result is byte-identical to optimizing without
+    // the cache
+    let mut no_memo = compile(MULTI_DUP);
+    let no_memo_report = optimize_design(
+        &mut no_memo,
+        &DriverOptions {
+            verify: true,
+            memoize: false,
+            ..Default::default()
+        },
+    )
+    .expect("driver");
+    assert_eq!(no_memo_report.memo_hits(), 0);
+    assert_eq!(emit_design(&no_memo), emitted);
+}
+
+#[test]
+fn memoized_and_unmemoized_reports_agree_on_areas() {
+    let mut a = compile(MULTI_DUP);
+    let mut b = compile(MULTI_DUP);
+    let ra = optimize_design(&mut a, &DriverOptions::default()).expect("driver");
+    let rb = optimize_design(
+        &mut b,
+        &DriverOptions {
+            memoize: false,
+            ..Default::default()
+        },
+    )
+    .expect("driver");
+    assert_eq!(ra.area_before(), rb.area_before());
+    assert_eq!(ra.area_after(), rb.area_after());
+}
+
+#[test]
+fn timeout_guard_reverts_and_reports() {
+    let mut design = compile(MULTI);
+    let before_cells: Vec<usize> = design
+        .modules()
+        .iter()
+        .map(|m| m.live_cell_count())
+        .collect();
+    let opts = DriverOptions {
+        // zero budget: everything that runs at all blows it
+        timeout: Some(std::time::Duration::ZERO),
+        ..Default::default()
+    };
+    let report = optimize_design(&mut design, &opts).expect("driver");
+    for (m, cells) in report.modules.iter().zip(before_cells) {
+        assert!(
+            matches!(m.outcome, ModuleOutcome::TimedOut { .. }),
+            "{}",
+            m.name
+        );
+        assert_eq!(m.cells_after, cells, "{} reverted", m.name);
+    }
+    assert_eq!(report.area_before(), 0); // no pipeline reports survive
+}
+
+#[test]
+fn empty_design_is_fine() {
+    let mut design = Design::new();
+    let report = optimize_design(&mut design, &DriverOptions::default()).expect("driver");
+    assert!(report.modules.is_empty());
+    assert_eq!(report.area_before(), 0);
+    assert_eq!(report.all_equivalent(), None);
+}

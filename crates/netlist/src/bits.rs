@@ -44,6 +44,7 @@ impl TriVal {
     }
 
     /// Three-valued NOT.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Self {
         match self {
             TriVal::Zero => TriVal::One,

@@ -118,11 +118,9 @@ impl CellKind {
     pub fn ports(self) -> &'static [Port] {
         use CellKind::*;
         match self {
-            Not | ReduceAnd | ReduceOr | ReduceXor | ReduceBool | LogicNot => {
-                &[Port::A, Port::Y]
-            }
-            And | Or | Xor | Xnor | LogicAnd | LogicOr | Add | Sub | Mul | Shl | Shr | Eq
-            | Ne | Lt | Le | Gt | Ge => &[Port::A, Port::B, Port::Y],
+            Not | ReduceAnd | ReduceOr | ReduceXor | ReduceBool | LogicNot => &[Port::A, Port::Y],
+            And | Or | Xor | Xnor | LogicAnd | LogicOr | Add | Sub | Mul | Shl | Shr | Eq | Ne
+            | Lt | Le | Gt | Ge => &[Port::A, Port::B, Port::Y],
             Mux | Pmux => &[Port::A, Port::B, Port::S, Port::Y],
             Dff => &[Port::Clk, Port::D, Port::Q],
         }

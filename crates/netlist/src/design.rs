@@ -80,6 +80,84 @@ impl Design {
             None
         }
     }
+
+    /// Number of modules.
+    pub fn len(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// `true` when the design holds no modules.
+    pub fn is_empty(&self) -> bool {
+        self.modules.is_empty()
+    }
+
+    /// The resolved index of the top module — exactly the module
+    /// [`Design::top`] returns: the recorded index when it is in range,
+    /// the first module when never set, `None` for an empty design or a
+    /// stale out-of-range index.
+    pub fn top_index(&self) -> Option<usize> {
+        match self.top {
+            Some(i) => (i < self.modules.len()).then_some(i),
+            None => (!self.modules.is_empty()).then_some(0),
+        }
+    }
+
+    /// Builds a design from a module list; the first module is top.
+    pub fn from_modules(modules: Vec<Module>) -> Self {
+        Design { modules, top: None }
+    }
+
+    /// Moves the modules out, leaving the design empty.
+    ///
+    /// The recorded top *index* is kept (queries on the emptied design
+    /// return `None` in the interim), so a same-order
+    /// [`Design::replace_modules`] restores the original top. The driver
+    /// uses this pair to hand module ownership to worker threads.
+    pub fn take_modules(&mut self) -> Vec<Module> {
+        std::mem::take(&mut self.modules)
+    }
+
+    /// Consumes the design, returning all modules in insertion order.
+    pub fn into_modules(self) -> Vec<Module> {
+        self.modules
+    }
+
+    /// Replaces the module list wholesale, keeping a previously set top
+    /// index when it still fits (it is cleared otherwise).
+    pub fn replace_modules(&mut self, modules: Vec<Module>) {
+        if self.top.is_some_and(|t| t >= modules.len()) {
+            self.top = None;
+        }
+        self.modules = modules;
+    }
+
+    /// Iterates `(index, is_top, module)` in insertion order — "top-aware"
+    /// iteration for drivers that must treat the root specially.
+    pub fn iter_with_top(&self) -> impl Iterator<Item = (usize, bool, &Module)> {
+        let top = self.top_index();
+        self.modules
+            .iter()
+            .enumerate()
+            .map(move |(i, m)| (i, Some(i) == top, m))
+    }
+}
+
+impl IntoIterator for Design {
+    type Item = Module;
+    type IntoIter = std::vec::IntoIter<Module>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.modules.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Design {
+    type Item = &'a Module;
+    type IntoIter = std::slice::Iter<'a, Module>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.modules.iter()
+    }
 }
 
 #[cfg(test)]
@@ -95,5 +173,52 @@ mod tests {
         d.set_top(1);
         assert_eq!(d.top().unwrap().name, "b");
         assert_eq!(d.into_top().unwrap().name, "b");
+    }
+
+    #[test]
+    fn take_and_replace_round_trip() {
+        let mut d = Design::new();
+        d.add_module(Module::new("a"));
+        d.add_module(Module::new("b"));
+        d.set_top(1);
+        assert_eq!(d.top_index(), Some(1));
+
+        let mods = d.take_modules();
+        assert!(d.is_empty());
+        assert_eq!(d.top_index(), None);
+        assert!(d.top().is_none());
+        assert_eq!(mods.len(), 2);
+
+        d.replace_modules(mods);
+        assert_eq!(d.len(), 2);
+        // same-order replacement restores the recorded top
+        assert_eq!(d.top().unwrap().name, "b");
+    }
+
+    #[test]
+    fn replace_clears_out_of_range_top() {
+        let mut d = Design::new();
+        d.add_module(Module::new("a"));
+        d.add_module(Module::new("b"));
+        d.set_top(1);
+        d.replace_modules(vec![Module::new("only")]);
+        assert_eq!(d.top().unwrap().name, "only");
+        assert_eq!(d.top_index(), Some(0));
+    }
+
+    #[test]
+    fn top_aware_iteration() {
+        let mut d = Design::new();
+        d.add_module(Module::new("a"));
+        d.add_module(Module::new("b"));
+        d.set_top(1);
+        let tops: Vec<(usize, bool)> = d
+            .iter_with_top()
+            .map(|(i, is_top, _)| (i, is_top))
+            .collect();
+        assert_eq!(tops, vec![(0, false), (1, true)]);
+        let names: Vec<&str> = (&d).into_iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+        assert_eq!(d.into_modules().len(), 2);
     }
 }

@@ -167,7 +167,7 @@ pub fn eval_cell(kind: CellKind, inputs: &CellInputs, y_width: usize) -> Vec<Tri
             Some(amt) => {
                 let amt = amt.min(a.len() as u128) as usize;
                 let mut out = vec![TriVal::Zero; a.len()];
-                for i in 0..a.len() {
+                for (i, slot) in out.iter_mut().enumerate() {
                     let src = if kind == Shl {
                         i.checked_sub(amt)
                     } else {
@@ -175,7 +175,7 @@ pub fn eval_cell(kind: CellKind, inputs: &CellInputs, y_width: usize) -> Vec<Tri
                         (j < a.len()).then_some(j)
                     };
                     if let Some(j) = src {
-                        out[i] = a[j];
+                        *slot = a[j];
                     }
                 }
                 out
@@ -237,10 +237,12 @@ pub fn eval_cell(kind: CellKind, inputs: &CellInputs, y_width: usize) -> Vec<Tri
 #[cfg(test)]
 mod tests {
     use super::*;
-    use TriVal::{One, X, Zero};
+    use TriVal::{One, Zero, X};
 
     fn bits(v: u64, w: usize) -> Vec<TriVal> {
-        (0..w).map(|i| TriVal::from_bool((v >> i) & 1 == 1)).collect()
+        (0..w)
+            .map(|i| TriVal::from_bool((v >> i) & 1 == 1))
+            .collect()
     }
 
     fn val(bits: &[TriVal]) -> Option<u64> {
@@ -328,22 +330,14 @@ mod tests {
         );
         assert_eq!(val(&y), Some(2));
         // none: default
-        let y = eval_cell(
-            CellKind::Pmux,
-            &CellInputs::mux(a, b, vec![Zero, Zero]),
-            4,
-        );
+        let y = eval_cell(CellKind::Pmux, &CellInputs::mux(a, b, vec![Zero, Zero]), 4);
         assert_eq!(val(&y), Some(0xF));
     }
 
     #[test]
     fn shifts() {
         let a = bits(0b1011, 4);
-        let y = eval_cell(
-            CellKind::Shl,
-            &CellInputs::binary(a.clone(), bits(1, 2)),
-            4,
-        );
+        let y = eval_cell(CellKind::Shl, &CellInputs::binary(a.clone(), bits(1, 2)), 4);
         assert_eq!(val(&y), Some(0b0110));
         let y = eval_cell(CellKind::Shr, &CellInputs::binary(a.clone(), bits(2, 2)), 4);
         assert_eq!(val(&y), Some(0b10));
@@ -370,13 +364,13 @@ mod tests {
             1,
         );
         assert_eq!(y, vec![One]);
+        let y = eval_cell(CellKind::LogicNot, &CellInputs::unary(bits(0, 3)), 1);
+        assert_eq!(y, vec![One]);
         let y = eval_cell(
-            CellKind::LogicNot,
-            &CellInputs::unary(bits(0, 3)),
+            CellKind::LogicOr,
+            &CellInputs::binary(bits(0, 2), bits(0, 2)),
             1,
         );
-        assert_eq!(y, vec![One]);
-        let y = eval_cell(CellKind::LogicOr, &CellInputs::binary(bits(0, 2), bits(0, 2)), 1);
         assert_eq!(y, vec![Zero]);
     }
 }

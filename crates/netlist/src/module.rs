@@ -447,7 +447,11 @@ impl Module {
         let w = a.width() as u32;
         self.build_cell(
             CellKind::Mux,
-            vec![(Port::A, a.clone()), (Port::B, b.clone()), (Port::S, s.clone())],
+            vec![
+                (Port::A, a.clone()),
+                (Port::B, b.clone()),
+                (Port::S, s.clone()),
+            ],
             w,
         )
     }
@@ -781,8 +785,7 @@ mod tests {
         let order = m.topo_order().unwrap();
         assert_eq!(order.len(), 3);
         // drivers must come before users
-        let pos: HashMap<CellId, usize> =
-            order.iter().enumerate().map(|(i, c)| (*c, i)).collect();
+        let pos: HashMap<CellId, usize> = order.iter().enumerate().map(|(i, c)| (*c, i)).collect();
         let ids = m.cell_ids();
         assert!(pos[&ids[0]] < pos[&ids[1]]);
         assert!(pos[&ids[1]] < pos[&ids[2]]);

@@ -1,7 +1,14 @@
-//! Property tests for the IR: `SigSpec` algebra and `eval_cell` laws.
+//! Randomized tests for the IR: `SigSpec` algebra and `eval_cell` laws.
+//!
+//! Formerly written with `proptest`; the offline build environment cannot
+//! fetch it, so each property now runs as a seeded loop over the vendored
+//! deterministic RNG — same laws, reproducible cases.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use smartly_netlist::{eval_cell, CellInputs, CellKind, SigSpec, TriVal};
+
+const CASES: usize = 64;
 
 fn trivals(bits: u64, mask_x: u64, w: usize) -> Vec<TriVal> {
     (0..w)
@@ -15,73 +22,116 @@ fn trivals(bits: u64, mask_x: u64, w: usize) -> Vec<TriVal> {
         .collect()
 }
 
-proptest! {
-    #[test]
-    fn const_u64_round_trips(v in any::<u64>(), w in 1u32..=64) {
+#[test]
+fn const_u64_round_trips() {
+    let mut rng = StdRng::seed_from_u64(0x6e65_746c_6973_7401);
+    for _ in 0..CASES {
+        let v = rng.gen_range(0..=u64::MAX);
+        let w = rng.gen_range(1u32..=64);
         let spec = SigSpec::const_u64(v & mask(w), w);
-        prop_assert_eq!(spec.as_const_u64(), Some(v & mask(w)));
-        prop_assert_eq!(spec.width(), w as usize);
+        assert_eq!(spec.as_const_u64(), Some(v & mask(w)));
+        assert_eq!(spec.width(), w as usize);
     }
+}
 
-    #[test]
-    fn slice_then_concat_is_identity(v in any::<u64>(), w in 2u32..=32, cut in 1u32..31) {
-        let cut = cut.min(w - 1);
+#[test]
+fn slice_then_concat_is_identity() {
+    let mut rng = StdRng::seed_from_u64(0x6e65_746c_6973_7402);
+    for _ in 0..CASES {
+        let v = rng.gen_range(0..=u64::MAX);
+        let w = rng.gen_range(2u32..=32);
+        let cut = rng.gen_range(1u32..31).min(w - 1);
         let spec = SigSpec::const_u64(v & mask(w), w);
         let mut lo = spec.slice(0, cut as usize);
         let hi = spec.slice(cut as usize, (w - cut) as usize);
         lo.concat(&hi);
-        prop_assert_eq!(lo, spec);
+        assert_eq!(lo, spec);
     }
+}
 
-    #[test]
-    fn zext_preserves_value(v in any::<u64>(), w in 1u32..=32, extra in 0u32..16) {
+#[test]
+fn zext_preserves_value() {
+    let mut rng = StdRng::seed_from_u64(0x6e65_746c_6973_7403);
+    for _ in 0..CASES {
+        let v = rng.gen_range(0..=u64::MAX);
+        let w = rng.gen_range(1u32..=32);
+        let extra = rng.gen_range(0u32..16);
         let spec = SigSpec::const_u64(v & mask(w), w);
-        prop_assert_eq!(spec.zext(w + extra).as_const_u64(), Some(v & mask(w)));
+        assert_eq!(spec.zext(w + extra).as_const_u64(), Some(v & mask(w)));
     }
+}
 
-    /// AND/OR/XOR are commutative even with X bits.
-    #[test]
-    fn bitwise_ops_commute(a in any::<u64>(), b in any::<u64>(),
-                           xa in any::<u64>(), xb in any::<u64>()) {
+/// AND/OR/XOR are commutative even with X bits.
+#[test]
+fn bitwise_ops_commute() {
+    let mut rng = StdRng::seed_from_u64(0x6e65_746c_6973_7404);
+    for _ in 0..CASES {
+        let (a, b) = (rng.gen_range(0..=u64::MAX), rng.gen_range(0..=u64::MAX));
+        let (xa, xb) = (rng.gen_range(0..=u64::MAX), rng.gen_range(0..=u64::MAX));
         let w = 16usize;
         let va = trivals(a, xa, w);
         let vb = trivals(b, xb, w);
         for kind in [CellKind::And, CellKind::Or, CellKind::Xor, CellKind::Xnor] {
             let ab = eval_cell(kind, &CellInputs::binary(va.clone(), vb.clone()), w);
             let ba = eval_cell(kind, &CellInputs::binary(vb.clone(), va.clone()), w);
-            prop_assert_eq!(&ab, &ba, "{:?}", kind);
+            assert_eq!(&ab, &ba, "{kind:?}");
         }
     }
+}
 
-    /// De Morgan over three-valued vectors: !(a & b) == !a | !b.
-    #[test]
-    fn de_morgan(a in any::<u64>(), b in any::<u64>(), xa in any::<u64>()) {
+/// De Morgan over three-valued vectors: !(a & b) == !a | !b.
+#[test]
+fn de_morgan() {
+    let mut rng = StdRng::seed_from_u64(0x6e65_746c_6973_7405);
+    for _ in 0..CASES {
+        let (a, b, xa) = (
+            rng.gen_range(0..=u64::MAX),
+            rng.gen_range(0..=u64::MAX),
+            rng.gen_range(0..=u64::MAX),
+        );
         let w = 12usize;
         let va = trivals(a, xa, w);
         let vb = trivals(b, 0, w);
-        let and = eval_cell(CellKind::And, &CellInputs::binary(va.clone(), vb.clone()), w);
+        let and = eval_cell(
+            CellKind::And,
+            &CellInputs::binary(va.clone(), vb.clone()),
+            w,
+        );
         let not_and = eval_cell(CellKind::Not, &CellInputs::unary(and), w);
         let na = eval_cell(CellKind::Not, &CellInputs::unary(va), w);
         let nb = eval_cell(CellKind::Not, &CellInputs::unary(vb), w);
         let or = eval_cell(CellKind::Or, &CellInputs::binary(na, nb), w);
-        prop_assert_eq!(not_and, or);
+        assert_eq!(not_and, or);
     }
+}
 
-    /// Add/Sub agree with wrapping integer arithmetic on known values.
-    #[test]
-    fn arith_matches_integers(a in any::<u64>(), b in any::<u64>(), w in 1u32..=32) {
+/// Add/Sub agree with wrapping integer arithmetic on known values.
+#[test]
+fn arith_matches_integers() {
+    let mut rng = StdRng::seed_from_u64(0x6e65_746c_6973_7406);
+    for _ in 0..CASES {
+        let (a, b) = (rng.gen_range(0..=u64::MAX), rng.gen_range(0..=u64::MAX));
+        let w = rng.gen_range(1u32..=32);
         let m = mask(w);
         let va = trivals(a & m, 0, w as usize);
         let vb = trivals(b & m, 0, w as usize);
-        let sum = eval_cell(CellKind::Add, &CellInputs::binary(va.clone(), vb.clone()), w as usize);
-        prop_assert_eq!(to_u64(&sum), Some((a & m).wrapping_add(b & m) & m));
+        let sum = eval_cell(
+            CellKind::Add,
+            &CellInputs::binary(va.clone(), vb.clone()),
+            w as usize,
+        );
+        assert_eq!(to_u64(&sum), Some((a & m).wrapping_add(b & m) & m));
         let diff = eval_cell(CellKind::Sub, &CellInputs::binary(va, vb), w as usize);
-        prop_assert_eq!(to_u64(&diff), Some((a & m).wrapping_sub(b & m) & m));
+        assert_eq!(to_u64(&diff), Some((a & m).wrapping_sub(b & m) & m));
     }
+}
 
-    /// Comparison trichotomy on known values.
-    #[test]
-    fn compare_trichotomy(a in any::<u32>(), b in any::<u32>()) {
+/// Comparison trichotomy on known values.
+#[test]
+fn compare_trichotomy() {
+    let mut rng = StdRng::seed_from_u64(0x6e65_746c_6973_7407);
+    for _ in 0..CASES {
+        let (a, b) = (rng.gen_range(0..=u32::MAX), rng.gen_range(0..=u32::MAX));
         let w = 32usize;
         let va = trivals(a as u64, 0, w);
         let vb = trivals(b as u64, 0, w);
@@ -89,13 +139,21 @@ proptest! {
         let eq = eval_cell(CellKind::Eq, &CellInputs::binary(va.clone(), vb.clone()), 1)[0];
         let gt = eval_cell(CellKind::Gt, &CellInputs::binary(va, vb), 1)[0];
         let count = [lt, eq, gt].iter().filter(|v| **v == TriVal::One).count();
-        prop_assert_eq!(count, 1, "exactly one of <,==,> holds");
+        assert_eq!(count, 1, "exactly one of <,==,> holds");
     }
+}
 
-    /// Mux with a known select equals the selected branch exactly.
-    #[test]
-    fn mux_selects_branch(a in any::<u64>(), b in any::<u64>(), s in any::<bool>(),
-                          xa in any::<u64>()) {
+/// Mux with a known select equals the selected branch exactly.
+#[test]
+fn mux_selects_branch() {
+    let mut rng = StdRng::seed_from_u64(0x6e65_746c_6973_7408);
+    for _ in 0..CASES {
+        let (a, b, xa) = (
+            rng.gen_range(0..=u64::MAX),
+            rng.gen_range(0..=u64::MAX),
+            rng.gen_range(0..=u64::MAX),
+        );
+        let s = rng.gen_bool(0.5);
         let w = 8usize;
         let va = trivals(a, xa, w);
         let vb = trivals(b, 0, w);
@@ -104,22 +162,25 @@ proptest! {
             &CellInputs::mux(va.clone(), vb.clone(), vec![TriVal::from_bool(s)]),
             w,
         );
-        prop_assert_eq!(y, if s { vb } else { va });
+        assert_eq!(y, if s { vb } else { va });
     }
+}
 
-    /// X never appears where a controlling value decides the output.
-    #[test]
-    fn controlling_values_beat_x(known in any::<u64>()) {
-        let w = 8usize;
-        let zeros = trivals(0, 0, w);
-        let xs = trivals(0, u64::MAX, w);
-        let y = eval_cell(CellKind::And, &CellInputs::binary(zeros.clone(), xs.clone()), w);
-        prop_assert_eq!(y, zeros.clone());
-        let ones = trivals(u64::MAX, 0, w);
-        let y = eval_cell(CellKind::Or, &CellInputs::binary(ones.clone(), xs), w);
-        prop_assert_eq!(y, ones);
-        let _ = known;
-    }
+/// X never appears where a controlling value decides the output.
+#[test]
+fn controlling_values_beat_x() {
+    let w = 8usize;
+    let zeros = trivals(0, 0, w);
+    let xs = trivals(0, u64::MAX, w);
+    let y = eval_cell(
+        CellKind::And,
+        &CellInputs::binary(zeros.clone(), xs.clone()),
+        w,
+    );
+    assert_eq!(y, zeros);
+    let ones = trivals(u64::MAX, 0, w);
+    let y = eval_cell(CellKind::Or, &CellInputs::binary(ones.clone(), xs), w);
+    assert_eq!(y, ones);
 }
 
 fn mask(w: u32) -> u64 {

@@ -53,27 +53,25 @@ pub fn opt_const(module: &mut Module) -> usize {
                 })
                 .collect()
         };
-        let a = cell.port(Port::A).map(|s| resolve(s)).unwrap_or_default();
-        let b = cell.port(Port::B).map(|s| resolve(s)).unwrap_or_default();
-        let s = cell.port(Port::S).map(|s| resolve(s)).unwrap_or_default();
+        let a = cell.port(Port::A).map(&resolve).unwrap_or_default();
+        let b = cell.port(Port::B).map(&resolve).unwrap_or_default();
+        let s = cell.port(Port::S).map(resolve).unwrap_or_default();
         let out_spec = cell.output().clone();
         let w = out_spec.width();
 
-        let replace_with = |module: &mut Module,
-                                src: SigSpec,
-                                consts: &mut HashMap<SigBit, TriVal>|
-         -> bool {
-            debug_assert_eq!(src.width(), w);
-            module.remove_cell(id);
-            for (dst, sbit) in out_spec.iter().zip(src.iter()) {
-                let canon_dst = index.canon(*dst);
-                if let SigBit::Const(v) = sbit {
-                    consts.insert(canon_dst, *v);
+        let replace_with =
+            |module: &mut Module, src: SigSpec, consts: &mut HashMap<SigBit, TriVal>| -> bool {
+                debug_assert_eq!(src.width(), w);
+                module.remove_cell(id);
+                for (dst, sbit) in out_spec.iter().zip(src.iter()) {
+                    let canon_dst = index.canon(*dst);
+                    if let SigBit::Const(v) = sbit {
+                        consts.insert(canon_dst, *v);
+                    }
                 }
-            }
-            module.connect(out_spec.clone(), src);
-            true
-        };
+                module.connect(out_spec.clone(), src);
+                true
+            };
 
         // 1. full constant evaluation
         if a.is_fully_const() && b.is_fully_const() && s.is_fully_const() {
@@ -112,9 +110,7 @@ pub fn opt_const(module: &mut Module) -> usize {
                         return None;
                     }
                     let all_zero = konst.as_const_u64() == Some(0);
-                    let all_one = konst
-                        .iter()
-                        .all(|b| *b == SigBit::Const(TriVal::One));
+                    let all_one = konst.iter().all(|b| *b == SigBit::Const(TriVal::One));
                     match cell.kind {
                         CellKind::And if all_zero => Some(SigSpec::zeros(w as u32)),
                         CellKind::And if all_one => Some(other.clone()),
@@ -312,10 +308,7 @@ mod tests {
         assert_eq!(opt_const(&mut m), 1);
         let idx = NetIndex::build(&m);
         let out = m.find_wire("y").unwrap();
-        assert_eq!(
-            idx.canon(SigBit::Wire(out, 0)),
-            SigBit::Const(TriVal::One)
-        );
+        assert_eq!(idx.canon(SigBit::Wire(out, 0)), SigBit::Const(TriVal::One));
     }
 
     #[test]

@@ -43,8 +43,7 @@ pub fn opt_muxtree(module: &mut Module) -> usize {
             for sink in sinks {
                 match &sink.consumer {
                     smartly_netlist::Consumer::Cell(c)
-                        if mux_set.contains(c)
-                            && matches!(sink.port, Port::A | Port::B) =>
+                        if mux_set.contains(c) && matches!(sink.port, Port::A | Port::B) =>
                     {
                         parents.insert((*c, sink.port));
                     }
@@ -113,8 +112,7 @@ pub fn opt_muxtree(module: &mut Module) -> usize {
             for (port, spec) in [(Port::A, &a_spec), (Port::B, &b_spec)] {
                 for (k, bit) in spec.iter().enumerate() {
                     if let Some(&v) = known.get(&self.index.canon(*bit)) {
-                        self.pin_bits
-                            .push((id, port, k, TriVal::from_bool(v)));
+                        self.pin_bits.push((id, port, k, TriVal::from_bool(v)));
                     }
                 }
             }
@@ -124,8 +122,7 @@ pub fn opt_muxtree(module: &mut Module) -> usize {
                     let s = self.index.canon(s_spec.bit(0));
                     if let Some(&v) = known.get(&s) {
                         // (1) select already decided by an ancestor
-                        self.pin_bits
-                            .push((id, Port::S, 0, TriVal::from_bool(v)));
+                        self.pin_bits.push((id, Port::S, 0, TriVal::from_bool(v)));
                         // only the live branch continues this path
                         let live = if v { &b_spec } else { &a_spec };
                         if let Some(child) = driver_mux(live) {
@@ -154,8 +151,7 @@ pub fn opt_muxtree(module: &mut Module) -> usize {
                     for i in 0..n {
                         let sb = self.index.canon(s_spec.bit(i));
                         if let Some(&v) = known.get(&sb) {
-                            self.pin_bits
-                                .push((id, Port::S, i, TriVal::from_bool(v)));
+                            self.pin_bits.push((id, Port::S, i, TriVal::from_bool(v)));
                         }
                         sel_bits.push(sb);
                     }
@@ -263,12 +259,10 @@ mod tests {
         let n = opt_muxtree(&mut m);
         assert!(n >= 1, "data-port bit must be rewritten");
         // the inner mux's B port is now constant 1
-        let inner_cell = m
-            .cells()
-            .find(|(_, cell)| {
-                cell.kind == CellKind::Mux
-                    && cell.port(Port::B).unwrap().bit(0) == SigBit::Const(TriVal::One)
-            });
+        let inner_cell = m.cells().find(|(_, cell)| {
+            cell.kind == CellKind::Mux
+                && cell.port(Port::B).unwrap().bit(0) == SigBit::Const(TriVal::One)
+        });
         assert!(inner_cell.is_some());
         m.validate().unwrap();
     }

@@ -96,7 +96,9 @@ pub fn parse_dimacs(text: &str) -> Result<DimacsProblem, ParseDimacsError> {
             continue;
         }
         if !seen_header {
-            return Err(ParseDimacsError::BadHeader("missing p cnf line".to_string()));
+            return Err(ParseDimacsError::BadHeader(
+                "missing p cnf line".to_string(),
+            ));
         }
         for token in line.split_whitespace() {
             let v: i64 = token.parse().map_err(|_| ParseDimacsError::BadLiteral {
@@ -196,10 +198,7 @@ mod tests {
     #[test]
     fn write_round_trips() {
         let v: Vec<Var> = (0..3).map(Var).collect();
-        let clauses = vec![
-            vec![Lit::pos(v[0]), Lit::neg(v[1])],
-            vec![Lit::pos(v[2])],
-        ];
+        let clauses = vec![vec![Lit::pos(v[0]), Lit::neg(v[1])], vec![Lit::pos(v[2])]];
         let text = write_dimacs(3, &clauses);
         let p = parse_dimacs(&text).expect("round-trips");
         assert_eq!(p.num_vars, 3);

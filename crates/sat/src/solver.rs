@@ -425,8 +425,7 @@ impl Solver {
             .iter()
             .fold(0u32, |acc, l| acc | self.abstract_level(l.var()));
         let mut keep: Vec<Lit> = vec![learnt[0]];
-        for idx in 1..learnt.len() {
-            let l = learnt[idx];
+        for &l in &learnt[1..] {
             if self.reason[l.var().index()].is_none()
                 || !self.lit_redundant(l, abstract_levels, &mut to_clear)
             {
@@ -575,18 +574,17 @@ impl Solver {
             }
         };
         if result == SolveResult::Sat {
-            self.model = self
-                .assigns
-                .iter()
-                .map(|&a| a == LBool::True)
-                .collect();
+            self.model = self.assigns.iter().map(|&a| a == LBool::True).collect();
         }
         self.cancel_until(0);
         result
     }
 
     fn clause_count(&self) -> usize {
-        self.clauses.iter().filter(|c| !c.deleted && !c.learnt).count()
+        self.clauses
+            .iter()
+            .filter(|c| !c.deleted && !c.learnt)
+            .count()
     }
 
     fn search(
@@ -848,14 +846,7 @@ mod tests {
         let mut s = Solver::new();
         cnf(
             &mut s,
-            &[
-                &[1, 2],
-                &[-1, -2],
-                &[2, 3],
-                &[-2, -3],
-                &[1, -3],
-                &[-1, 3],
-            ],
+            &[&[1, 2], &[-1, -2], &[2, 3], &[-2, -3], &[1, -3], &[-1, 3]],
         );
         let (l1, l2, l3) = (lit(1, &mut s), lit(2, &mut s), lit(3, &mut s));
         assert_eq!(s.solve(), SolveResult::Sat);

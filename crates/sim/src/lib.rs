@@ -38,8 +38,7 @@
 #![warn(missing_docs)]
 
 use smartly_netlist::{
-    eval_cell, CellInputs, CellKind, Module, NetIndex, NetlistError, Port, SigBit, SigSpec,
-    TriVal,
+    eval_cell, CellInputs, CellKind, Module, NetIndex, NetlistError, Port, SigBit, SigSpec, TriVal,
 };
 use std::collections::HashMap;
 
@@ -230,7 +229,7 @@ impl<'p> BitSim<'p> {
     ///
     /// Panics if `lanes` is 0 or greater than 64.
     pub fn set_lanes(&mut self, lanes: usize) {
-        assert!(lanes >= 1 && lanes <= 64, "lanes must be in 1..=64");
+        assert!((1..=64).contains(&lanes), "lanes must be in 1..=64");
         self.lanes = lanes;
     }
 
@@ -411,7 +410,11 @@ impl<'p> BitSim<'p> {
                     let mut next = vec![0u64; w];
                     for i in 0..w {
                         let shifted = if op.kind == Shl {
-                            if i >= amount { cur[i - amount] } else { 0 }
+                            if i >= amount {
+                                cur[i - amount]
+                            } else {
+                                0
+                            }
                         } else if i + amount < w {
                             cur[i + amount]
                         } else {

@@ -132,7 +132,9 @@ fn const_eval(e: &Expr, params: &HashMap<String, i64>) -> Result<i64, String> {
                 BinaryOp::Mul => Ok(a * b),
                 BinaryOp::Shl => Ok(a << b),
                 BinaryOp::Shr => Ok(a >> b),
-                _ => Err(format!("operator {op:?} not allowed in constant expression")),
+                _ => Err(format!(
+                    "operator {op:?} not allowed in constant expression"
+                )),
             }
         }
         _ => Err("unsupported constant expression".into()),
@@ -160,10 +162,7 @@ fn range_width(
     }
 }
 
-fn elaborate_module(
-    decl: &ModuleDecl,
-    options: &ElaborateOptions,
-) -> Result<Module, VerilogError> {
+fn elaborate_module(decl: &ModuleDecl, options: &ElaborateOptions) -> Result<Module, VerilogError> {
     let mut params: HashMap<String, i64> = HashMap::new();
     for (name, value) in &decl.params {
         let v = const_eval(value, &params).map_err(|e| VerilogError::elab(&decl.name, e))?;
@@ -280,7 +279,9 @@ fn collect_targets(stmt: &Stmt) -> Vec<String> {
             }
             Stmt::Assign { lhs, .. } => {
                 let name = match lhs {
-                    LValue::Ident(n) | LValue::Bit { name: n, .. } | LValue::Part { name: n, .. } => n,
+                    LValue::Ident(n)
+                    | LValue::Bit { name: n, .. }
+                    | LValue::Part { name: n, .. } => n,
                 };
                 if !out.contains(name) {
                     out.push(name.clone());
@@ -339,7 +340,12 @@ fn assign_lvalue(ctx: &mut Ctx, lhs: &LValue, value: SigSpec) -> Result<(), Veri
 }
 
 /// Updates `env[name]` with `value`, splicing for bit/part targets.
-fn env_assign(ctx: &mut Ctx, env: &mut Env, lhs: &LValue, value: SigSpec) -> Result<(), VerilogError> {
+fn env_assign(
+    ctx: &mut Ctx,
+    env: &mut Env,
+    lhs: &LValue,
+    value: SigSpec,
+) -> Result<(), VerilogError> {
     let (name, lo, len) = match lhs {
         LValue::Ident(n) => {
             let w = ctx.width_of(n)?;
@@ -488,9 +494,7 @@ fn pattern_match(
     kind: CaseKind,
 ) -> Result<SigSpec, VerilogError> {
     if let Expr::Number { bits, .. } = pat {
-        let has_wild = bits
-            .iter()
-            .any(|b| matches!(b, PatBit::Z | PatBit::X));
+        let has_wild = bits.iter().any(|b| matches!(b, PatBit::Z | PatBit::X));
         if has_wild || kind == CaseKind::Casez {
             // compare only non-wildcard bit positions
             let mut s_bits = SigSpec::new();
@@ -608,7 +612,7 @@ fn build_expr(ctx: &mut Ctx, expr: &Expr) -> Result<SigSpec, VerilogError> {
         }
         Expr::Repl { count, expr } => {
             let n = const_eval(count, &ctx.params).map_err(|e| ctx.err(e))?;
-            if n < 0 || n > 4096 {
+            if !(0..=4096).contains(&n) {
                 return Err(ctx.err(format!("bad replication count {n}")));
             }
             let s = build_expr(ctx, expr)?;
@@ -772,9 +776,8 @@ mod tests {
 
     #[test]
     fn concat_and_replication_widths() {
-        let m = compile(
-            "module m(input [1:0] a, output [5:0] y); assign y = {a, {2{a}}}; endmodule",
-        );
+        let m =
+            compile("module m(input [1:0] a, output [5:0] y); assign y = {a, {2{a}}}; endmodule");
         let y = m.find_wire("y").unwrap();
         assert_eq!(m.wire(y).width, 6);
         m.validate().unwrap();
@@ -782,9 +785,8 @@ mod tests {
 
     #[test]
     fn dynamic_index_makes_shift() {
-        let m = compile(
-            "module m(input [7:0] a, input [2:0] i, output y); assign y = a[i]; endmodule",
-        );
+        let m =
+            compile("module m(input [7:0] a, input [2:0] i, output y); assign y = a[i]; endmodule");
         assert_eq!(m.stats().count("shr"), 1);
         m.validate().unwrap();
     }
@@ -800,8 +802,7 @@ mod tests {
 
     #[test]
     fn out_of_range_select_errors() {
-        let file =
-            parse("module m(input [3:0] a, output y); assign y = a[9]; endmodule").unwrap();
+        let file = parse("module m(input [3:0] a, output y); assign y = a[9]; endmodule").unwrap();
         assert!(elaborate(&file, &ElaborateOptions::default()).is_err());
     }
 

@@ -18,7 +18,12 @@ use std::fmt::Write as _;
 pub fn emit_verilog(module: &Module) -> String {
     let mut names = Namer::new(module);
     let mut out = String::new();
-    writeln!(out, "// emitted by smartly-verilog from netlist '{}'", module.name).expect("write");
+    writeln!(
+        out,
+        "// emitted by smartly-verilog from netlist '{}'",
+        module.name
+    )
+    .expect("write");
     writeln!(out, "module {} (", sanitize(&module.name)).expect("write");
     let ports: Vec<String> = module
         .ports()
@@ -116,8 +121,8 @@ fn emit_cell(out: &mut String, cell: &smartly_netlist::Cell, names: &mut Namer) 
         ReduceOr | ReduceBool => format!("|({a})"),
         ReduceXor => format!("^({a})"),
         LogicNot => format!("!({a})"),
-        And | Or | Xor | Xnor | LogicAnd | LogicOr | Add | Sub | Mul | Shl | Shr | Eq | Ne
-        | Lt | Le | Gt | Ge => {
+        And | Or | Xor | Xnor | LogicAnd | LogicOr | Add | Sub | Mul | Shl | Shr | Eq | Ne | Lt
+        | Le | Gt | Ge => {
             let b = names.expr(&get(Port::B));
             let op = match cell.kind {
                 And => "&",
@@ -291,9 +296,31 @@ fn sanitize(name: &str) -> String {
     }
     // avoid keywords
     const KEYWORDS: &[&str] = &[
-        "module", "endmodule", "input", "output", "wire", "reg", "assign", "always", "begin",
-        "end", "if", "else", "case", "casez", "casex", "endcase", "default", "posedge",
-        "negedge", "or", "parameter", "localparam", "integer", "initial", "inout",
+        "module",
+        "endmodule",
+        "input",
+        "output",
+        "wire",
+        "reg",
+        "assign",
+        "always",
+        "begin",
+        "end",
+        "if",
+        "else",
+        "case",
+        "casez",
+        "casex",
+        "endcase",
+        "default",
+        "posedge",
+        "negedge",
+        "or",
+        "parameter",
+        "localparam",
+        "integer",
+        "initial",
+        "inout",
     ];
     if KEYWORDS.contains(&out.as_str()) {
         out.push('_');
@@ -348,7 +375,10 @@ mod tests {
         let src = "module m (input wire a, output wire y); assign y = ~a; endmodule";
         let m = compile(src).expect("parses").into_top().expect("module");
         let emitted = emit_verilog(&m);
-        assert!(!emitted.contains('$'), "no $ in emitted identifiers:\n{emitted}");
+        assert!(
+            !emitted.contains('$'),
+            "no $ in emitted identifiers:\n{emitted}"
+        );
     }
 
     #[test]

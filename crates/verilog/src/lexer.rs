@@ -49,9 +49,31 @@ pub struct Token {
 }
 
 const KEYWORDS: &[&str] = &[
-    "module", "endmodule", "input", "output", "inout", "wire", "reg", "assign", "always",
-    "begin", "end", "if", "else", "case", "casez", "casex", "endcase", "default", "posedge",
-    "negedge", "or", "parameter", "localparam", "integer", "initial",
+    "module",
+    "endmodule",
+    "input",
+    "output",
+    "inout",
+    "wire",
+    "reg",
+    "assign",
+    "always",
+    "begin",
+    "end",
+    "if",
+    "else",
+    "case",
+    "casez",
+    "casex",
+    "endcase",
+    "default",
+    "posedge",
+    "negedge",
+    "or",
+    "parameter",
+    "localparam",
+    "integer",
+    "initial",
 ];
 
 /// Streaming lexer over Verilog source.
@@ -305,10 +327,8 @@ impl<'a> Lexer<'a> {
                 };
                 for ch in body.chars() {
                     match ch {
-                        'x' => msb.extend(std::iter::repeat(PatBit::X).take(nbits as usize)),
-                        'z' | '?' => {
-                            msb.extend(std::iter::repeat(PatBit::Z).take(nbits as usize))
-                        }
+                        'x' => msb.extend(std::iter::repeat_n(PatBit::X, nbits as usize)),
+                        'z' | '?' => msb.extend(std::iter::repeat_n(PatBit::Z, nbits as usize)),
                         _ => {
                             let v = ch.to_digit(1 << nbits).ok_or_else(|| {
                                 VerilogError::lex(line, format!("bad digit '{ch}'"))
@@ -332,7 +352,12 @@ impl<'a> Lexer<'a> {
                     });
                 }
             }
-            _ => return Err(VerilogError::lex(line, format!("bad base '{}'", base as char))),
+            _ => {
+                return Err(VerilogError::lex(
+                    line,
+                    format!("bad base '{}'", base as char),
+                ))
+            }
         }
         // size adjust: MSB-first → resize → LSB-first
         let mut lsb: Vec<PatBit> = msb.into_iter().rev().collect();
@@ -345,21 +370,18 @@ impl<'a> Lexer<'a> {
             };
             lsb.resize(sz as usize, ext);
         }
-        let value = if lsb
-            .iter()
-            .all(|b| matches!(b, PatBit::Zero | PatBit::One))
-            && lsb.len() <= 64
-        {
-            let mut v = 0u64;
-            for (i, b) in lsb.iter().enumerate() {
-                if *b == PatBit::One {
-                    v |= 1 << i;
+        let value =
+            if lsb.iter().all(|b| matches!(b, PatBit::Zero | PatBit::One)) && lsb.len() <= 64 {
+                let mut v = 0u64;
+                for (i, b) in lsb.iter().enumerate() {
+                    if *b == PatBit::One {
+                        v |= 1 << i;
+                    }
                 }
-            }
-            Some(v)
-        } else {
-            None
-        };
+                Some(v)
+            } else {
+                None
+            };
         Ok(TokenKind::Number {
             size,
             bits: lsb,
@@ -388,7 +410,10 @@ impl<'a> Lexer<'a> {
         if let Some(sym) = ONE.iter().find(|&&o| o == s) {
             Ok(TokenKind::Sym(sym))
         } else {
-            Err(VerilogError::lex(line, format!("unexpected character '{c1}'")))
+            Err(VerilogError::lex(
+                line,
+                format!("unexpected character '{c1}'"),
+            ))
         }
     }
 }
@@ -398,7 +423,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        Lexer::new(src).tokenize().unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::new(src)
+            .tokenize()
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]

@@ -41,7 +41,9 @@ impl Parser {
     }
 
     fn bump(&mut self) -> TokenKind {
-        let t = self.tokens[self.pos.min(self.tokens.len() - 1)].kind.clone();
+        let t = self.tokens[self.pos.min(self.tokens.len() - 1)]
+            .kind
+            .clone();
         if self.pos < self.tokens.len() - 1 {
             self.pos += 1;
         }
@@ -150,7 +152,11 @@ impl Parser {
                 }
                 TokenKind::Keyword(dir @ ("input" | "output")) => {
                     self.bump();
-                    let d = if dir == "input" { Dir::Input } else { Dir::Output };
+                    let d = if dir == "input" {
+                        Dir::Input
+                    } else {
+                        Dir::Output
+                    };
                     let is_reg = self.eat_kw("reg");
                     self.eat_kw("wire");
                     let range = self.opt_range()?;
@@ -250,7 +256,11 @@ impl Parser {
             match self.peek().clone() {
                 TokenKind::Keyword(d @ ("input" | "output")) => {
                     self.bump();
-                    cur_dir = Some(if d == "input" { Dir::Input } else { Dir::Output });
+                    cur_dir = Some(if d == "input" {
+                        Dir::Input
+                    } else {
+                        Dir::Output
+                    });
                     cur_reg = self.eat_kw("reg");
                     self.eat_kw("wire");
                     cur_range = self.opt_range()?;
@@ -618,9 +628,7 @@ mod tests {
 
     #[test]
     fn ansi_ports() {
-        let m = parse_one(
-            "module m(input wire [3:0] a, input b, output reg [7:0] y); endmodule",
-        );
+        let m = parse_one("module m(input wire [3:0] a, input b, output reg [7:0] y); endmodule");
         assert_eq!(m.ports.len(), 3);
         assert_eq!(m.ports[0].dir, Dir::Input);
         assert!(m.ports[0].range.is_some());
@@ -642,11 +650,23 @@ mod tests {
 
     #[test]
     fn precedence_shapes() {
-        let m = parse_one("module m(input a, input b, input c, output y); assign y = a | b & c; endmodule");
+        let m = parse_one(
+            "module m(input a, input b, input c, output y); assign y = a | b & c; endmodule",
+        );
         match &m.items[0] {
             Item::Assign { rhs, .. } => match rhs {
-                Expr::Binary { op: BinaryOp::Or, rhs: r, .. } => {
-                    assert!(matches!(**r, Expr::Binary { op: BinaryOp::And, .. }));
+                Expr::Binary {
+                    op: BinaryOp::Or,
+                    rhs: r,
+                    ..
+                } => {
+                    assert!(matches!(
+                        **r,
+                        Expr::Binary {
+                            op: BinaryOp::And,
+                            ..
+                        }
+                    ));
                 }
                 other => panic!("bad shape {other:?}"),
             },
@@ -660,7 +680,10 @@ mod tests {
             "module m(input s, input t, output y); assign y = s ? 1'b0 : t ? 1'b1 : 1'b0; endmodule",
         );
         match &m.items[0] {
-            Item::Assign { rhs: Expr::Ternary { else_e, .. }, .. } => {
+            Item::Assign {
+                rhs: Expr::Ternary { else_e, .. },
+                ..
+            } => {
                 assert!(matches!(**else_e, Expr::Ternary { .. }));
             }
             other => panic!("bad {other:?}"),
@@ -703,11 +726,13 @@ mod tests {
 
     #[test]
     fn concat_and_replication() {
-        let m = parse_one(
-            "module m(input [1:0] a, output [5:0] y); assign y = {a, {2{a}}}; endmodule",
-        );
+        let m =
+            parse_one("module m(input [1:0] a, output [5:0] y); assign y = {a, {2{a}}}; endmodule");
         match &m.items[0] {
-            Item::Assign { rhs: Expr::Concat(parts), .. } => {
+            Item::Assign {
+                rhs: Expr::Concat(parts),
+                ..
+            } => {
                 assert_eq!(parts.len(), 2);
                 assert!(matches!(parts[1], Expr::Repl { .. }));
             }
@@ -737,7 +762,10 @@ mod tests {
             "module m(input clk, input [3:0] d, output reg [3:0] q); always @(posedge clk) begin q <= d; end endmodule",
         );
         match &m.items[0] {
-            Item::AlwaysFf { stmt: Stmt::Block(b), .. } => {
+            Item::AlwaysFf {
+                stmt: Stmt::Block(b),
+                ..
+            } => {
                 assert!(matches!(&b[0], Stmt::Assign { .. }));
             }
             other => panic!("bad {other:?}"),

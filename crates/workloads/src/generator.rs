@@ -167,18 +167,24 @@ impl<'s> Gen<'s> {
             let a = self.pick_data();
             let b = self.pick_data();
             let c = self.fresh("c");
-            let op = ["<", "==", ">=", "!="][self.rng.gen_range(0..4)];
+            let op = ["<", "==", ">=", "!="][self.rng.gen_range(0..4usize)];
             writeln!(self.body, "  wire {c} = {a} {op} {b};").expect("write");
             self.cond_pool.push(c);
         }
 
         let plan: Vec<(usize, BlockKind)> = [
-            (self.scale.apply(self.spec.datapath_ops), BlockKind::Datapath),
+            (
+                self.scale.apply(self.spec.datapath_ops),
+                BlockKind::Datapath,
+            ),
             (
                 self.scale.apply(self.spec.redundancy_ops),
                 BlockKind::Redundancy,
             ),
-            (self.scale.apply(self.spec.same_sig_cones), BlockKind::SameSig),
+            (
+                self.scale.apply(self.spec.same_sig_cones),
+                BlockKind::SameSig,
+            ),
             (self.scale.apply(self.spec.dep_cones), BlockKind::DepCone),
             (self.scale.apply(self.spec.case_blocks), BlockKind::Case),
             (
@@ -222,24 +228,23 @@ impl<'s> Gen<'s> {
             0 => format!("{a} + {b}"),
             1 => format!("{a} - {b}"),
             2 => format!("{a} ^ {b}"),
-            3 => format!("({a} & {b}) | (~{a} & {}) ", {
-                let c = self.pick_data();
-                c
-            }),
-            4 => format!("{a} + ({b} ^ {})", {
-                let c = self.pick_data();
-                c
-            }),
-            _ => format!("{{{a}[{}:0], {b}[{}:{}]}}", {
-                let w = self.spec.data_width;
-                w / 2 - 1
-            }, {
-                let w = self.spec.data_width;
-                w - 1
-            }, {
-                let w = self.spec.data_width;
-                w / 2
-            }),
+            3 => format!("({a} & {b}) | (~{a} & {}) ", { self.pick_data() }),
+            4 => format!("{a} + ({b} ^ {})", { self.pick_data() }),
+            _ => format!(
+                "{{{a}[{}:0], {b}[{}:{}]}}",
+                {
+                    let w = self.spec.data_width;
+                    w / 2 - 1
+                },
+                {
+                    let w = self.spec.data_width;
+                    w - 1
+                },
+                {
+                    let w = self.spec.data_width;
+                    w / 2
+                }
+            ),
         };
         let w = self.spec.data_width;
         writeln!(self.body, "  wire [{}:0] {name} = {expr};", w - 1).expect("write");
@@ -247,7 +252,9 @@ impl<'s> Gen<'s> {
         // occasionally derive a fresh condition from the datapath
         if self.rng.gen_bool(0.3) {
             let c = self.fresh("c");
-            let k = self.rng.gen_range(0..(1u64 << self.spec.data_width.min(16)));
+            let k = self
+                .rng
+                .gen_range(0..(1u64 << self.spec.data_width.min(16)));
             writeln!(
                 self.body,
                 "  wire {c} = {name} < {}'d{k};",
@@ -289,12 +296,8 @@ impl<'s> Gen<'s> {
             // mux with identical branches
             2 => {
                 let c = self.pick_cond();
-                writeln!(
-                    self.body,
-                    "  wire [{}:0] {name} = {c} ? {a} : {a};",
-                    w - 1
-                )
-                .expect("write");
+                writeln!(self.body, "  wire [{}:0] {name} = {c} ? {a} : {a};", w - 1)
+                    .expect("write");
             }
             // duplicate expression pair (merged by opt_merge)
             3 => {
@@ -370,16 +373,16 @@ impl<'s> Gen<'s> {
         let (defn, outer, inner_reachable_branch) = if implied {
             match self.rng.gen_range(0..4) {
                 // outer c=1 path, inner c|x decided 1
-                0 => (format!("{ca} | {cb}"), format!("{ca}"), true),
+                0 => (format!("{ca} | {cb}"), ca.to_string(), true),
                 // outer c=1, inner (x | (c | y)) decided through two gates
                 1 => {
                     let cc = self.pick_cond();
-                    (format!("{cb} | ({ca} | {cc})"), format!("{ca}"), true)
+                    (format!("{cb} | ({ca} | {cc})"), ca.to_string(), true)
                 }
                 // outer !c path (else), inner c&x decided 0
                 2 => (format!("{ca} & {cb}"), format!("!{ca}"), true),
                 // inner !c decided 0 on the c=1 path
-                _ => (format!("!{ca}"), format!("{ca}"), true),
+                _ => (format!("!{ca}"), ca.to_string(), true),
             }
         } else if self.rng.gen_bool(0.5) {
             // implied, but only visible through case analysis: the Table I
@@ -387,13 +390,13 @@ impl<'s> Gen<'s> {
             // must decide it (the paper's hybrid decision procedure)
             (
                 format!("({ca} & {cb}) | ({ca} & !{cb})"),
-                format!("{ca}"),
+                ca.to_string(),
                 true,
             )
         } else {
             // genuinely independent: SAT must keep the inner mux
             let cc = self.pick_cond();
-            (format!("{cb} ^ {cc}"), format!("{ca}"), false)
+            (format!("{cb} ^ {cc}"), ca.to_string(), false)
         };
         writeln!(self.body, "  wire {dcond} = {defn};").expect("write");
         self.cond_pool.push(dcond.clone());
@@ -424,8 +427,8 @@ impl<'s> Gen<'s> {
         let (wmin, wmax) = self.spec.case_sel_width;
         let selw = self.rng.gen_range(wmin..=wmax);
         let space = 1u64 << selw;
-        let arms =
-            ((space as f64 * self.spec.case_arm_fill) as u64).clamp(2, space.saturating_sub(1).max(2));
+        let arms = ((space as f64 * self.spec.case_arm_fill) as u64)
+            .clamp(2, space.saturating_sub(1).max(2));
         let casez = self.rng.gen_bool(self.spec.casez_fraction);
         let name = self.fresh("cs");
         let w = self.spec.data_width;
@@ -474,12 +477,8 @@ impl<'s> Gen<'s> {
                 let ways: Vec<String> = (0..4).map(|_| self.pick_data()).collect();
                 for &v in values.iter().take(arms as usize) {
                     let way = ((v >> (selw - 2)) & 3) as usize;
-                    writeln!(
-                        self.body,
-                        "      {selw}'d{v}: {name} = {};",
-                        ways[way]
-                    )
-                    .expect("write");
+                    writeln!(self.body, "      {selw}'d{v}: {name} = {};", ways[way])
+                        .expect("write");
                 }
                 let dleaf = ways[0].clone();
                 writeln!(self.body, "      default: {name} = {dleaf};").expect("write");

@@ -69,11 +69,9 @@ impl BenchCase {
             case_lowering: CaseLowering::Chain,
         };
         let design = compile_with(&self.source, &opts)?;
-        design.into_top().ok_or_else(|| {
-            VerilogError::Elaborate {
-                module: self.name.clone(),
-                message: "empty design".to_string(),
-            }
+        design.into_top().ok_or_else(|| VerilogError::Elaborate {
+            module: self.name.clone(),
+            message: "empty design".to_string(),
         })
     }
 }
@@ -158,7 +156,9 @@ mod tests {
     #[test]
     fn paper_figures_compile_and_validate() {
         for case in paper_figures() {
-            let m = case.compile().unwrap_or_else(|e| panic!("{}: {e}", case.name));
+            let m = case
+                .compile()
+                .unwrap_or_else(|e| panic!("{}: {e}", case.name));
             m.validate().unwrap();
             assert!(m.stats().mux_like() >= 1, "{} has muxes", case.name);
         }

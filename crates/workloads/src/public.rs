@@ -66,7 +66,6 @@ pub(crate) fn specs() -> Vec<DesignSpec> {
             redundancy_ops: 160,
             datapath_ops: 60,
             register_banks: 10,
-            ..base.clone()
         },
         DesignSpec {
             name: "pci_bridge32".into(),
@@ -203,7 +202,6 @@ pub(crate) fn specs() -> Vec<DesignSpec> {
             redundancy_ops: 200,
             datapath_ops: 120,
             register_banks: 20,
-            ..base.clone()
         },
         DesignSpec {
             name: "ac97_ctrl".into(),
@@ -257,7 +255,8 @@ mod tests {
             let m = case
                 .compile()
                 .unwrap_or_else(|e| panic!("{}: {e}", case.name));
-            m.validate().unwrap_or_else(|e| panic!("{}: {e}", case.name));
+            m.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", case.name));
             assert!(m.stats().mux_like() > 0, "{} must contain muxes", case.name);
         }
     }

@@ -15,8 +15,10 @@ fn main() {
         scale,
         ..Default::default()
     };
-    println!("{:8} {:>9} {:>9} {:>9} {:>8} {:>8} {:>10}",
-        "point", "original", "yosys", "smartly", "yosys%", "smartly%", "extra-vs-yosys%");
+    println!(
+        "{:8} {:>9} {:>9} {:>9} {:>8} {:>8} {:>10}",
+        "point", "original", "yosys", "smartly", "yosys%", "smartly%", "extra-vs-yosys%"
+    );
     let mut extra_sum = 0.0;
     let corpus = industrial_corpus(&spec);
     let n = corpus.len();
@@ -30,10 +32,13 @@ fn main() {
         let smartly_pct = 100.0 * (1.0 - rf.area_after as f64 / rf.area_before as f64);
         let extra = 100.0 * (1.0 - rf.area_after as f64 / rb.area_after as f64);
         extra_sum += extra;
-        println!("{:8} {:>9} {:>9} {:>9} {:>7.1}% {:>7.1}% {:>9.1}%",
-            case.name, rb.area_before, rb.area_after, rf.area_after,
-            yosys_pct, smartly_pct, extra);
+        println!(
+            "{:8} {:>9} {:>9} {:>9} {:>7.1}% {:>7.1}% {:>9.1}%",
+            case.name, rb.area_before, rb.area_after, rf.area_after, yosys_pct, smartly_pct, extra
+        );
     }
-    println!("\naverage extra AIG-area reduction vs Yosys: {:.1}% (paper: 47.2%)",
-        extra_sum / n as f64);
+    println!(
+        "\naverage extra AIG-area reduction vs Yosys: {:.1}% (paper: 47.2%)",
+        extra_sum / n as f64
+    );
 }

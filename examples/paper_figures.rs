@@ -13,8 +13,8 @@ use smartly_workloads::paper_figures;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
-        "{:22} {:>8} {:>8} {:>8} {:>8}  {}",
-        "figure", "orig", "yosys", "smartly", "extra%", "verified"
+        "{:22} {:>8} {:>8} {:>8} {:>8}  verified",
+        "figure", "orig", "yosys", "smartly", "extra%"
     );
     for case in paper_figures() {
         let mut baseline = case.compile()?;

@@ -1,0 +1,216 @@
+//! `smartly` — the end-to-end RTL optimization CLI.
+//!
+//! ```text
+//! smartly opt <file.v> [--level yosys|sat|rebuild|full] [--jobs N]
+//!             [--verify] [--json report.json] [-o out.v]
+//!             [--max-cells N] [--timeout-ms N] [--no-memo]
+//! smartly stats <file.v>
+//! smartly corpus [--scale tiny|small|paper] [--jobs N] [--verify]
+//!                [--json BENCH_driver.json]
+//! ```
+
+use smartly_driver::{
+    emit_design, level_from_str, optimize_design, run_public_corpus, scale_from_str, CorpusOptions,
+    DriverOptions,
+};
+use smartly_netlist::CellStats;
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// `println!` that ignores a closed stdout (e.g. `smartly stats | head`)
+/// instead of panicking on the broken pipe. The command keeps running so
+/// `--json`/`-o` artifacts are still written and the exit code still
+/// reflects verification, even when the reader hung up early.
+macro_rules! outln {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        let _ = writeln!(std::io::stdout(), $($arg)*);
+    }};
+}
+
+/// `print!` variant of [`outln!`].
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        use std::io::Write as _;
+        let _ = write!(std::io::stdout(), $($arg)*);
+    }};
+}
+
+const USAGE: &str = "smartly — SAT-based RTL optimization (smaRTLy reproduction)
+
+USAGE:
+  smartly opt <file.v> [OPTIONS]     parse, optimize all modules in
+                                     parallel, and emit Verilog
+  smartly stats <file.v>             per-module cell statistics
+  smartly corpus [OPTIONS]           run the public workload suite and
+                                     print a Table-III-style summary
+
+OPT OPTIONS:
+  --level <yosys|sat|rebuild|full>   optimization level (default: full)
+  --jobs <N>                         worker threads (default: all CPUs)
+  --verify                           SAT-check each module against its
+                                     original
+  --json <path>                      write the machine-readable report
+  -o, --output <path>                write optimized Verilog (default:
+                                     stdout summary only)
+  --max-cells <N>                    skip modules larger than N cells
+  --timeout-ms <N>                   revert modules that optimized longer
+                                     than N ms
+  --no-memo                          disable the structural memo cache
+
+CORPUS OPTIONS:
+  --scale <tiny|small|paper>         corpus size (default: tiny)
+  --jobs <N>, --verify, --json <path> as above
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("opt") => cmd_opt(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            out!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("smartly: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Pulls the value of `--flag <value>` out of `args`, removing both.
+fn take_value(args: &mut Vec<String>, names: &[&str]) -> Result<Option<String>, String> {
+    if let Some(pos) = args.iter().position(|a| names.contains(&a.as_str())) {
+        if pos + 1 >= args.len() {
+            return Err(format!("{} needs a value", args[pos]));
+        }
+        let value = args.remove(pos + 1);
+        args.remove(pos);
+        Ok(Some(value))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Removes `--flag` from `args`, reporting whether it was present.
+fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == name) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_number(value: &str, flag: &str) -> Result<u64, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag} expects a number, got '{value}'"))
+}
+
+fn positional(args: Vec<String>, what: &str) -> Result<String, String> {
+    let mut it = args.into_iter();
+    let first = it.next().ok_or_else(|| format!("missing {what}"))?;
+    if first.starts_with('-') {
+        return Err(format!("unexpected option '{first}'"));
+    }
+    if let Some(extra) = it.next() {
+        return Err(format!("unexpected argument '{extra}'"));
+    }
+    Ok(first)
+}
+
+fn compile_file(path: &str) -> Result<smartly_netlist::Design, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    smartly_verilog::compile(&source).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_opt(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let mut opts = DriverOptions::default();
+    if let Some(level) = take_value(&mut args, &["--level"])? {
+        opts.level = level_from_str(&level)
+            .ok_or_else(|| format!("unknown level '{level}' (yosys|sat|rebuild|full)"))?;
+    }
+    if let Some(jobs) = take_value(&mut args, &["--jobs", "-j"])? {
+        opts.jobs = parse_number(&jobs, "--jobs")? as usize;
+    }
+    opts.verify = take_flag(&mut args, "--verify");
+    opts.memoize = !take_flag(&mut args, "--no-memo");
+    if let Some(n) = take_value(&mut args, &["--max-cells"])? {
+        opts.max_cells = Some(parse_number(&n, "--max-cells")? as usize);
+    }
+    if let Some(ms) = take_value(&mut args, &["--timeout-ms"])? {
+        opts.timeout = Some(Duration::from_millis(parse_number(&ms, "--timeout-ms")?));
+    }
+    let json_path = take_value(&mut args, &["--json"])?;
+    let out_path = take_value(&mut args, &["--output", "-o"])?;
+    let input = positional(args, "input file")?;
+
+    let mut design = compile_file(&input)?;
+    let report = optimize_design(&mut design, &opts).map_err(|e| e.to_string())?;
+
+    outln!("{report}");
+    // Write the report before the verification verdict: on failure the
+    // JSON is the artifact that says which module/output/bit differed.
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json().render_pretty(2))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        outln!("report written to {path}");
+    }
+    if opts.verify && report.all_equivalent() == Some(false) {
+        return Err("verification FAILED for at least one module".to_string());
+    }
+    if let Some(path) = out_path {
+        std::fs::write(&path, emit_design(&design))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        outln!("optimized Verilog written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let input = positional(args.to_vec(), "input file")?;
+    let design = compile_file(&input)?;
+    for (i, is_top, module) in design.iter_with_top() {
+        let marker = if is_top { " (top)" } else { "" };
+        outln!("module {}{marker}:", module.name);
+        out!("{}", CellStats::of(module));
+        if i + 1 < design.len() {
+            outln!();
+        }
+    }
+    Ok(())
+}
+
+fn cmd_corpus(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let mut opts = CorpusOptions::default();
+    if let Some(scale) = take_value(&mut args, &["--scale"])? {
+        opts.scale = scale_from_str(&scale)
+            .ok_or_else(|| format!("unknown scale '{scale}' (tiny|small|paper)"))?;
+    }
+    if let Some(jobs) = take_value(&mut args, &["--jobs", "-j"])? {
+        opts.jobs = parse_number(&jobs, "--jobs")? as usize;
+    }
+    opts.verify = take_flag(&mut args, "--verify");
+    let json_path = take_value(&mut args, &["--json"])?;
+    if let Some(extra) = args.first() {
+        return Err(format!("unexpected argument '{extra}'"));
+    }
+
+    let report = run_public_corpus(&opts).map_err(|e| e.to_string())?;
+    outln!("{report}");
+    if let Some(path) = json_path {
+        std::fs::write(&path, report.to_json().render_pretty(2))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        outln!("artifact written to {path}");
+    }
+    Ok(())
+}

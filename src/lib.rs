@@ -1,1 +1,62 @@
-//! smartly-suite: examples and integration tests for the smaRTLy reproduction.
+//! smartly-suite: the workspace façade for the smaRTLy reproduction.
+//!
+//! This crate hosts the `smartly` CLI binary plus the workspace-level
+//! integration tests and examples. The implementation lives in the
+//! member crates:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | `smartly-netlist` | word-level netlist IR (RTLIL-style) |
+//! | `smartly-sat` | CDCL SAT solver + Tseitin encoding |
+//! | `smartly-add` | algebraic decision diagrams (rebuild substrate) |
+//! | `smartly-aig` | AIG area metric and equivalence checking |
+//! | `smartly-opt` | Yosys-style baseline passes |
+//! | `smartly-sim` | bit-parallel / three-valued simulation |
+//! | `smartly-verilog` | Verilog-2001 subset frontend + emitter |
+//! | `smartly-core` | the paper's passes and per-module pipeline |
+//! | `smartly-workloads` | seeded benchmark corpora |
+//! | `smartly-driver` | design-level parallel engine + reports |
+//! | `smartly-bench` | table-reproducing binaries |
+//!
+//! # The `smartly` CLI
+//!
+//! ```text
+//! smartly opt design.v --verify --jobs 8 --json report.json -o out.v
+//! smartly stats design.v
+//! smartly corpus --scale tiny --json BENCH_driver.json
+//! ```
+//!
+//! `smartly opt` parses a (multi-module) Verilog file, optimizes every
+//! module in parallel through [`smartly_driver::optimize_design`],
+//! optionally SAT-verifies each rewrite, and emits structural Verilog
+//! back. Reports are deterministic: `--jobs 1` and `--jobs N` produce
+//! byte-identical [`smartly_driver::DesignReport::digest`]s.
+//!
+//! # Library quickstart
+//!
+//! ```
+//! use smartly_driver::{optimize_design, DriverOptions};
+//!
+//! let src = r#"
+//! module m (input wire s, input wire r, input wire [7:0] a,
+//!           input wire [7:0] b, input wire [7:0] c, output reg [7:0] y);
+//!   always @(*) begin
+//!     if (s) begin if (s | r) y = a; else y = b; end else y = c;
+//!   end
+//! endmodule
+//! "#;
+//! let mut design = smartly_verilog::compile(src)?;
+//! let opts = DriverOptions { verify: true, ..Default::default() };
+//! let report = optimize_design(&mut design, &opts)?;
+//! assert_eq!(report.all_equivalent(), Some(true));
+//! assert!(report.area_after() < report.area_before());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use smartly_core;
+pub use smartly_driver;
+pub use smartly_netlist;
+pub use smartly_verilog;
+pub use smartly_workloads;

@@ -5,7 +5,10 @@ use smartly_sim::{compile, BitSim};
 use smartly_verilog::compile as vcompile;
 
 fn build(src: &str) -> smartly_sim::Program {
-    let m = vcompile(src).expect("valid source").into_top().expect("module");
+    let m = vcompile(src)
+        .expect("valid source")
+        .into_top()
+        .expect("module");
     m.validate().expect("well-formed");
     compile(&m).expect("compiles for simulation")
 }
@@ -157,16 +160,16 @@ fn dynamic_bit_select() {
     sim.set_input("i", &(0..8u64).collect::<Vec<_>>());
     sim.eval_comb();
     let y = sim.output("y");
-    for k in 0..8 {
-        assert_eq!(y[k], (a >> k) & 1, "bit {k}");
+    for (k, bit) in y.iter().enumerate().take(8) {
+        assert_eq!(*bit, (a >> k) & 1, "bit {k}");
     }
 }
 
 #[test]
 fn malformed_sources_are_rejected() {
     for bad in [
-        "module m(input a output y); endmodule",          // missing comma
-        "module m(input a); assign y = a; endmodule",     // unknown signal
+        "module m(input a output y); endmodule",      // missing comma
+        "module m(input a); assign y = a; endmodule", // unknown signal
         "module m(input [3:0] a, output y); assign y = a[7]; endmodule", // range
         "module m(input a, output y); assign y = a +; endmodule", // syntax
         "module m(input a, output y); always @(negedge a) y = 1; endmodule", // negedge

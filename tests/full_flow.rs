@@ -56,7 +56,9 @@ fn industrial_gap_is_large() {
         let mut base = case.compile().expect("compiles");
         let mut full = base.clone();
         let pipeline = Pipeline::default();
-        let rb = pipeline.run(&mut base, OptLevel::Baseline).expect("baseline");
+        let rb = pipeline
+            .run(&mut base, OptLevel::Baseline)
+            .expect("baseline");
         let rf = pipeline.run(&mut full, OptLevel::Full).expect("full");
         let extra = 1.0 - rf.area_after as f64 / rb.area_after as f64;
         total_extra += extra;

@@ -79,7 +79,10 @@ fn listing2_rebuilds_with_good_order() {
     let mut m = compile("listing2_casez");
     let report = run(&mut m, OptLevel::RebuildOnly);
     assert_eq!(report.rebuild_stats.rebuilt, 1);
-    assert_eq!(report.rebuild_stats.muxes_added, 3, "good assignment: 3 muxes");
+    assert_eq!(
+        report.rebuild_stats.muxes_added, 3,
+        "good assignment: 3 muxes"
+    );
     assert_eq!(m.stats().count("eq"), 0);
 }
 
