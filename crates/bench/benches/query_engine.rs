@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the redundancy pass's query engine: the
+//! incremental four-layer funnel against the legacy fresh-solver path,
+//! on the SAT-heavy corpus cases.
+//!
+//! Excluded from discovery (`autobenches = false`) like the sibling
+//! benches until a networked environment can supply `criterion`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smartly_core::{sat_redundancy, SatRedundancyOptions};
+use smartly_netlist::Module;
+use smartly_opt::baseline_optimize;
+use smartly_workloads::{public_corpus, Scale};
+
+fn corpus_case(name: &str) -> Module {
+    let mut m = public_corpus(Scale::Tiny)
+        .into_iter()
+        .find(|c| c.name == name)
+        .expect("case exists")
+        .compile()
+        .expect("compiles");
+    baseline_optimize(&mut m);
+    m
+}
+
+fn bench_funnel(c: &mut Criterion) {
+    for case in ["wb_conmax", "wb_dma", "pci_bridge32"] {
+        let module = corpus_case(case);
+        for (tag, incremental) in [("incremental", true), ("fresh", false)] {
+            c.bench_function(&format!("query_engine/{case}/{tag}"), |b| {
+                b.iter_batched(
+                    || module.clone(),
+                    |mut m| {
+                        sat_redundancy(
+                            &mut m,
+                            &SatRedundancyOptions {
+                                incremental,
+                                ..Default::default()
+                            },
+                        )
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+}
+
+criterion_group!(benches, bench_funnel);
+criterion_main!(benches);

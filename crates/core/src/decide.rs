@@ -61,6 +61,52 @@ pub enum Engine {
     None,
 }
 
+/// Which decision engine [`decide`] (and the incremental
+/// [`crate::QueryEngine`]) routes a query to — a pure function of the
+/// free-leaf count and cone size, so both paths stay in lockstep.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum EngineChoice {
+    /// Exhaustive simulation of the free leaves.
+    Sim,
+    /// CDCL SAT on the encoded sub-graph.
+    Sat,
+    /// Too large to attempt at all.
+    Skip,
+}
+
+/// The hybrid engine-selection rule (paper §II): exhaustive simulation
+/// costs `2^free × |cells|` — cheap for the small cones the pruned gather
+/// produces, ruinous for big ones — so fall back to SAT when the product
+/// is large ("the SAT solver is better suited for handling larger sets of
+/// inputs"), and skip entirely past the input-count threshold.
+pub(crate) fn choose_engine(
+    free_count: usize,
+    cone_cells: usize,
+    options: &DecideOptions,
+) -> EngineChoice {
+    const SIM_COST_LIMIT: u64 = 2_000_000;
+    let sim_cost = 1u64
+        .checked_shl(free_count as u32)
+        .unwrap_or(u64::MAX)
+        .saturating_mul(cone_cells as u64);
+    if free_count <= options.sim_threshold && sim_cost <= SIM_COST_LIMIT {
+        EngineChoice::Sim
+    } else if free_count <= options.sat_threshold {
+        EngineChoice::Sat
+    } else {
+        EngineChoice::Skip
+    }
+}
+
+/// The free (unassigned, non-constant) leaves of a sub-graph.
+pub(crate) fn free_leaves(sub: &SubGraph, assign: &HashMap<SigBit, bool>) -> Vec<SigBit> {
+    sub.leaves
+        .iter()
+        .copied()
+        .filter(|b| !assign.contains_key(b) && !b.is_const())
+        .collect()
+}
+
 /// Decides the sub-graph's target bit under `assign`.
 pub fn decide(
     module: &Module,
@@ -69,36 +115,20 @@ pub fn decide(
     assign: &HashMap<SigBit, bool>,
     options: &DecideOptions,
 ) -> (Decision, Engine) {
-    let free: Vec<SigBit> = sub
-        .leaves
-        .iter()
-        .copied()
-        .filter(|b| !assign.contains_key(b) && !b.is_const())
-        .collect();
-    // exhaustive simulation costs 2^free × |cells|: cheap for the small
-    // cones the pruned gather produces, ruinous for big ones — fall back
-    // to SAT when the product is large ("the SAT solver is better suited
-    // for handling larger sets of inputs", §II)
-    const SIM_COST_LIMIT: u64 = 2_000_000;
-    let sim_cost = 1u64
-        .checked_shl(free.len() as u32)
-        .unwrap_or(u64::MAX)
-        .saturating_mul(sub.cells.len() as u64);
-    if free.len() <= options.sim_threshold && sim_cost <= SIM_COST_LIMIT {
-        (
+    let free = free_leaves(sub, assign);
+    match choose_engine(free.len(), sub.cells.len(), options) {
+        EngineChoice::Sim => (
             simulate(module, index, sub, assign, &free),
             Engine::Simulation,
-        )
-    } else if free.len() <= options.sat_threshold {
-        (sat_decide(module, index, sub, assign, options), Engine::Sat)
-    } else {
-        (Decision::Skipped, Engine::None)
+        ),
+        EngineChoice::Sat => (sat_decide(module, index, sub, assign, options), Engine::Sat),
+        EngineChoice::Skip => (Decision::Skipped, Engine::None),
     }
 }
 
 /// Exhaustive simulation: enumerate free-leaf assignments, evaluate the
 /// sub-graph, keep assignments consistent with the known internal bits.
-fn simulate(
+pub(crate) fn simulate(
     module: &Module,
     index: &NetIndex,
     sub: &SubGraph,
@@ -253,7 +283,7 @@ fn sat_decide(
 }
 
 /// Gate-consistency encoding for one cell (bitwise, like the AIG mapper).
-fn encode_cell(
+pub(crate) fn encode_cell(
     enc: &mut TseitinEncoder,
     kind: CellKind,
     a: &[Lit],

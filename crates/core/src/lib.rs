@@ -13,6 +13,10 @@
 //!   ([`decide`]). A decided select pins to a constant and the mux
 //!   collapses — catching *logically dependent* controls the Yosys
 //!   baseline cannot see (paper Fig. 3: `S ? ((S|R) ? A : B) : C`).
+//!   Queries run through the stateful [`QueryEngine`] funnel — verdict
+//!   memo, counterexample replay, random-simulation prefilter, and one
+//!   incremental activation-literal solver per module — instead of a
+//!   fresh solver per query ([`query_engine`] has the details).
 //! * [`restructure()`](restructure()) (paper §III, Algorithm 1) — rebuilds `case`-shaped
 //!   muxtrees (`OnlyEq` + `SingleCtrl`) through an algebraic decision
 //!   diagram with greedy per-node bit selection, re-emitting one mux per
@@ -51,10 +55,12 @@
 pub mod decide;
 pub mod inference;
 mod pipeline;
+pub mod query_engine;
 pub mod restructure;
 pub mod sat_pass;
 pub mod subgraph;
 
 pub use pipeline::{OptLevel, Pipeline, PipelineReport};
+pub use query_engine::{QueryEngine, QueryEngineOptions, QueryEngineStats};
 pub use restructure::{restructure, RestructureOptions};
 pub use sat_pass::{sat_redundancy, SatRedundancyOptions};

@@ -119,6 +119,14 @@ impl std::fmt::Display for PipelineReport {
         )?;
         writeln!(
             f,
+            "query funnel: {} queries (memo {}, cex-replay {}, prefilter {})",
+            self.sat_stats.queries,
+            self.sat_stats.by_memo,
+            self.sat_stats.by_cex,
+            self.sat_stats.by_prefilter,
+        )?;
+        writeln!(
+            f,
             "restructuring: {}/{} candidates rebuilt, muxes {} -> {}, eq freed {}",
             self.rebuild_stats.rebuilt,
             self.rebuild_stats.candidates,
@@ -180,14 +188,7 @@ impl Pipeline {
                 let st = sat_redundancy(module, &self.sat);
                 changed |= st.rewrites > 0;
                 report.sat_rewrites += st.rewrites;
-                report.sat_stats.rewrites += st.rewrites;
-                report.sat_stats.queries += st.queries;
-                report.sat_stats.by_inference += st.by_inference;
-                report.sat_stats.by_sim += st.by_sim;
-                report.sat_stats.by_sat += st.by_sat;
-                report.sat_stats.unreachable += st.unreachable;
-                report.sat_stats.gates_before_prune += st.gates_before_prune;
-                report.sat_stats.gates_after_prune += st.gates_after_prune;
+                report.sat_stats.absorb(&st);
                 report.cells_cleaned += clean_pipeline(module, 8);
                 // pinned selects may expose new baseline opportunities
                 report.baseline_rewrites += baseline_optimize(module);

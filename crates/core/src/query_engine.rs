@@ -1,0 +1,715 @@
+//! The incremental SAT query engine: a four-layer funnel that answers
+//! "is this bit constant under the path condition?" queries for the
+//! redundancy pass (paper §II) without paying a fresh solver per query.
+//!
+//! [`decide()`](crate::decide::decide) — the legacy path — Tseitin-encodes
+//! every sub-graph into a brand-new solver and runs two full CDCL
+//! searches. Profiling the public corpus shows that most queries are
+//! *refutations* (the target genuinely takes both values), and
+//! SAT-sweeping practice answers those without ever reaching a solver.
+//! [`QueryEngine`] layers the cheap answers in front:
+//!
+//! 1. **Cone-verdict memo** — queries are keyed by the canonical
+//!    structural hash of ([`subgraph::query_key`]), so a mux tree
+//!    replicated across a 32-bit bus pays for one decision, not 32.
+//! 2. **Counterexample cache** — every model a SAT call returns is packed
+//!    into 64-wide vector words (lane *k* of every bit's word = model
+//!    *k*). Replaying the bank through the cone with
+//!    [`smartly_sim::ConeSim`] refutes most "is it constant?" queries in
+//!    one bit-parallel pass: a lane that satisfies the path condition and
+//!    drives the target to each polarity is a complete proof of
+//!    `Unknown`.
+//! 3. **Random-simulation prefilter** — a handful of deterministic
+//!    pseudo-random 64-vector passes knock out queries on genuinely free
+//!    cones that the cache has not seen yet.
+//! 4. **Incremental SAT** — one shared [`TseitinEncoder`] per module.
+//!    Each cell's gate CNF is encoded exactly *once*; the clauses tying a
+//!    cell's function to its output net are guarded by a per-cell
+//!    *activation literal*, so a query is posed as
+//!    `solve_with(activations ∪ path-condition ∪ target)` and retracted
+//!    for free when the call returns. Learnt clauses survive the whole
+//!    sweep. Exhaustive simulation of small cones (the paper's hybrid
+//!    rule, [`choose_engine`]) runs 64 vectors per pass through the same
+//!    compiled cone instead of one scalar three-valued evaluation at a
+//!    time.
+//!
+//! Layers 1–3 only ever *refute* (conclude `Unknown`) or miss; every
+//! conclusive `Const`/`Unreachable` verdict still comes from exhaustive
+//! simulation or SAT, so the funnel returns exactly the verdicts the
+//! legacy path would for every query the conflict budget does not cut
+//! short (see the differential tests). A budget-limited query can
+//! resolve on either side of the limit depending on the shared solver's
+//! accumulated learnt clauses — a sound divergence either way, since
+//! both modes then report `Unknown` or a correctly proven constant.
+//! Guarding only the output-tie clauses keeps out-of-cone cells
+//! invisible to a query — a leaf stays as free as it was in a fresh
+//! solver.
+//!
+//! [`subgraph::query_key`]: crate::subgraph::query_key
+
+use crate::decide::{
+    choose_engine, encode_cell, free_leaves, simulate, DecideOptions, Decision, EngineChoice,
+};
+use crate::subgraph::{query_key, SubGraph};
+use smartly_netlist::{CellId, Module, NetIndex, Port, SigBit, TriVal};
+use smartly_sat::{Lit, SolveResult, TseitinEncoder};
+use smartly_sim::{compile_cone, ConeProgram, ConeSim};
+use std::collections::HashMap;
+
+/// Which funnel layer terminated a query.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Layer {
+    /// The cone-verdict memo replayed an earlier decision.
+    Memo,
+    /// Counterexample replay refuted constancy.
+    CexReplay,
+    /// Random-simulation prefilter refuted constancy.
+    Prefilter,
+    /// Exhaustive simulation decided.
+    Simulation,
+    /// The incremental SAT solver decided.
+    Sat,
+    /// No layer ran (query skipped as too large).
+    None,
+}
+
+/// Tuning for a [`QueryEngine`].
+#[derive(Copy, Clone, Debug)]
+pub struct QueryEngineOptions {
+    /// The hybrid sim/SAT thresholds shared with the legacy path.
+    pub decide: DecideOptions,
+    /// Number of 64-vector random passes before SAT (0 disables the
+    /// prefilter layer).
+    pub prefilter_rounds: usize,
+    /// Drop and re-create the shared solver once it holds this many
+    /// variables — a backstop against superlinear growth on huge modules
+    /// (the memo and counterexample bank survive a reset).
+    pub reset_vars: usize,
+}
+
+impl Default for QueryEngineOptions {
+    fn default() -> Self {
+        QueryEngineOptions {
+            decide: DecideOptions::default(),
+            prefilter_rounds: 2,
+            reset_vars: 200_000,
+        }
+    }
+}
+
+/// Cumulative per-layer telemetry.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryEngineStats {
+    /// Queries posed to the engine.
+    pub queries: usize,
+    /// Answered by the cone-verdict memo.
+    pub by_memo: usize,
+    /// Refuted by counterexample replay.
+    pub by_cex: usize,
+    /// Refuted by the random-simulation prefilter.
+    pub by_prefilter: usize,
+    /// Reached exhaustive simulation.
+    pub by_sim: usize,
+    /// Reached the incremental SAT solver.
+    pub by_sat: usize,
+    /// Individual `solve_with` calls issued (≤ 2 per SAT query; witness
+    /// reuse from layers 2–3 skips the matching polarity).
+    pub sat_solves: usize,
+    /// Models captured into the counterexample bank.
+    pub models_cached: usize,
+    /// Shared-solver resets triggered by `reset_vars`.
+    pub solver_resets: usize,
+}
+
+/// Per-module stateful query pipeline; see the [module docs](self).
+///
+/// One engine serves one sweep over one (immutable) module: it borrows
+/// the netlist, so drop it before applying rewrites.
+pub struct QueryEngine<'m> {
+    module: &'m Module,
+    index: &'m NetIndex,
+    options: QueryEngineOptions,
+    enc: TseitinEncoder,
+    /// canonical net bit → its solver variable
+    lits: HashMap<SigBit, Lit>,
+    /// encoded cell → its activation literal
+    acts: HashMap<CellId, Lit>,
+    /// counterexample bank: canonical bit → 64 packed model values
+    bank: HashMap<SigBit, u64>,
+    /// how many bank lanes hold a model (≤ 64)
+    bank_filled: u32,
+    /// next lane to (over)write
+    bank_cursor: u32,
+    memo: HashMap<Vec<u64>, Decision>,
+    stats: QueryEngineStats,
+}
+
+fn mask(v: bool) -> u64 {
+    if v {
+        u64::MAX
+    } else {
+        0
+    }
+}
+
+fn lanes_mask(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// SplitMix64: the deterministic plane generator for the prefilter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl<'m> QueryEngine<'m> {
+    /// Creates an engine over one module for one sweep.
+    pub fn new(module: &'m Module, index: &'m NetIndex, options: QueryEngineOptions) -> Self {
+        QueryEngine {
+            module,
+            index,
+            options,
+            enc: TseitinEncoder::new(),
+            lits: HashMap::new(),
+            acts: HashMap::new(),
+            bank: HashMap::new(),
+            bank_filled: 0,
+            bank_cursor: 0,
+            memo: HashMap::new(),
+            stats: QueryEngineStats::default(),
+        }
+    }
+
+    /// Telemetry so far.
+    pub fn stats(&self) -> QueryEngineStats {
+        self.stats
+    }
+
+    /// Decides the sub-graph's target bit under `assign` (canonical keys),
+    /// returning the verdict and the layer that produced it.
+    ///
+    /// Layer order: memo → counterexample replay → random prefilter →
+    /// exhaustive simulation or incremental SAT, with the same
+    /// sim/SAT/skip routing as [`crate::decide::decide`].
+    pub fn decide(&mut self, sub: &SubGraph, assign: &HashMap<SigBit, bool>) -> (Decision, Layer) {
+        self.stats.queries += 1;
+        let key = query_key(self.module, self.index, sub, assign);
+        if let Some(&d) = self.memo.get(&key) {
+            self.stats.by_memo += 1;
+            return (d, Layer::Memo);
+        }
+        let free = free_leaves(sub, assign);
+        let choice = choose_engine(free.len(), sub.cells.len(), &self.options.decide);
+        if choice == EngineChoice::Skip {
+            self.memo.insert(key, Decision::Skipped);
+            return (Decision::Skipped, Layer::None);
+        }
+
+        let prog = compile_cone(self.module, self.index, &sub.cells);
+        let target = self.index.canon(sub.target);
+        let mut seen_true = false;
+        let mut seen_false = false;
+        if let Some(tslot) = prog.slot(target) {
+            // layer 2: counterexample replay
+            if self.bank_filled > 0 {
+                let (t, f) = self.replay_bank(&prog, assign, tslot);
+                seen_true |= t;
+                seen_false |= f;
+                if seen_true && seen_false {
+                    self.stats.by_cex += 1;
+                    self.memo.insert(key, Decision::Unknown);
+                    return (Decision::Unknown, Layer::CexReplay);
+                }
+            }
+            // layer 3: random-simulation prefilter
+            if !free.is_empty() {
+                for round in 0..self.options.prefilter_rounds {
+                    let (t, f) = self.replay_random(&prog, assign, tslot, round as u64);
+                    seen_true |= t;
+                    seen_false |= f;
+                    if seen_true && seen_false {
+                        self.stats.by_prefilter += 1;
+                        self.memo.insert(key, Decision::Unknown);
+                        return (Decision::Unknown, Layer::Prefilter);
+                    }
+                }
+            }
+        }
+
+        let (d, layer) = match choice {
+            EngineChoice::Sim => {
+                self.stats.by_sim += 1;
+                let d = if prog.has_x() || prog.slot(target).is_none() {
+                    // constant-x cones need exact three-valued semantics;
+                    // empty cones have nothing to replay
+                    simulate(self.module, self.index, sub, assign, &free)
+                } else {
+                    self.exhaustive(&prog, assign, target, &free)
+                };
+                (d, Layer::Simulation)
+            }
+            EngineChoice::Sat => {
+                self.stats.by_sat += 1;
+                let d = self.sat_layer(sub, &prog, assign, target, seen_true, seen_false);
+                (d, Layer::Sat)
+            }
+            EngineChoice::Skip => unreachable!("handled above"),
+        };
+        self.memo.insert(key, d);
+        (d, layer)
+    }
+
+    /// Loads leaf planes (path-condition bits pinned, free bits from
+    /// `source`), evaluates the cone, and reports which target polarities
+    /// are witnessed by lanes consistent with the path condition.
+    fn witnesses(
+        &self,
+        prog: &ConeProgram,
+        assign: &HashMap<SigBit, bool>,
+        tslot: u32,
+        active: u64,
+        source: impl Fn(SigBit, u32) -> u64,
+    ) -> (bool, bool) {
+        let mut sim = ConeSim::new(prog);
+        for &(bit, slot) in prog.leaves() {
+            let plane = match assign.get(&bit) {
+                Some(&v) => mask(v),
+                None => source(bit, slot),
+            };
+            sim.set_plane(slot, plane);
+        }
+        sim.eval();
+        // a lane is consistent when every in-cone path-condition bit
+        // evaluates to its asserted value
+        let mut ok = active;
+        for (bit, &v) in assign {
+            if let Some(slot) = prog.slot(self.index.canon(*bit)) {
+                ok &= !(sim.plane(slot) ^ mask(v));
+            }
+        }
+        let t = sim.plane(tslot);
+        ((ok & t) != 0, (ok & !t) != 0)
+    }
+
+    fn replay_bank(
+        &self,
+        prog: &ConeProgram,
+        assign: &HashMap<SigBit, bool>,
+        tslot: u32,
+    ) -> (bool, bool) {
+        let active = lanes_mask(self.bank_filled);
+        self.witnesses(prog, assign, tslot, active, |bit, _| {
+            self.bank.get(&bit).copied().unwrap_or(0)
+        })
+    }
+
+    fn replay_random(
+        &self,
+        prog: &ConeProgram,
+        assign: &HashMap<SigBit, bool>,
+        tslot: u32,
+        round: u64,
+    ) -> (bool, bool) {
+        // planes keyed by slot (stable: first-use order in the cone) and
+        // round — deterministic across runs, jobs and platforms
+        self.witnesses(prog, assign, tslot, u64::MAX, |_, slot| {
+            splitmix64(0x5EED_0000_0000_0000 ^ (u64::from(slot) << 8) ^ round)
+        })
+    }
+
+    /// Exhaustive 64-lane enumeration of the free leaves — the same
+    /// verdict [`simulate`] computes, 64 vectors per pass.
+    fn exhaustive(
+        &self,
+        prog: &ConeProgram,
+        assign: &HashMap<SigBit, bool>,
+        target: SigBit,
+        free: &[SigBit],
+    ) -> Decision {
+        let tslot = prog.slot(target).expect("checked by caller");
+        let free_slots: Vec<u32> = free
+            .iter()
+            .map(|b| prog.slot(*b).expect("free leaf is referenced by the cone"))
+            .collect();
+        let total: u64 = 1 << free.len();
+        let mut seen_true = false;
+        let mut seen_false = false;
+        let mut any_consistent = false;
+        let mut chunk = 0u64;
+        while chunk < total {
+            let lanes = (total - chunk).min(64) as u32;
+            let (t, f) = self.witnesses(prog, assign, tslot, lanes_mask(lanes), |bit, slot| {
+                let j = free_slots
+                    .iter()
+                    .position(|&s| s == slot)
+                    .unwrap_or_else(|| panic!("unassigned non-free leaf {bit:?}"));
+                let mut plane = 0u64;
+                for l in 0..u64::from(lanes) {
+                    if ((chunk + l) >> j) & 1 == 1 {
+                        plane |= 1 << l;
+                    }
+                }
+                plane
+            });
+            seen_true |= t;
+            seen_false |= f;
+            any_consistent |= t || f;
+            if seen_true && seen_false {
+                return Decision::Unknown;
+            }
+            chunk += 64;
+        }
+        if !any_consistent {
+            Decision::Unreachable
+        } else if seen_true {
+            Decision::Const(true)
+        } else {
+            Decision::Const(false)
+        }
+    }
+
+    /// The net-bit literal (allocating on first use; constants fold).
+    fn lit(&mut self, canonical_bit: SigBit) -> Lit {
+        match canonical_bit {
+            SigBit::Const(TriVal::One) => self.enc.true_lit(),
+            SigBit::Const(_) => self.enc.false_lit(),
+            c => {
+                if let Some(&l) = self.lits.get(&c) {
+                    return l;
+                }
+                let l = self.enc.fresh();
+                self.lits.insert(c, l);
+                l
+            }
+        }
+    }
+
+    /// Encodes one cell exactly once: unguarded Tseitin definitions for
+    /// the gate function (fresh variables, globally sound), plus
+    /// activation-guarded clauses tying the function to the output net —
+    /// with the activation literal unasserted, the net stays as free as
+    /// it was in a fresh solver.
+    fn encode(&mut self, id: CellId) {
+        if self.acts.contains_key(&id) {
+            return;
+        }
+        let act = self.enc.fresh();
+        let cell = self.module.cell(id).expect("live cell");
+        let port_lits = |port: Port, this: &mut Self| -> Vec<Lit> {
+            cell.port(port)
+                .map(|s| s.iter().map(|b| this.lit(this.index.canon(*b))).collect())
+                .unwrap_or_default()
+        };
+        let a = port_lits(Port::A, self);
+        let b = port_lits(Port::B, self);
+        let s = port_lits(Port::S, self);
+        let w = cell.output().width();
+        let out = encode_cell(&mut self.enc, cell.kind, &a, &b, &s, w);
+        for (bit, lit) in cell.output().iter().zip(out) {
+            let net = self.lit(self.index.canon(*bit));
+            self.enc.add_clause([!act, !net, lit]);
+            self.enc.add_clause([!act, net, !lit]);
+        }
+        self.acts.insert(id, act);
+    }
+
+    /// Incremental SAT: assume the cone's activation literals, the path
+    /// condition and the target polarity; models feed the counterexample
+    /// bank. Polarities already witnessed by layers 2–3 are skipped.
+    fn sat_layer(
+        &mut self,
+        sub: &SubGraph,
+        prog: &ConeProgram,
+        assign: &HashMap<SigBit, bool>,
+        target: SigBit,
+        seen_true: bool,
+        seen_false: bool,
+    ) -> Decision {
+        if self.enc.num_vars() > self.options.reset_vars {
+            self.enc = TseitinEncoder::new();
+            self.lits.clear();
+            self.acts.clear();
+            self.stats.solver_resets += 1;
+        }
+        for &id in &sub.cells {
+            self.encode(id);
+        }
+        let mut assumptions: Vec<Lit> = sub.cells.iter().map(|id| self.acts[id]).collect();
+        let mut path: Vec<(SigBit, bool)> = assign
+            .iter()
+            .map(|(b, &v)| (self.index.canon(*b), v))
+            .collect();
+        path.sort_unstable();
+        for (bit, v) in path {
+            let l = self.lit(bit);
+            assumptions.push(if v { l } else { !l });
+        }
+        let tlit = self.lit(target);
+        self.enc
+            .solver_mut()
+            .set_conflict_budget(Some(self.options.decide.conflict_budget));
+        let query = |polarity: Lit, this: &mut Self| -> SolveResult {
+            this.stats.sat_solves += 1;
+            let mut a = assumptions.clone();
+            a.push(polarity);
+            let r = this.enc.solve_with(&a);
+            if r == SolveResult::Sat {
+                this.capture_model(prog);
+            }
+            r
+        };
+        let can_be_true = if seen_true {
+            SolveResult::Sat
+        } else {
+            query(tlit, self)
+        };
+        let can_be_false = if seen_false {
+            SolveResult::Sat
+        } else {
+            query(!tlit, self)
+        };
+        match (can_be_true, can_be_false) {
+            (SolveResult::Unsat, SolveResult::Unsat) => Decision::Unreachable,
+            (SolveResult::Sat, SolveResult::Unsat) => Decision::Const(true),
+            (SolveResult::Unsat, SolveResult::Sat) => Decision::Const(false),
+            _ => Decision::Unknown,
+        }
+    }
+
+    /// Packs the last model's values for every cone bit into the next
+    /// bank lane (a ring over 64 lanes; bits absent from this cone keep
+    /// their previous lane values — replay re-verifies every lane, so
+    /// stale mixtures cost at most a missed refutation, never a wrong
+    /// one).
+    fn capture_model(&mut self, prog: &ConeProgram) {
+        let lane = self.bank_cursor % 64;
+        self.bank_cursor = self.bank_cursor.wrapping_add(1);
+        self.bank_filled = (self.bank_filled + 1).min(64);
+        self.stats.models_cached += 1;
+        for (bit, _) in prog.bits() {
+            if let Some(&l) = self.lits.get(&bit) {
+                let v = self.enc.solver().model_value(l).unwrap_or(false);
+                let plane = self.bank.entry(bit).or_insert(0);
+                if v {
+                    *plane |= 1 << lane;
+                } else {
+                    *plane &= !(1 << lane);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decide::decide;
+    use crate::subgraph;
+    use smartly_netlist::Module;
+
+    fn ranks(m: &Module) -> HashMap<CellId, usize> {
+        m.topo_order()
+            .unwrap()
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (c, i))
+            .collect()
+    }
+
+    fn extract_for(
+        m: &Module,
+        index: &NetIndex,
+        target: SigBit,
+        known: &[(SigBit, bool)],
+    ) -> (SubGraph, HashMap<SigBit, bool>) {
+        let r = ranks(m);
+        let mut assign = HashMap::new();
+        for (b, v) in known {
+            assign.insert(index.canon(*b), *v);
+        }
+        let (sub, _) = subgraph::extract(m, index, &r, target, &assign, 16, true);
+        (sub, assign)
+    }
+
+    fn sat_only() -> QueryEngineOptions {
+        QueryEngineOptions {
+            decide: DecideOptions {
+                sim_threshold: 0,
+                ..Default::default()
+            },
+            prefilter_rounds: 0,
+            ..Default::default()
+        }
+    }
+
+    /// SAT models feed the bank; an isomorphism-breaking sibling query is
+    /// then refuted by pure replay.
+    #[test]
+    fn counterexamples_replay_across_queries() {
+        let mut m = Module::new("t");
+        let a = m.add_input("a", 1);
+        let b = m.add_input("b", 1);
+        let x = m.xor(&a, &b);
+        let xn = m.xnor(&a, &b);
+        m.add_output("o1", &x);
+        m.add_output("o2", &xn);
+        let index = NetIndex::build(&m);
+        let mut eng = QueryEngine::new(&m, &index, sat_only());
+
+        let (sub, assign) = extract_for(&m, &index, index.canon(x.bit(0)), &[]);
+        let (d, layer) = eng.decide(&sub, &assign);
+        assert_eq!(d, Decision::Unknown);
+        assert_eq!(layer, Layer::Sat);
+        assert_eq!(eng.stats().models_cached, 2, "one model per polarity");
+
+        // xnor(a, b) is the complement cone: whatever pair of models
+        // witnessed xor's two polarities witnesses xnor's two polarities
+        let (sub, assign) = extract_for(&m, &index, index.canon(xn.bit(0)), &[]);
+        let (d, layer) = eng.decide(&sub, &assign);
+        assert_eq!(d, Decision::Unknown);
+        assert_eq!(layer, Layer::CexReplay);
+        assert_eq!(eng.stats().by_cex, 1);
+    }
+
+    /// A poisoned bank must never refute a genuinely constant bit: replay
+    /// verifies every lane against the path condition.
+    #[test]
+    fn replay_never_misrefutes_a_constant_bit() {
+        let mut m = Module::new("t");
+        let a = m.add_input("a", 1);
+        let b = m.add_input("b", 1);
+        let x = m.xor(&a, &b);
+        m.add_output("o1", &x);
+        let s = m.add_input("s", 1);
+        let r = m.add_input("r", 1);
+        let sr = m.or(&s, &r);
+        m.add_output("o2", &sr);
+        let index = NetIndex::build(&m);
+        let mut eng = QueryEngine::new(&m, &index, sat_only());
+
+        // fill the bank with models over {a, b} (and, lane-stale, zeros
+        // for every other bit)
+        let (sub, assign) = extract_for(&m, &index, index.canon(x.bit(0)), &[]);
+        let _ = eng.decide(&sub, &assign);
+        assert!(eng.stats().models_cached > 0);
+
+        // s|r under s=1 is constant true; the bank's lanes pin s=1 via
+        // the path condition and must only ever witness `true`
+        let (sub, assign) = extract_for(&m, &index, index.canon(sr.bit(0)), &[(s.bit(0), true)]);
+        let (d, layer) = eng.decide(&sub, &assign);
+        assert_eq!(d, Decision::Const(true));
+        assert_eq!(layer, Layer::Sat);
+        assert_eq!(eng.stats().by_cex, 0, "replay must not fire");
+    }
+
+    /// Bus-replicated structure: the second isomorphic cone is answered
+    /// by the verdict memo without touching sim or SAT.
+    #[test]
+    fn isomorphic_cones_share_a_verdict() {
+        let mut m = Module::new("t");
+        let a0 = m.add_input("a0", 1);
+        let b0 = m.add_input("b0", 1);
+        let a1 = m.add_input("a1", 1);
+        let b1 = m.add_input("b1", 1);
+        let y0 = m.or(&a0, &b0);
+        let y1 = m.or(&a1, &b1);
+        m.add_output("o0", &y0);
+        m.add_output("o1", &y1);
+        let index = NetIndex::build(&m);
+        let mut eng = QueryEngine::new(&m, &index, QueryEngineOptions::default());
+
+        let (sub, assign) = extract_for(&m, &index, index.canon(y0.bit(0)), &[(a0.bit(0), true)]);
+        let (d0, l0) = eng.decide(&sub, &assign);
+        assert_eq!(d0, Decision::Const(true));
+        assert_ne!(l0, Layer::Memo);
+
+        let (sub, assign) = extract_for(&m, &index, index.canon(y1.bit(0)), &[(a1.bit(0), true)]);
+        let (d1, l1) = eng.decide(&sub, &assign);
+        assert_eq!(d1, Decision::Const(true));
+        assert_eq!(l1, Layer::Memo);
+        assert_eq!(eng.stats().by_memo, 1);
+    }
+
+    /// A genuinely free cone is refuted by the random prefilter before
+    /// any solver or enumeration runs.
+    #[test]
+    fn prefilter_refutes_free_cones() {
+        let mut m = Module::new("t");
+        let a = m.add_input("a", 1);
+        let b = m.add_input("b", 1);
+        let y = m.or(&a, &b);
+        m.add_output("o", &y);
+        let index = NetIndex::build(&m);
+        let mut eng = QueryEngine::new(&m, &index, QueryEngineOptions::default());
+        let (sub, assign) = extract_for(&m, &index, index.canon(y.bit(0)), &[]);
+        let (d, layer) = eng.decide(&sub, &assign);
+        assert_eq!(d, Decision::Unknown);
+        assert_eq!(layer, Layer::Prefilter);
+        assert_eq!(eng.stats().by_prefilter, 1);
+    }
+
+    /// The engine and the legacy fresh-solver path agree verdict-for-
+    /// verdict on seeded random cones, through both the sim and the SAT
+    /// routes, with and without a shared engine accumulating state.
+    #[test]
+    fn engine_matches_legacy_decide_on_random_cones() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xC0DE);
+        for round in 0..20 {
+            let mut m = Module::new("t");
+            let inputs: Vec<_> = (0..5).map(|i| m.add_input(&format!("i{i}"), 1)).collect();
+            let mut pool: Vec<smartly_netlist::SigSpec> = inputs.clone();
+            for _ in 0..10 {
+                let x = pool[rng.gen_range(0..pool.len())].clone();
+                let y = pool[rng.gen_range(0..pool.len())].clone();
+                let z = match rng.gen_range(0..5) {
+                    0 => m.and(&x, &y),
+                    1 => m.or(&x, &y),
+                    2 => m.xor(&x, &y),
+                    3 => m.mux(
+                        &x,
+                        &y,
+                        &pool[rng.gen_range(0..pool.len())].clone().slice(0, 1),
+                    ),
+                    _ => m.not(&x),
+                };
+                pool.push(z);
+            }
+            for (i, s) in pool.iter().enumerate().skip(5) {
+                m.add_output(&format!("o{i}"), s);
+            }
+            let index = NetIndex::build(&m);
+            for (sim_threshold, prefilter_rounds) in [(16, 2), (0, 2), (0, 0)] {
+                let opts = QueryEngineOptions {
+                    decide: DecideOptions {
+                        sim_threshold,
+                        ..Default::default()
+                    },
+                    prefilter_rounds,
+                    ..Default::default()
+                };
+                // one engine across the whole query stream, like a sweep
+                let mut eng = QueryEngine::new(&m, &index, opts);
+                for (t, sig) in pool.iter().enumerate().skip(5) {
+                    let target = index.canon(sig.bit(0));
+                    let known = [(inputs[round % 5].bit(0), round % 2 == 0)];
+                    let (sub, assign) = extract_for(&m, &index, target, &known);
+                    let (d_eng, _) = eng.decide(&sub, &assign);
+                    let (d_leg, _) = decide(&m, &index, &sub, &assign, &opts.decide);
+                    assert_eq!(
+                        d_eng, d_leg,
+                        "round {round} target {t} sim_threshold {sim_threshold}"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -9,6 +9,7 @@
 
 use crate::decide::{decide, DecideOptions, Decision, Engine};
 use crate::inference::{propagate, InferOutcome};
+use crate::query_engine::{Layer, QueryEngine, QueryEngineOptions};
 use crate::subgraph::{extract_cached, ConeCache, SubgraphStats};
 use smartly_netlist::{CellId, CellKind, Module, NetIndex, Port, SigBit, SigSpec, TriVal};
 use std::collections::{HashMap, HashSet};
@@ -37,6 +38,17 @@ pub struct SatRedundancyOptions {
     /// Measure the raw distance-`k` gather for the pruning statistics
     /// (paper's ~80% claim); costs extra graph walks, off by default.
     pub measure_gather: bool,
+    /// Route queries through the stateful [`QueryEngine`] funnel
+    /// (counterexample cache, random prefilter, shared incremental
+    /// solver, verdict memo) instead of a fresh solver per query.
+    /// Verdicts are identical for every query the conflict budget does
+    /// not cut short; a budget-limited `Unknown` can land on either
+    /// side of the limit depending on the solver's accumulated state,
+    /// and only ever degrades to a missed rewrite, never a wrong one.
+    /// `false` is the ablation baseline.
+    pub incremental: bool,
+    /// Random-simulation prefilter passes per query (engine mode only).
+    pub prefilter_rounds: usize,
 }
 
 impl Default for SatRedundancyOptions {
@@ -51,6 +63,8 @@ impl Default for SatRedundancyOptions {
             max_queries: 100_000,
             max_subgraph_cells: 3_000,
             measure_gather: false,
+            incremental: true,
+            prefilter_rounds: 2,
         }
     }
 }
@@ -68,6 +82,14 @@ pub struct SatPassStats {
     pub by_sim: usize,
     /// Queries answered by SAT.
     pub by_sat: usize,
+    /// Queries answered by the engine's cone-verdict memo (isomorphic
+    /// structure seen before; any verdict).
+    pub by_memo: usize,
+    /// Queries refuted by counterexample replay (engine mode only).
+    pub by_cex: usize,
+    /// Queries refuted by the random-simulation prefilter (engine mode
+    /// only).
+    pub by_prefilter: usize,
     /// Branches proven unreachable.
     pub unreachable: usize,
     /// Gates gathered into sub-graphs before pruning (paper ~80% claim).
@@ -80,6 +102,21 @@ impl SatPassStats {
     fn absorb_subgraph(&mut self, s: SubgraphStats) {
         self.gates_before_prune += s.gates_before_prune;
         self.gates_after_prune += s.gates_after_prune;
+    }
+
+    /// Adds another sweep's counters onto this one.
+    pub fn absorb(&mut self, o: &SatPassStats) {
+        self.rewrites += o.rewrites;
+        self.queries += o.queries;
+        self.by_inference += o.by_inference;
+        self.by_sim += o.by_sim;
+        self.by_sat += o.by_sat;
+        self.by_memo += o.by_memo;
+        self.by_cex += o.by_cex;
+        self.by_prefilter += o.by_prefilter;
+        self.unreachable += o.unreachable;
+        self.gates_before_prune += o.gates_before_prune;
+        self.gates_after_prune += o.gates_after_prune;
     }
 }
 
@@ -149,6 +186,26 @@ pub fn sat_redundancy(module: &mut Module, options: &SatRedundancyOptions) -> Sa
     let mut pins: Vec<(CellId, Port, usize, TriVal)> = Vec::new();
     let mut visited: HashSet<CellId> = HashSet::new();
     let cone_cache = std::cell::RefCell::new(ConeCache::new());
+    let decide_opts = DecideOptions {
+        sim_threshold: options.sim_threshold,
+        sat_threshold: options.sat_threshold,
+        conflict_budget: options.conflict_budget,
+    };
+    // the stateful query funnel (one per sweep; the netlist is immutable
+    // until the pins are applied at the end)
+    let engine: Option<std::cell::RefCell<QueryEngine>> = if options.incremental {
+        Some(std::cell::RefCell::new(QueryEngine::new(
+            module,
+            &index,
+            QueryEngineOptions {
+                decide: decide_opts,
+                prefilter_rounds: options.prefilter_rounds,
+                ..Default::default()
+            },
+        )))
+    } else {
+        None
+    };
 
     // resolve a select bit's value under the path condition
     let resolve_select =
@@ -194,15 +251,27 @@ pub fn sat_redundancy(module: &mut Module, options: &SatRedundancyOptions) -> Sa
                     return Some(v);
                 }
             }
-            let opts = DecideOptions {
-                sim_threshold: options.sim_threshold,
-                sat_threshold: options.sat_threshold,
-                conflict_budget: options.conflict_budget,
+            let (d, engine_used) = match &engine {
+                Some(e) => {
+                    let (d, layer) = e.borrow_mut().decide(&sub, &assign);
+                    match layer {
+                        Layer::Memo => stats.by_memo += 1,
+                        Layer::CexReplay => stats.by_cex += 1,
+                        Layer::Prefilter => stats.by_prefilter += 1,
+                        _ => {}
+                    }
+                    let mapped = match layer {
+                        Layer::Simulation => Engine::Simulation,
+                        Layer::Sat => Engine::Sat,
+                        _ => Engine::None,
+                    };
+                    (d, mapped)
+                }
+                None => decide(module, &index, &sub, &assign, &decide_opts),
             };
-            let (d, engine) = decide(module, &index, &sub, &assign, &opts);
             match d {
                 Decision::Const(v) => {
-                    match engine {
+                    match engine_used {
                         Engine::Simulation => stats.by_sim += 1,
                         Engine::Sat => stats.by_sat += 1,
                         Engine::None => {}
@@ -346,6 +415,8 @@ pub fn sat_redundancy(module: &mut Module, options: &SatRedundancyOptions) -> Sa
         }
     }
 
+    // release the engine's borrow of the netlist before mutating it
+    drop(engine);
     for (id, port, offset, value) in pins {
         if let Some(cell) = module.cell_mut(id) {
             if let Some(spec) = cell.port_mut(port) {

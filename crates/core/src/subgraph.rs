@@ -8,7 +8,7 @@
 //! *supports* intersect (transitively). The paper reports this dismisses
 //! about 80% of gathered gates; [`SubgraphStats`] measures exactly that.
 
-use smartly_netlist::{CellId, CellKind, Module, NetIndex, SigBit};
+use smartly_netlist::{CellId, CellKind, Module, NetIndex, Port, SigBit, TriVal};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Cell kinds the inference/decision engines understand. Anything else
@@ -311,6 +311,69 @@ pub fn extract_cached(
     )
 }
 
+/// A canonical, renaming-invariant key for one decision query: the
+/// cone's structure with every net bit replaced by a dense first-use
+/// index, followed by the target and the path condition restricted to
+/// in-cone bits.
+///
+/// Two isomorphic queries — the same mux-tree shape replicated across a
+/// bus, a structure duplicated by generate loops — produce *equal* keys,
+/// so a verdict computed for one can be reused for the other (the
+/// [`crate::QueryEngine`] memo layer). The key encodes the complete
+/// structure, so equal keys can never conflate genuinely different
+/// queries; a near-miss in cell ordering merely costs a memo miss.
+pub fn query_key(
+    module: &Module,
+    index: &NetIndex,
+    sub: &SubGraph,
+    assign: &HashMap<SigBit, bool>,
+) -> Vec<u64> {
+    // constants encode as 0/1/2; wires as 3 + first-use index
+    let mut ids: HashMap<SigBit, u64> = HashMap::new();
+    let mut intern = |bit: SigBit| -> u64 {
+        match index.canon(bit) {
+            SigBit::Const(TriVal::Zero) => 0,
+            SigBit::Const(TriVal::One) => 1,
+            SigBit::Const(TriVal::X) => 2,
+            c => {
+                let next = ids.len() as u64;
+                3 + *ids.entry(c).or_insert(next)
+            }
+        }
+    };
+    let mut key: Vec<u64> = Vec::with_capacity(sub.cells.len() * 8 + assign.len() * 2 + 2);
+    for &id in &sub.cells {
+        let cell = module.cell(id).expect("live cell");
+        key.push(u64::MAX - cell.kind as u64);
+        for port in [Port::A, Port::B, Port::S] {
+            if let Some(spec) = cell.port(port) {
+                key.push(u64::MAX - 64 - port as u64);
+                for b in spec.iter() {
+                    key.push(intern(*b));
+                }
+            }
+        }
+        key.push(u64::MAX - 128);
+        for b in cell.output().iter() {
+            key.push(intern(*b));
+        }
+    }
+    key.push(u64::MAX - 129);
+    key.push(intern(sub.target));
+    // the path condition, restricted to bits the cone references (bits
+    // outside it cannot influence the verdict), in canonical id order
+    let mut pairs: Vec<(u64, bool)> = assign
+        .iter()
+        .filter_map(|(b, &v)| ids.get(&index.canon(*b)).map(|&i| (3 + i, v)))
+        .collect();
+    pairs.sort_unstable();
+    for (i, v) in pairs {
+        key.push(i);
+        key.push(u64::from(v));
+    }
+    key
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +491,47 @@ mod tests {
         known.insert(index.canon(k2.bit(0)), true);
         let (sub, _) = extract(&m, &index, &r, index.canon(t.bit(0)), &known, 8, true);
         assert_eq!(sub.cells.len(), 3, "k2 admitted via k1's support");
+    }
+
+    #[test]
+    fn query_keys_canonicalize_isomorphic_cones() {
+        let mut m = Module::new("t");
+        // two copies of (a & b) | c on disjoint nets, plus one xor cone
+        let mk = |m: &mut Module, tag: &str| {
+            let a = m.add_input(&format!("a{tag}"), 1);
+            let b = m.add_input(&format!("b{tag}"), 1);
+            let c = m.add_input(&format!("c{tag}"), 1);
+            let ab = m.and(&a, &b);
+            let y = m.or(&ab, &c);
+            m.add_output(&format!("y{tag}"), &y);
+            (a, y)
+        };
+        let (a0, y0) = mk(&mut m, "0");
+        let (a1, y1) = mk(&mut m, "1");
+        let x = m.add_input("x", 1);
+        let z = m.add_input("z", 1);
+        let w = m.xor(&x, &z);
+        m.add_output("w", &w);
+
+        let index = NetIndex::build(&m);
+        let r = ranks(&m);
+        let key_of = |target: SigBit, known: &[(SigBit, bool)]| {
+            let mut assign = HashMap::new();
+            for (b, v) in known {
+                assign.insert(index.canon(*b), *v);
+            }
+            let (sub, _) = extract(&m, &index, &r, index.canon(target), &assign, 8, true);
+            query_key(&m, &index, &sub, &assign)
+        };
+        let k0 = key_of(y0.bit(0), &[(a0.bit(0), true)]);
+        let k1 = key_of(y1.bit(0), &[(a1.bit(0), true)]);
+        assert_eq!(k0, k1, "replicated structure must share a key");
+        // different path-condition value ⇒ different key
+        let k1f = key_of(y1.bit(0), &[(a1.bit(0), false)]);
+        assert_ne!(k0, k1f);
+        // different structure ⇒ different key
+        let kw = key_of(w.bit(0), &[]);
+        assert_ne!(k0, kw);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 use crate::engine::{optimize_design, DriverOptions};
 use crate::json::Json;
 use crate::DriverError;
+use smartly_core::sat_pass::SatPassStats;
 use smartly_core::OptLevel;
 use smartly_netlist::Design;
 use smartly_workloads::{public_corpus, Scale};
@@ -62,6 +63,9 @@ pub struct LevelResult {
     pub wall: Duration,
     /// Verification verdict when enabled.
     pub equivalent: Option<bool>,
+    /// SAT-pass query telemetry (the query-engine funnel's per-layer hit
+    /// counts), summed over pipeline rounds.
+    pub sat: SatPassStats,
 }
 
 /// Per-circuit results across all levels.
@@ -146,6 +150,7 @@ pub fn run_public_corpus(opts: &CorpusOptions) -> Result<CorpusReport, DriverErr
                     area_after: r.area_after,
                     wall: module.wall,
                     equivalent: module.verified_equivalent(),
+                    sat: r.sat_stats,
                 });
             }
         }
@@ -158,8 +163,21 @@ pub fn run_public_corpus(opts: &CorpusOptions) -> Result<CorpusReport, DriverErr
 
 impl CorpusReport {
     /// Machine-readable artifact (the `BENCH_driver.json` schema): per
-    /// circuit, area before/after and wall time for every level.
+    /// circuit, area before/after, wall time, and query-funnel telemetry
+    /// for every level.
     pub fn to_json(&self) -> Json {
+        self.json_inner(true)
+    }
+
+    /// Timing-free rendering of the artifact: a pure function of the
+    /// corpus and options, byte-identical across runs, machines and
+    /// `--jobs` settings — the determinism contract the CI bench-smoke
+    /// step diffs.
+    pub fn digest_json(&self) -> Json {
+        self.json_inner(false)
+    }
+
+    fn json_inner(&self, include_timing: bool) -> Json {
         let mut obj = Json::object();
         obj.set("bench", Json::Str("smartly corpus".into()));
         obj.set("scale", Json::Str(scale_name(self.scale).into()));
@@ -173,12 +191,25 @@ impl CorpusReport {
                 for lr in &row.levels {
                     let mut l = Json::object();
                     l.set("area_after", Json::UInt(lr.area_after as u64));
-                    l.set("wall_us", Json::UInt(lr.wall.as_micros() as u64));
+                    if include_timing {
+                        l.set("wall_us", Json::UInt(lr.wall.as_micros() as u64));
+                    }
                     if let Some(red) = row.reduction_vs_baseline(lr.level) {
                         l.set("reduction_vs_yosys", Json::Float(red));
                     }
                     if let Some(eq) = lr.equivalent {
                         l.set("equivalent", Json::Bool(eq));
+                    }
+                    if matches!(lr.level, OptLevel::SatOnly | OptLevel::Full) {
+                        let mut q = Json::object();
+                        q.set("queries", Json::UInt(lr.sat.queries as u64));
+                        q.set("by_inference", Json::UInt(lr.sat.by_inference as u64));
+                        q.set("by_memo", Json::UInt(lr.sat.by_memo as u64));
+                        q.set("by_cex", Json::UInt(lr.sat.by_cex as u64));
+                        q.set("by_prefilter", Json::UInt(lr.sat.by_prefilter as u64));
+                        q.set("by_sim", Json::UInt(lr.sat.by_sim as u64));
+                        q.set("by_sat", Json::UInt(lr.sat.by_sat as u64));
+                        l.set("query_funnel", q);
                     }
                     c.set(lr.level.name(), l);
                 }
@@ -187,6 +218,19 @@ impl CorpusReport {
             .collect();
         obj.set("circuits", Json::Array(circuits));
         obj
+    }
+
+    /// Suite-wide query-funnel totals over the SAT-enabled levels.
+    pub fn funnel_totals(&self) -> SatPassStats {
+        let mut total = SatPassStats::default();
+        for row in &self.rows {
+            for lr in &row.levels {
+                if matches!(lr.level, OptLevel::SatOnly | OptLevel::Full) {
+                    total.absorb(&lr.sat);
+                }
+            }
+        }
+        total
     }
 }
 
@@ -221,12 +265,26 @@ impl fmt::Display for CorpusReport {
             .iter()
             .flat_map(|r| r.levels.iter().map(|l| l.wall))
             .sum();
-        write!(
+        writeln!(
             f,
             "{} circuits x {} levels, {:.1} s total optimize time",
             self.rows.len(),
             OptLevel::ALL.len(),
             wall.as_secs_f64(),
+        )?;
+        let t = self.funnel_totals();
+        write!(
+            f,
+            "query funnel (sat+full): {} queries = inference {} + memo {} + cex {} + prefilter {} + sim {} + sat-const {} + other {}",
+            t.queries,
+            t.by_inference,
+            t.by_memo,
+            t.by_cex,
+            t.by_prefilter,
+            t.by_sim,
+            t.by_sat,
+            t.queries
+                .saturating_sub(t.by_inference + t.by_memo + t.by_cex + t.by_prefilter + t.by_sim + t.by_sat),
         )
     }
 }

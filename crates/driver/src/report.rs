@@ -141,6 +141,9 @@ impl ModuleReport {
             sat.set("by_inference", Json::UInt(r.sat_stats.by_inference as u64));
             sat.set("by_sim", Json::UInt(r.sat_stats.by_sim as u64));
             sat.set("by_sat", Json::UInt(r.sat_stats.by_sat as u64));
+            sat.set("by_memo", Json::UInt(r.sat_stats.by_memo as u64));
+            sat.set("by_cex", Json::UInt(r.sat_stats.by_cex as u64));
+            sat.set("by_prefilter", Json::UInt(r.sat_stats.by_prefilter as u64));
             sat.set("unreachable", Json::UInt(r.sat_stats.unreachable as u64));
             sat.set(
                 "gates_before_prune",

@@ -17,14 +17,11 @@ impl ActivityHeap {
         ActivityHeap::default()
     }
 
-    #[allow(dead_code)]
+    /// Number of queued variables (test-only observability; the solver
+    /// itself only pops and re-inserts).
+    #[cfg(test)]
     pub fn len(&self) -> usize {
         self.heap.len()
-    }
-
-    #[allow(dead_code)]
-    pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
     }
 
     pub fn contains(&self, v: u32) -> bool {

@@ -257,8 +257,15 @@ impl Solver {
             let c = &self.clauses[cref as usize];
             (c.lits[0], c.lits[1])
         };
-        self.watches[l0.code()].retain(|w| w.cref != cref);
-        self.watches[l1.code()].retain(|w| w.cref != cref);
+        // Position lookup + swap_remove: O(1) removal once found, instead
+        // of `retain`'s full compaction of the watch list. Clause-DB
+        // reduction detaches half the learnts at once, so this runs hot.
+        for code in [l0.code(), l1.code()] {
+            let ws = &mut self.watches[code];
+            if let Some(pos) = ws.iter().position(|w| w.cref == cref) {
+                ws.swap_remove(pos);
+            }
+        }
     }
 
     fn decision_level(&self) -> usize {

@@ -13,6 +13,12 @@
 //! Both are compiled once per module ([`compile`]) and reused across
 //! vectors; sequential designs advance with `tick()`.
 //!
+//! A third, cone-scoped entry point serves the redundancy pass's query
+//! engine: [`compile_cone`] turns a topologically ordered *subset* of a
+//! module's cells into a [`ConeProgram`], and [`ConeSim`] replays 64
+//! test vectors through it per pass — the substrate for counterexample
+//! replay and random-simulation prefiltering of SAT queries.
+//!
 //! # Example
 //!
 //! ```
@@ -38,9 +44,10 @@
 #![warn(missing_docs)]
 
 use smartly_netlist::{
-    eval_cell, CellInputs, CellKind, Module, NetIndex, NetlistError, Port, SigBit, SigSpec, TriVal,
+    eval_cell, CellId, CellInputs, CellKind, Module, NetIndex, NetlistError, Port, SigBit, SigSpec,
+    TriVal,
 };
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// A value source: a constant or a storage slot.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -358,121 +365,127 @@ impl<'p> BitSim<'p> {
     }
 
     fn eval_op(&self, op: &CellOp) -> Vec<u64> {
-        use CellKind::*;
-        let a: Vec<u64> = op.a.iter().map(|&r| self.read(r)).collect();
-        let b: Vec<u64> = op.b.iter().map(|&r| self.read(r)).collect();
-        let s: Vec<u64> = op.s.iter().map(|&r| self.read(r)).collect();
-        let w = op.y.len();
-        match op.kind {
-            Not => a.iter().map(|&x| !x).collect(),
-            And => a.iter().zip(&b).map(|(&x, &y)| x & y).collect(),
-            Or => a.iter().zip(&b).map(|(&x, &y)| x | y).collect(),
-            Xor => a.iter().zip(&b).map(|(&x, &y)| x ^ y).collect(),
-            Xnor => a.iter().zip(&b).map(|(&x, &y)| !(x ^ y)).collect(),
-            ReduceAnd => vec![a.iter().fold(u64::MAX, |acc, &x| acc & x)],
-            ReduceOr | ReduceBool => vec![a.iter().fold(0, |acc, &x| acc | x)],
-            ReduceXor => vec![a.iter().fold(0, |acc, &x| acc ^ x)],
-            LogicNot => vec![!a.iter().fold(0, |acc, &x| acc | x)],
-            LogicAnd => {
-                let ra = a.iter().fold(0, |acc, &x| acc | x);
-                let rb = b.iter().fold(0, |acc, &x| acc | x);
-                vec![ra & rb]
-            }
-            LogicOr => {
-                let ra = a.iter().fold(0, |acc, &x| acc | x);
-                let rb = b.iter().fold(0, |acc, &x| acc | x);
-                vec![ra | rb]
-            }
-            Add => add_lanes(&a, &b, 0),
-            Sub => {
-                let nb: Vec<u64> = b.iter().map(|&x| !x).collect();
-                add_lanes(&a, &nb, u64::MAX)
-            }
-            Mul => {
-                // shift-and-add over partial products
-                let mut acc = vec![0u64; w];
-                for (j, &bj) in b.iter().enumerate().take(w) {
-                    if j >= w {
-                        break;
-                    }
-                    let partial: Vec<u64> = (0..w)
-                        .map(|i| if i >= j { a[i - j] & bj } else { 0 })
-                        .collect();
-                    acc = add_lanes(&acc, &partial, 0);
+        eval_lanes(op, |r| self.read(r))
+    }
+}
+
+/// Lane-parallel evaluation of one cell over a value source — shared by
+/// [`BitSim`] (full-module state) and [`ConeSim`] (cone-scoped state).
+fn eval_lanes(op: &CellOp, read: impl Fn(ValueRef) -> u64) -> Vec<u64> {
+    use CellKind::*;
+    let a: Vec<u64> = op.a.iter().map(|&r| read(r)).collect();
+    let b: Vec<u64> = op.b.iter().map(|&r| read(r)).collect();
+    let s: Vec<u64> = op.s.iter().map(|&r| read(r)).collect();
+    let w = op.y.len();
+    match op.kind {
+        Not => a.iter().map(|&x| !x).collect(),
+        And => a.iter().zip(&b).map(|(&x, &y)| x & y).collect(),
+        Or => a.iter().zip(&b).map(|(&x, &y)| x | y).collect(),
+        Xor => a.iter().zip(&b).map(|(&x, &y)| x ^ y).collect(),
+        Xnor => a.iter().zip(&b).map(|(&x, &y)| !(x ^ y)).collect(),
+        ReduceAnd => vec![a.iter().fold(u64::MAX, |acc, &x| acc & x)],
+        ReduceOr | ReduceBool => vec![a.iter().fold(0, |acc, &x| acc | x)],
+        ReduceXor => vec![a.iter().fold(0, |acc, &x| acc ^ x)],
+        LogicNot => vec![!a.iter().fold(0, |acc, &x| acc | x)],
+        LogicAnd => {
+            let ra = a.iter().fold(0, |acc, &x| acc | x);
+            let rb = b.iter().fold(0, |acc, &x| acc | x);
+            vec![ra & rb]
+        }
+        LogicOr => {
+            let ra = a.iter().fold(0, |acc, &x| acc | x);
+            let rb = b.iter().fold(0, |acc, &x| acc | x);
+            vec![ra | rb]
+        }
+        Add => add_lanes(&a, &b, 0),
+        Sub => {
+            let nb: Vec<u64> = b.iter().map(|&x| !x).collect();
+            add_lanes(&a, &nb, u64::MAX)
+        }
+        Mul => {
+            // shift-and-add over partial products
+            let mut acc = vec![0u64; w];
+            for (j, &bj) in b.iter().enumerate().take(w) {
+                if j >= w {
+                    break;
                 }
-                acc
+                let partial: Vec<u64> = (0..w)
+                    .map(|i| if i >= j { a[i - j] & bj } else { 0 })
+                    .collect();
+                acc = add_lanes(&acc, &partial, 0);
             }
-            Shl | Shr => {
-                // barrel shifter over the shift-amount bits (port B)
-                let mut cur = a.clone();
-                for (k, &sk) in b.iter().enumerate() {
-                    let amount = 1usize << k.min(31);
-                    let mut next = vec![0u64; w];
-                    for i in 0..w {
-                        let shifted = if op.kind == Shl {
-                            if i >= amount {
-                                cur[i - amount]
-                            } else {
-                                0
-                            }
-                        } else if i + amount < w {
-                            cur[i + amount]
+            acc
+        }
+        Shl | Shr => {
+            // barrel shifter over the shift-amount bits (port B)
+            let mut cur = a.clone();
+            for (k, &sk) in b.iter().enumerate() {
+                let amount = 1usize << k.min(31);
+                let mut next = vec![0u64; w];
+                for i in 0..w {
+                    let shifted = if op.kind == Shl {
+                        if i >= amount {
+                            cur[i - amount]
                         } else {
                             0
-                        };
-                        next[i] = (sk & shifted) | (!sk & cur[i]);
-                    }
-                    cur = next;
+                        }
+                    } else if i + amount < w {
+                        cur[i + amount]
+                    } else {
+                        0
+                    };
+                    next[i] = (sk & shifted) | (!sk & cur[i]);
                 }
-                cur
+                cur = next;
             }
-            Eq | Ne => {
-                let mut eq = u64::MAX;
-                for (x, y) in a.iter().zip(&b) {
-                    eq &= !(x ^ y);
-                }
-                vec![if op.kind == Eq { eq } else { !eq }]
-            }
-            Lt | Le | Gt | Ge => {
-                // LSB→MSB recurrence: lt_i = (!a&b) | ((a xnor b) & lt)
-                let mut lt = 0u64;
-                let mut gt = 0u64;
-                for (x, y) in a.iter().zip(&b) {
-                    lt = (!x & y) | (!(x ^ y) & lt);
-                    gt = (x & !y) | (!(x ^ y) & gt);
-                }
-                vec![match op.kind {
-                    Lt => lt,
-                    Le => !gt,
-                    Gt => gt,
-                    Ge => !lt,
-                    _ => unreachable!(),
-                }]
-            }
-            Mux => {
-                let sel = s[0];
-                a.iter()
-                    .zip(&b)
-                    .map(|(&x, &y)| (y & sel) | (x & !sel))
-                    .collect()
-            }
-            Pmux => {
-                let mut taken = 0u64;
-                let mut out = vec![0u64; w];
-                for (i, &si) in s.iter().enumerate() {
-                    let take = si & !taken;
-                    for (k, slot) in out.iter_mut().enumerate() {
-                        *slot |= b[i * w + k] & take;
-                    }
-                    taken |= si;
-                }
-                for (k, slot) in out.iter_mut().enumerate() {
-                    *slot |= a[k] & !taken;
-                }
-                out
-            }
-            Dff => unreachable!("dffs are latched in tick()"),
+            cur
         }
+        Eq | Ne => {
+            let mut eq = u64::MAX;
+            for (x, y) in a.iter().zip(&b) {
+                eq &= !(x ^ y);
+            }
+            vec![if op.kind == Eq { eq } else { !eq }]
+        }
+        Lt | Le | Gt | Ge => {
+            // LSB→MSB recurrence: lt_i = (!a&b) | ((a xnor b) & lt)
+            let mut lt = 0u64;
+            let mut gt = 0u64;
+            for (x, y) in a.iter().zip(&b) {
+                lt = (!x & y) | (!(x ^ y) & lt);
+                gt = (x & !y) | (!(x ^ y) & gt);
+            }
+            vec![match op.kind {
+                Lt => lt,
+                Le => !gt,
+                Gt => gt,
+                Ge => !lt,
+                _ => unreachable!(),
+            }]
+        }
+        Mux => {
+            let sel = s[0];
+            a.iter()
+                .zip(&b)
+                .map(|(&x, &y)| (y & sel) | (x & !sel))
+                .collect()
+        }
+        Pmux => {
+            let mut taken = 0u64;
+            let mut out = vec![0u64; w];
+            for (i, &si) in s.iter().enumerate() {
+                let take = si & !taken;
+                for (k, slot) in out.iter_mut().enumerate() {
+                    *slot |= b[i * w + k] & take;
+                }
+                taken |= si;
+            }
+            for (k, slot) in out.iter_mut().enumerate() {
+                *slot |= a[k] & !taken;
+            }
+            out
+        }
+        Dff => unreachable!("dffs are latched in tick()"),
     }
 }
 
@@ -486,6 +499,206 @@ fn add_lanes(a: &[u64], b: &[u64], carry_in: u64) -> Vec<u64> {
         out.push(sum);
     }
     out
+}
+
+// ================================================================ ConeSim
+
+/// A *cone* — a topologically ordered subset of a module's combinational
+/// cells — compiled for 64-lane two-valued replay.
+///
+/// Unlike [`compile`], which binds a whole module's ports, a cone program
+/// exposes its cut: every canonical bit consumed by the cone but not
+/// driven inside it becomes a settable *leaf* slot, and every bit the
+/// cone computes can be read back by slot. The redundancy pass's query
+/// engine uses this to replay cached counterexamples and random vectors
+/// through decision sub-graphs without touching a solver.
+#[derive(Clone, Debug)]
+pub struct ConeProgram {
+    ops: Vec<CellOp>,
+    slots: usize,
+    slot_of: HashMap<SigBit, u32>,
+    leaves: Vec<(SigBit, u32)>,
+    has_x: bool,
+}
+
+/// Compiles `cells` (drivers before readers, e.g. a
+/// `SubGraph::cells` order) into a [`ConeProgram`].
+///
+/// Bits are canonicalized through `index`; constant bits fold into the
+/// program, and a constant `x` anywhere in the cone sets
+/// [`ConeProgram::has_x`] (two-valued replay collapses `x` to 0, so
+/// callers needing exact three-valued semantics must fall back to a
+/// [`TriSim`]-style evaluation).
+///
+/// # Panics
+///
+/// Panics if `cells` names a cell the module no longer holds or a
+/// sequential cell (`dff`), which has no combinational replay semantics.
+pub fn compile_cone(module: &Module, index: &NetIndex, cells: &[CellId]) -> ConeProgram {
+    let driven: HashSet<SigBit> = cells
+        .iter()
+        .flat_map(|&id| {
+            module
+                .cell(id)
+                .expect("cone lists live cells")
+                .output()
+                .iter()
+                .map(|b| index.canon(*b))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+
+    let mut slot_of: HashMap<SigBit, u32> = HashMap::new();
+    let mut count = 0u32;
+    let mut leaves: Vec<(SigBit, u32)> = Vec::new();
+    let mut has_x = false;
+    let mut ops = Vec::with_capacity(cells.len());
+
+    for &id in cells {
+        let cell = module.cell(id).expect("cone lists live cells");
+        assert!(
+            cell.kind != CellKind::Dff,
+            "sequential cells cannot be replayed"
+        );
+        let mut resolve = |spec: Option<&SigSpec>| -> Vec<ValueRef> {
+            spec.map(|s| {
+                s.iter()
+                    .map(|b| match index.canon(*b) {
+                        SigBit::Const(v) => {
+                            has_x |= v == TriVal::X;
+                            ValueRef::Const(v)
+                        }
+                        bit => {
+                            let next = count;
+                            let slot = *slot_of.entry(bit).or_insert_with(|| {
+                                count += 1;
+                                next
+                            });
+                            if slot == next && !driven.contains(&bit) {
+                                leaves.push((bit, slot));
+                            }
+                            ValueRef::Slot(slot)
+                        }
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+        };
+        let a = resolve(cell.port(Port::A));
+        let b = resolve(cell.port(Port::B));
+        let s = resolve(cell.port(Port::S));
+        let y: Vec<u32> = cell
+            .output()
+            .iter()
+            .map(|bit| match index.canon(*bit) {
+                SigBit::Const(_) => unreachable!("outputs drive wires"),
+                bit => {
+                    let next = count;
+                    *slot_of.entry(bit).or_insert_with(|| {
+                        count += 1;
+                        next
+                    })
+                }
+            })
+            .collect();
+        ops.push(CellOp {
+            kind: cell.kind,
+            a,
+            b,
+            s,
+            y,
+        });
+    }
+
+    ConeProgram {
+        ops,
+        slots: count as usize,
+        slot_of,
+        leaves,
+        has_x,
+    }
+}
+
+impl ConeProgram {
+    /// Storage slot of a canonical bit, if the cone references it.
+    pub fn slot(&self, canonical_bit: SigBit) -> Option<u32> {
+        self.slot_of.get(&canonical_bit).copied()
+    }
+
+    /// The cut bits: `(canonical bit, slot)` for every bit the cone
+    /// consumes but does not drive, in first-reference order.
+    pub fn leaves(&self) -> &[(SigBit, u32)] {
+        &self.leaves
+    }
+
+    /// Every canonical bit the cone references, with its slot.
+    pub fn bits(&self) -> impl Iterator<Item = (SigBit, u32)> + '_ {
+        self.slot_of.iter().map(|(&b, &s)| (b, s))
+    }
+
+    /// Whether any constant `x` feeds the cone (two-valued replay is then
+    /// an under-approximation of the three-valued semantics).
+    pub fn has_x(&self) -> bool {
+        self.has_x
+    }
+
+    /// Number of storage slots.
+    pub fn slot_count(&self) -> usize {
+        self.slots
+    }
+
+    /// Number of compiled cell operations.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+}
+
+/// 64-lane replay state for a [`ConeProgram`].
+///
+/// Set leaf planes with [`ConeSim::set_plane`], call [`ConeSim::eval`],
+/// read any computed plane back with [`ConeSim::plane`]. Lane `k` of
+/// every slot together forms test vector `k`.
+#[derive(Clone, Debug)]
+pub struct ConeSim<'p> {
+    prog: &'p ConeProgram,
+    state: Vec<u64>,
+}
+
+impl<'p> ConeSim<'p> {
+    /// Creates replay state with every slot zero.
+    pub fn new(prog: &'p ConeProgram) -> Self {
+        ConeSim {
+            prog,
+            state: vec![0; prog.slots],
+        }
+    }
+
+    /// Sets the 64-lane plane of one slot (normally a leaf).
+    pub fn set_plane(&mut self, slot: u32, plane: u64) {
+        self.state[slot as usize] = plane;
+    }
+
+    /// Reads the 64-lane plane of one slot.
+    pub fn plane(&self, slot: u32) -> u64 {
+        self.state[slot as usize]
+    }
+
+    /// Evaluates all cone cells in program order.
+    pub fn eval(&mut self) {
+        // copy the reference out so `op` borrows the 'p-lived program,
+        // not `self` — the hot loop then writes state with no cloning
+        let prog = self.prog;
+        for op in &prog.ops {
+            let out = eval_lanes(op, |r| match r {
+                ValueRef::Const(TriVal::One) => u64::MAX,
+                ValueRef::Const(_) => 0,
+                ValueRef::Slot(s) => self.state[s as usize],
+            });
+            for (&slot, v) in op.y.iter().zip(out) {
+                self.state[slot as usize] = v;
+            }
+        }
+    }
 }
 
 // ===================================================================== TriSim
@@ -749,6 +962,57 @@ mod tests {
         tri.set_input_u64("b", 0b0110);
         tri.eval_comb();
         assert_eq!(tri.output_u64("y"), Some(0b1100));
+    }
+
+    #[test]
+    fn cone_replay_matches_bitsim_on_a_subcone() {
+        use smartly_netlist::NetIndex;
+        // y = (a & b) | c over 1-bit inputs; replay just the two cells
+        let mut m = Module::new("t");
+        let a = m.add_input("a", 1);
+        let b = m.add_input("b", 1);
+        let c = m.add_input("c", 1);
+        let ab = m.and(&a, &b);
+        let y = m.or(&ab, &c);
+        m.add_output("y", &y);
+        let index = NetIndex::build(&m);
+        let cells: Vec<_> = m.topo_order().unwrap();
+        let prog = compile_cone(&m, &index, &cells);
+        assert!(!prog.has_x());
+        assert_eq!(prog.op_count(), 2);
+        assert_eq!(prog.leaves().len(), 3, "a, b, c are the cut");
+
+        let mut sim = ConeSim::new(&prog);
+        // exhaustive 8-lane truth table
+        let planes = [0b10101010u64, 0b11001100, 0b11110000];
+        for ((bit, slot), plane) in prog.leaves().iter().zip(planes) {
+            assert!(!bit.is_const());
+            sim.set_plane(*slot, plane);
+        }
+        sim.eval();
+        let y_slot = prog.slot(index.canon(y.bit(0))).unwrap();
+        let mut expect = 0u64;
+        for lane in 0..8 {
+            let v = |p: u64| (p >> lane) & 1 == 1;
+            if (v(planes[0]) && v(planes[1])) || v(planes[2]) {
+                expect |= 1 << lane;
+            }
+        }
+        assert_eq!(sim.plane(y_slot) & 0xff, expect);
+    }
+
+    #[test]
+    fn cone_detects_const_x() {
+        use smartly_netlist::NetIndex;
+        let mut m = Module::new("t");
+        let a = m.add_input("a", 1);
+        let x = SigSpec::from_bits(vec![SigBit::X]);
+        let y = m.or(&a, &x);
+        m.add_output("y", &y);
+        let index = NetIndex::build(&m);
+        let cells: Vec<_> = m.topo_order().unwrap();
+        let prog = compile_cone(&m, &index, &cells);
+        assert!(prog.has_x());
     }
 
     #[test]

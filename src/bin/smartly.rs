@@ -6,7 +6,7 @@
 //!             [--max-cells N] [--timeout-ms N] [--no-memo]
 //! smartly stats <file.v>
 //! smartly corpus [--scale tiny|small|paper] [--jobs N] [--verify]
-//!                [--json BENCH_driver.json]
+//!                [--json BENCH_driver.json] [--digest digest.json]
 //! ```
 
 use smartly_driver::{
@@ -60,6 +60,9 @@ OPT OPTIONS:
 
 CORPUS OPTIONS:
   --scale <tiny|small|paper>         corpus size (default: tiny)
+  --digest <path>                    write the timing-free artifact
+                                     (byte-identical across runs and
+                                     --jobs settings; CI diffs it)
   --jobs <N>, --verify, --json <path> as above
 ";
 
@@ -201,6 +204,7 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
     }
     opts.verify = take_flag(&mut args, "--verify");
     let json_path = take_value(&mut args, &["--json"])?;
+    let digest_path = take_value(&mut args, &["--digest"])?;
     if let Some(extra) = args.first() {
         return Err(format!("unexpected argument '{extra}'"));
     }
@@ -211,6 +215,11 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
         std::fs::write(&path, report.to_json().render_pretty(2))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         outln!("artifact written to {path}");
+    }
+    if let Some(path) = digest_path {
+        std::fs::write(&path, report.digest_json().render_pretty(2))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        outln!("digest written to {path}");
     }
     Ok(())
 }
