@@ -7,12 +7,17 @@
 //!   all-SAT.
 //! * **A3 — ADD bit ordering**: the greedy heuristic vs. fixed orders on
 //!   priority-decode tables (paper Listing 2: 3 vs. 7 muxes).
+//! * **A5 — design-level shared knowledge base**: the whole corpus as
+//!   one multi-module design, optimized with and without the shared
+//!   counterexample bank; areas must match exactly.
 //!
 //! `cargo run --release -p smartly-bench --bin ablation -- [tiny|small|paper]`
 
 use smartly_add::{Add, FunctionTable};
 use smartly_bench::scale_from_args;
 use smartly_core::{sat_redundancy, SatRedundancyOptions};
+use smartly_driver::{optimize_design, DriverOptions};
+use smartly_netlist::Design;
 use smartly_opt::{baseline_optimize, clean_pipeline};
 use smartly_workloads::public_corpus;
 
@@ -153,6 +158,92 @@ fn main() {
             case.name, on.queries, on.by_memo, on.by_cex, on.by_prefilter, t_inc, t_fresh
         );
     }
+
+    // ------------------------------ A5: design-level shared knowledge
+    println!("\nA5 — design-level shared counterexample bank (whole corpus as one design)");
+    println!(
+        "{:10} {:>9} {:>11} {:>9} {:>7} {:>7} {:>8}",
+        "bank", "queries", "shared-cex", "published", "hits", "t(ms)", "area"
+    );
+    let pristine: Vec<_> = public_corpus(scale)
+        .into_iter()
+        .map(|c| c.compile().expect("compiles"))
+        .collect();
+    let mut areas = Vec::new();
+    for share in [true, false] {
+        let mut design = Design::from_modules(pristine.clone());
+        let opts = DriverOptions {
+            share_knowledge: share,
+            memoize: false,
+            ..Default::default()
+        };
+        let t = std::time::Instant::now();
+        let report = optimize_design(&mut design, &opts).expect("driver");
+        let wall = t.elapsed().as_millis();
+        let (mut queries, mut shared_cex) = (0usize, 0usize);
+        for m in &report.modules {
+            if let Some(r) = &m.report {
+                queries += r.sat_stats.queries;
+                shared_cex += r.sat_stats.by_shared_cex;
+            }
+        }
+        let (published, hits) = report.knowledge.map_or((0, 0), |k| (k.published, k.hits));
+        areas.push(report.area_after());
+        println!(
+            "{:10} {:>9} {:>11} {:>9} {:>7} {:>7} {:>8}",
+            if share { "on" } else { "off" },
+            queries,
+            shared_cex,
+            published,
+            hits,
+            wall,
+            report.area_after(),
+        );
+    }
+    assert_eq!(
+        areas[0], areas[1],
+        "the shared bank must not change emitted areas"
+    );
+
+    // the near-miss probe design is where sharing pays: every module
+    // needs the same rare-polarity SAT witness, and with the bank on,
+    // one module's model answers everyone else's query
+    println!("\nA5b — near-miss probe design (8 parameter variants, 4 cones each)");
+    println!(
+        "{:10} {:>9} {:>11} {:>10} {:>13} {:>7}",
+        "bank", "queries", "shared-cex", "published", "propagations", "t(ms)"
+    );
+    let mut probe_areas = Vec::new();
+    for share in [true, false] {
+        let mut design = Design::from_modules(smartly_workloads::knowledge_probes(8, 4, 12));
+        let opts = DriverOptions {
+            share_knowledge: share,
+            ..Default::default()
+        };
+        let t = std::time::Instant::now();
+        let report = optimize_design(&mut design, &opts).expect("driver");
+        let wall = t.elapsed().as_millis();
+        let (mut queries, mut shared_cex, mut props) = (0usize, 0usize, 0u64);
+        for m in &report.modules {
+            if let Some(r) = &m.report {
+                queries += r.sat_stats.queries;
+                shared_cex += r.sat_stats.by_shared_cex;
+                props += r.sat_stats.solver_propagations;
+            }
+        }
+        let published = report.knowledge.map_or(0, |k| k.published);
+        probe_areas.push(report.area_after());
+        println!(
+            "{:10} {:>9} {:>11} {:>10} {:>13} {:>7}",
+            if share { "on" } else { "off" },
+            queries,
+            shared_cex,
+            published,
+            props,
+            wall,
+        );
+    }
+    assert_eq!(probe_areas[0], probe_areas[1], "probe areas must match");
 
     // ------------------------------------------------ A3: ADD ordering
     println!("\nA3 — ADD bit ordering on priority decodes (paper Listing 2)");

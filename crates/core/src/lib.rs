@@ -61,6 +61,8 @@ pub mod sat_pass;
 pub mod subgraph;
 
 pub use pipeline::{OptLevel, Pipeline, PipelineReport};
-pub use query_engine::{QueryEngine, QueryEngineOptions, QueryEngineStats};
+pub use query_engine::{
+    QueryEngine, QueryEngineOptions, QueryEngineStats, SharedCexBank, SharedVectors, VerdictMemo,
+};
 pub use restructure::{restructure, RestructureOptions};
-pub use sat_pass::{sat_redundancy, SatRedundancyOptions};
+pub use sat_pass::{sat_redundancy, sat_redundancy_with, SatRedundancyOptions, SweepContext};

@@ -1,10 +1,12 @@
 //! The optimization pipeline: the four configurations the paper measures.
 
+use crate::query_engine::SharedCexBank;
 use crate::restructure::{restructure, RestructureOptions, RestructureStats};
-use crate::sat_pass::{sat_redundancy, SatPassStats, SatRedundancyOptions};
+use crate::sat_pass::{sat_redundancy_with, SatPassStats, SatRedundancyOptions, SweepContext};
 use smartly_aig::{aig_area, check_equiv, EquivOptions, EquivResult};
 use smartly_netlist::{Module, NetlistError};
 use smartly_opt::{baseline_optimize, clean_pipeline};
+use std::sync::Arc;
 
 /// Which optimizations run (paper Table III columns).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -53,6 +55,11 @@ pub struct Pipeline {
     /// Check the result against the input with the AIG miter; the outcome
     /// lands in [`PipelineReport::equivalence`].
     pub verify: bool,
+    /// Design-level shared counterexample bank this module's sweeps
+    /// participate in (see [`SharedCexBank`]); `None` keeps all query
+    /// state module-local. The driver attaches one bank per design so
+    /// structurally similar modules seed each other's replay vectors.
+    pub shared_bank: Option<Arc<dyn SharedCexBank>>,
 }
 
 impl Default for Pipeline {
@@ -62,6 +69,7 @@ impl Default for Pipeline {
             rebuild: RestructureOptions::default(),
             rounds: 3,
             verify: false,
+            shared_bank: None,
         }
     }
 }
@@ -119,11 +127,22 @@ impl std::fmt::Display for PipelineReport {
         )?;
         writeln!(
             f,
-            "query funnel: {} queries (memo {}, cex-replay {}, prefilter {})",
+            "query funnel: {} queries (memo {} [carryover {}], cex-replay {}, shared-cex {}, prefilter {} in {} rounds)",
             self.sat_stats.queries,
             self.sat_stats.by_memo,
+            self.sat_stats.memo_carryover,
             self.sat_stats.by_cex,
+            self.sat_stats.by_shared_cex,
             self.sat_stats.by_prefilter,
+            self.sat_stats.prefilter_rounds,
+        )?;
+        writeln!(
+            f,
+            "solver: {} conflicts, {} propagations, {} learnts, {} resets",
+            self.sat_stats.solver_conflicts,
+            self.sat_stats.solver_propagations,
+            self.sat_stats.solver_learnts,
+            self.sat_stats.solver_resets,
         )?;
         writeln!(
             f,
@@ -172,6 +191,12 @@ impl Pipeline {
 
         report.baseline_rewrites += baseline_optimize(module);
 
+        // cross-round sweep state: the verdict memo persists over the
+        // rounds below, with begin_round's dirty-set protocol dropping
+        // exactly the entries whose cones rebuild/clean/pinning touched,
+        // so later rounds skip re-deciding unchanged cones
+        let mut sweep_ctx = SweepContext::new(self.shared_bank.clone());
+
         for _ in 0..self.rounds {
             let mut changed = false;
             if matches!(level, OptLevel::RebuildOnly | OptLevel::Full) {
@@ -185,7 +210,12 @@ impl Pipeline {
                 report.cells_cleaned += clean_pipeline(module, 8);
             }
             if matches!(level, OptLevel::SatOnly | OptLevel::Full) {
-                let st = sat_redundancy(module, &self.sat);
+                // the fingerprint pass only pays off when the engine (and
+                // therefore the cross-round memo) is actually in play
+                if self.sat.incremental {
+                    report.sat_stats.memo_invalidated += sweep_ctx.begin_round(module);
+                }
+                let st = sat_redundancy_with(module, &self.sat, &mut sweep_ctx);
                 changed |= st.rewrites > 0;
                 report.sat_rewrites += st.rewrites;
                 report.sat_stats.absorb(&st);

@@ -50,11 +50,12 @@
 use crate::decide::{
     choose_engine, encode_cell, free_leaves, simulate, DecideOptions, Decision, EngineChoice,
 };
-use crate::subgraph::{query_key, SubGraph};
+use crate::subgraph::{query_key, query_key_and_shape, ConeShape, SubGraph};
 use smartly_netlist::{CellId, Module, NetIndex, Port, SigBit, TriVal};
-use smartly_sat::{Lit, SolveResult, TseitinEncoder};
+use smartly_sat::{Lit, SolveResult, SolverStats, TseitinEncoder};
 use smartly_sim::{compile_cone, ConeProgram, ConeSim};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
 
 /// Which funnel layer terminated a query.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -63,6 +64,9 @@ pub enum Layer {
     Memo,
     /// Counterexample replay refuted constancy.
     CexReplay,
+    /// Replay of the design-level shared bank's vectors refuted
+    /// constancy.
+    SharedCex,
     /// Random-simulation prefilter refuted constancy.
     Prefilter,
     /// Exhaustive simulation decided.
@@ -73,14 +77,73 @@ pub enum Layer {
     None,
 }
 
+/// A design-lifetime counterexample bank shared between the query
+/// engines of *different modules* (and sweeps), keyed by
+/// [`ConeShape::sig`].
+///
+/// Implementations must be thread-safe: under the driver's worker pool,
+/// many module sweeps publish and look up concurrently. The contract
+/// that keeps verdicts scheduling-independent is one-sided: a vector a
+/// `lookup` returns is only ever *replayed and re-verified* by the
+/// querying engine (every lane is checked against that cone's own path
+/// condition before it may witness anything), and a refutation
+/// concludes `Unknown` — exactly the verdict SAT would return for a
+/// genuinely two-valued target. Partial witnesses from shared vectors
+/// are never fed into SAT polarity skipping, so shared state cannot
+/// directly steer the local solver.
+///
+/// The precise guarantee is the same one the engine already gives
+/// versus the legacy fresh-solver path: every verdict the conflict
+/// budget does not cut short is scheduling-independent. A shared-bank
+/// hit does skip a SAT call (that is the point), so the local solver
+/// accumulates different learnt clauses than it would have — and a
+/// *budget-limited* query later in the same sweep can then land on
+/// either side of the limit. Both outcomes are sound (`Unknown` or a
+/// correctly proven constant), and in practice budgets do not bind on
+/// the corpus: CI pins byte-identical digests across `--jobs` settings
+/// and bank on/off empirically.
+pub trait SharedCexBank: Send + Sync + std::fmt::Debug {
+    /// Packed replay vectors for a cone shape: `planes[i]` holds one
+    /// 64-lane word for intern index `i` (lane *k* of every index = one
+    /// model). `width` is the querying cone's intern-table length;
+    /// implementations must return `None` on a width mismatch (a hash
+    /// collision between different shapes).
+    fn lookup(&self, sig: u64, width: usize) -> Option<SharedVectors>;
+
+    /// Records one model against a cone shape: `values[i]` is the model
+    /// value of intern index `i`.
+    fn publish(&self, sig: u64, values: &[bool]);
+}
+
+/// One shape's packed replay vectors, as returned by
+/// [`SharedCexBank::lookup`].
+#[derive(Clone, Debug)]
+pub struct SharedVectors {
+    /// Per-intern-index 64-lane value words.
+    pub planes: Vec<u64>,
+    /// How many lanes hold a model (≤ 64).
+    pub lanes: u32,
+}
+
 /// Tuning for a [`QueryEngine`].
 #[derive(Copy, Clone, Debug)]
 pub struct QueryEngineOptions {
     /// The hybrid sim/SAT thresholds shared with the legacy path.
     pub decide: DecideOptions,
-    /// Number of 64-vector random passes before SAT (0 disables the
-    /// prefilter layer).
+    /// Base number of 64-vector random passes before SAT (0 disables the
+    /// prefilter layer entirely).
     pub prefilter_rounds: usize,
+    /// Adaptive ceiling: the prefilter scales its round count with the
+    /// cone's free-leaf count (one extra round per 16 free leaves over
+    /// the base) up to this many rounds; after the base rounds it stops
+    /// early once no lane has witnessed *any* target polarity (extension
+    /// rounds keep hunting a rare second polarity while one is seen).
+    pub prefilter_max_rounds: usize,
+    /// Maximum number of distinct cone bits the counterexample bank
+    /// tracks; beyond it the oldest-inserted bits are evicted ring-wise
+    /// (an evicted bit replays as constant 0, which lane re-verification
+    /// turns into at most a missed refutation).
+    pub cex_bank_capacity: usize,
     /// Drop and re-create the shared solver once it holds this many
     /// variables — a backstop against superlinear growth on huge modules
     /// (the memo and counterexample bank survive a reset).
@@ -92,6 +155,8 @@ impl Default for QueryEngineOptions {
         QueryEngineOptions {
             decide: DecideOptions::default(),
             prefilter_rounds: 2,
+            prefilter_max_rounds: 8,
+            cex_bank_capacity: 4_096,
             reset_vars: 200_000,
         }
     }
@@ -104,10 +169,19 @@ pub struct QueryEngineStats {
     pub queries: usize,
     /// Answered by the cone-verdict memo.
     pub by_memo: usize,
+    /// Memo answers whose entry was created in an *earlier* pipeline
+    /// round (cross-round carryover; a subset of `by_memo`).
+    pub memo_carryover: usize,
     /// Refuted by counterexample replay.
     pub by_cex: usize,
+    /// Refuted by replaying the design-level shared bank's vectors.
+    pub by_shared_cex: usize,
     /// Refuted by the random-simulation prefilter.
     pub by_prefilter: usize,
+    /// Random-simulation rounds actually executed (the adaptive
+    /// prefilter's work metric; fixed-rounds mode would be
+    /// `prefilter_rounds × queries-reaching-the-layer`).
+    pub prefilter_rounds: usize,
     /// Reached exhaustive simulation.
     pub by_sim: usize,
     /// Reached the incremental SAT solver.
@@ -117,8 +191,88 @@ pub struct QueryEngineStats {
     pub sat_solves: usize,
     /// Models captured into the counterexample bank.
     pub models_cached: usize,
+    /// Bits evicted from the bounded counterexample bank.
+    pub bank_evictions: usize,
     /// Shared-solver resets triggered by `reset_vars`.
     pub solver_resets: usize,
+    /// CDCL search statistics, accumulated across solver resets.
+    pub solver: SolverStats,
+}
+
+/// A cone-verdict memo that outlives a single sweep: the cross-round
+/// (and potentially cross-sweep) layer of the cache hierarchy.
+///
+/// Keys are the canonical structural [`query_key`](crate::subgraph::query_key)s,
+/// so a verdict is a pure function of its key — replaying one across
+/// rounds is always sound. Entries still record the concrete cells of
+/// the cone that produced them so [`VerdictMemo::invalidate`] can drop
+/// everything a netlist mutation touched: belt-and-braces against any
+/// future keying bug, and memory hygiene (entries for dead cones never
+/// match again and would otherwise accumulate across rounds).
+#[derive(Clone, Debug, Default)]
+pub struct VerdictMemo {
+    entries: HashMap<Vec<u64>, MemoEntry>,
+    round: u32,
+}
+
+#[derive(Clone, Debug)]
+struct MemoEntry {
+    decision: Decision,
+    round: u32,
+    cells: Box<[CellId]>,
+}
+
+impl VerdictMemo {
+    /// An empty memo at round 0.
+    pub fn new() -> Self {
+        VerdictMemo::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the memo holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Advances the round counter; entries inserted before this call are
+    /// *carried* entries, and hits on them count as
+    /// [`QueryEngineStats::memo_carryover`].
+    pub fn next_round(&mut self) {
+        self.round += 1;
+    }
+
+    /// Drops every entry whose cone covers a dirty cell; returns how many
+    /// were dropped.
+    pub fn invalidate(&mut self, dirty: &HashSet<CellId>) -> usize {
+        if dirty.is_empty() {
+            return 0;
+        }
+        let before = self.entries.len();
+        self.entries
+            .retain(|_, e| !e.cells.iter().any(|c| dirty.contains(c)));
+        before - self.entries.len()
+    }
+
+    fn lookup(&self, key: &[u64]) -> Option<(Decision, bool)> {
+        self.entries
+            .get(key)
+            .map(|e| (e.decision, e.round < self.round))
+    }
+
+    fn insert(&mut self, key: Vec<u64>, decision: Decision, cells: &[CellId]) {
+        self.entries.insert(
+            key,
+            MemoEntry {
+                decision,
+                round: self.round,
+                cells: cells.into(),
+            },
+        );
+    }
 }
 
 /// Per-module stateful query pipeline; see the [module docs](self).
@@ -136,11 +290,17 @@ pub struct QueryEngine<'m> {
     acts: HashMap<CellId, Lit>,
     /// counterexample bank: canonical bit → 64 packed model values
     bank: HashMap<SigBit, u64>,
+    /// insertion order of bank bits, for bounded ring eviction
+    bank_order: VecDeque<SigBit>,
     /// how many bank lanes hold a model (≤ 64)
     bank_filled: u32,
     /// next lane to (over)write
     bank_cursor: u32,
-    memo: HashMap<Vec<u64>, Decision>,
+    memo: VerdictMemo,
+    /// design-level shared counterexample bank, when attached
+    shared: Option<Arc<dyn SharedCexBank>>,
+    /// solver stats accumulated from solvers dropped at resets
+    solver_base: SolverStats,
     stats: QueryEngineStats,
 }
 
@@ -170,8 +330,23 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 impl<'m> QueryEngine<'m> {
-    /// Creates an engine over one module for one sweep.
+    /// Creates an engine over one module for one sweep, with fresh state
+    /// and no shared bank.
     pub fn new(module: &'m Module, index: &'m NetIndex, options: QueryEngineOptions) -> Self {
+        QueryEngine::with_state(module, index, options, VerdictMemo::new(), None)
+    }
+
+    /// Creates an engine seeded with a persistent [`VerdictMemo`] (cross-
+    /// round carryover) and an optional design-level [`SharedCexBank`].
+    /// Reclaim the memo with [`QueryEngine::into_memo`] when the sweep
+    /// ends.
+    pub fn with_state(
+        module: &'m Module,
+        index: &'m NetIndex,
+        options: QueryEngineOptions,
+        memo: VerdictMemo,
+        shared: Option<Arc<dyn SharedCexBank>>,
+    ) -> Self {
         QueryEngine {
             module,
             index,
@@ -180,35 +355,61 @@ impl<'m> QueryEngine<'m> {
             lits: HashMap::new(),
             acts: HashMap::new(),
             bank: HashMap::new(),
+            bank_order: VecDeque::new(),
             bank_filled: 0,
             bank_cursor: 0,
-            memo: HashMap::new(),
+            memo,
+            shared,
+            solver_base: SolverStats::default(),
             stats: QueryEngineStats::default(),
         }
     }
 
-    /// Telemetry so far.
+    /// Consumes the engine, handing the verdict memo back for the next
+    /// round (the per-sweep state — solver, banks — is dropped).
+    pub fn into_memo(self) -> VerdictMemo {
+        self.memo
+    }
+
+    /// Telemetry so far (solver counters include solvers already dropped
+    /// at resets).
     pub fn stats(&self) -> QueryEngineStats {
-        self.stats
+        let mut s = self.stats;
+        s.solver = self.solver_base;
+        s.solver.absorb(&self.enc.solver().stats());
+        s
     }
 
     /// Decides the sub-graph's target bit under `assign` (canonical keys),
     /// returning the verdict and the layer that produced it.
     ///
-    /// Layer order: memo → counterexample replay → random prefilter →
-    /// exhaustive simulation or incremental SAT, with the same
-    /// sim/SAT/skip routing as [`crate::decide::decide`].
+    /// Layer order: memo → counterexample replay → adaptive random
+    /// prefilter → shared-bank replay (completing partial local
+    /// witnesses) → exhaustive simulation or incremental SAT, with the
+    /// same sim/SAT/skip routing as [`crate::decide::decide`].
     pub fn decide(&mut self, sub: &SubGraph, assign: &HashMap<SigBit, bool>) -> (Decision, Layer) {
         self.stats.queries += 1;
-        let key = query_key(self.module, self.index, sub, assign);
-        if let Some(&d) = self.memo.get(&key) {
+        // one cone traversal builds the memo key — and, when a shared
+        // bank is attached, the cone shape riding on the same pass
+        // (without a bank the shape is never consumed, so the plain key
+        // path skips the intern-table and signature work entirely)
+        let (key, shape) = if self.shared.is_some() {
+            let (key, shape) = query_key_and_shape(self.module, self.index, sub, assign);
+            (key, Some(shape))
+        } else {
+            (query_key(self.module, self.index, sub, assign), None)
+        };
+        if let Some((d, carried)) = self.memo.lookup(&key) {
             self.stats.by_memo += 1;
+            if carried {
+                self.stats.memo_carryover += 1;
+            }
             return (d, Layer::Memo);
         }
         let free = free_leaves(sub, assign);
         let choice = choose_engine(free.len(), sub.cells.len(), &self.options.decide);
         if choice == EngineChoice::Skip {
-            self.memo.insert(key, Decision::Skipped);
+            self.memo.insert(key, Decision::Skipped, &sub.cells);
             return (Decision::Skipped, Layer::None);
         }
 
@@ -224,20 +425,54 @@ impl<'m> QueryEngine<'m> {
                 seen_false |= f;
                 if seen_true && seen_false {
                     self.stats.by_cex += 1;
-                    self.memo.insert(key, Decision::Unknown);
+                    self.memo.insert(key, Decision::Unknown, &sub.cells);
                     return (Decision::Unknown, Layer::CexReplay);
                 }
             }
-            // layer 3: random-simulation prefilter
+            // layer 3: adaptive random-simulation prefilter — rounds
+            // scale with the free-leaf count. The extension rounds past
+            // the base exist precisely to hunt a not-yet-seen rare
+            // polarity, so they keep running while one polarity is
+            // witnessed; they stop early only when the base rounds
+            // witnessed *nothing* (no lane satisfied the path condition
+            // — more random lanes are then equally unlikely to).
             if !free.is_empty() {
-                for round in 0..self.options.prefilter_rounds {
+                let rounds = self.prefilter_rounds_for(free.len());
+                for round in 0..rounds {
+                    self.stats.prefilter_rounds += 1;
                     let (t, f) = self.replay_random(&prog, assign, tslot, round as u64);
                     seen_true |= t;
                     seen_false |= f;
                     if seen_true && seen_false {
                         self.stats.by_prefilter += 1;
-                        self.memo.insert(key, Decision::Unknown);
+                        self.memo.insert(key, Decision::Unknown, &sub.cells);
                         return (Decision::Unknown, Layer::Prefilter);
+                    }
+                    if !seen_true && !seen_false && round + 1 >= self.options.prefilter_rounds {
+                        break;
+                    }
+                }
+            }
+            // layer 3b: design-level shared bank — the *completion*
+            // layer. By now the cheap local layers have usually
+            // witnessed the target's common polarity; what is missing is
+            // the rare one, which is exactly what sibling modules'
+            // published SAT models carry. Shared witnesses may combine
+            // with local ones to finish a refutation (every witness is a
+            // verified cone evaluation, so both polarities witnessed
+            // proves the verdict SAT would return: `Unknown`), but they
+            // are never folded into `seen_true`/`seen_false` — feeding
+            // them into the SAT polarity skip below would make this
+            // module's solver stream depend on what sibling modules
+            // happened to publish first, breaking the jobs-determinism
+            // of budget-limited verdicts.
+            if let (Some(bank), Some(shape)) = (self.shared.clone(), shape.as_ref()) {
+                if let Some(vectors) = bank.lookup(shape.sig, shape.bits.len()) {
+                    let (t, f) = self.replay_shared(&prog, assign, tslot, shape, &vectors);
+                    if (seen_true || t) && (seen_false || f) {
+                        self.stats.by_shared_cex += 1;
+                        self.memo.insert(key, Decision::Unknown, &sub.cells);
+                        return (Decision::Unknown, Layer::SharedCex);
                     }
                 }
             }
@@ -257,13 +492,32 @@ impl<'m> QueryEngine<'m> {
             }
             EngineChoice::Sat => {
                 self.stats.by_sat += 1;
-                let d = self.sat_layer(sub, &prog, assign, target, seen_true, seen_false);
+                let d = self.sat_layer(
+                    sub,
+                    &prog,
+                    assign,
+                    target,
+                    shape.as_ref(),
+                    seen_true,
+                    seen_false,
+                );
                 (d, Layer::Sat)
             }
             EngineChoice::Skip => unreachable!("handled above"),
         };
-        self.memo.insert(key, d);
+        self.memo.insert(key, d, &sub.cells);
         (d, layer)
+    }
+
+    /// The adaptive prefilter budget for a cone with `free` free leaves:
+    /// the configured base plus one round per 16 leaves, capped. 0 keeps
+    /// the layer disabled.
+    fn prefilter_rounds_for(&self, free: usize) -> usize {
+        let base = self.options.prefilter_rounds;
+        if base == 0 {
+            return 0;
+        }
+        (base + free / 16).min(self.options.prefilter_max_rounds.max(base))
     }
 
     /// Loads leaf planes (path-condition bits pinned, free bits from
@@ -307,6 +561,32 @@ impl<'m> QueryEngine<'m> {
         let active = lanes_mask(self.bank_filled);
         self.witnesses(prog, assign, tslot, active, |bit, _| {
             self.bank.get(&bit).copied().unwrap_or(0)
+        })
+    }
+
+    /// Replays the shared bank's per-intern-index planes through this
+    /// cone: each leaf maps back to its intern index via the shape's bit
+    /// table, and every lane is re-verified against the local path
+    /// condition before it may witness a polarity.
+    fn replay_shared(
+        &self,
+        prog: &ConeProgram,
+        assign: &HashMap<SigBit, bool>,
+        tslot: u32,
+        shape: &ConeShape,
+        vectors: &SharedVectors,
+    ) -> (bool, bool) {
+        let idx_of: HashMap<SigBit, usize> = shape
+            .bits
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| (b, i))
+            .collect();
+        self.witnesses(prog, assign, tslot, lanes_mask(vectors.lanes), |bit, _| {
+            idx_of
+                .get(&bit)
+                .and_then(|&i| vectors.planes.get(i).copied())
+                .unwrap_or(0)
         })
     }
 
@@ -422,17 +702,21 @@ impl<'m> QueryEngine<'m> {
 
     /// Incremental SAT: assume the cone's activation literals, the path
     /// condition and the target polarity; models feed the counterexample
-    /// bank. Polarities already witnessed by layers 2–3 are skipped.
+    /// bank and are published to the shared bank under the cone's shape
+    /// signature. Polarities already witnessed by layers 2–3 are skipped.
+    #[allow(clippy::too_many_arguments)]
     fn sat_layer(
         &mut self,
         sub: &SubGraph,
         prog: &ConeProgram,
         assign: &HashMap<SigBit, bool>,
         target: SigBit,
+        shape: Option<&ConeShape>,
         seen_true: bool,
         seen_false: bool,
     ) -> Decision {
         if self.enc.num_vars() > self.options.reset_vars {
+            self.solver_base.absorb(&self.enc.solver().stats());
             self.enc = TseitinEncoder::new();
             self.lits.clear();
             self.acts.clear();
@@ -461,7 +745,7 @@ impl<'m> QueryEngine<'m> {
             a.push(polarity);
             let r = this.enc.solve_with(&a);
             if r == SolveResult::Sat {
-                this.capture_model(prog);
+                this.capture_model(prog, shape);
             }
             r
         };
@@ -487,8 +771,10 @@ impl<'m> QueryEngine<'m> {
     /// bank lane (a ring over 64 lanes; bits absent from this cone keep
     /// their previous lane values — replay re-verifies every lane, so
     /// stale mixtures cost at most a missed refutation, never a wrong
-    /// one).
-    fn capture_model(&mut self, prog: &ConeProgram) {
+    /// one), evicting the oldest tracked bits when the bounded bank
+    /// overflows, and publishes the model to the shared bank under the
+    /// cone's shape signature.
+    fn capture_model(&mut self, prog: &ConeProgram, shape: Option<&ConeShape>) {
         let lane = self.bank_cursor % 64;
         self.bank_cursor = self.bank_cursor.wrapping_add(1);
         self.bank_filled = (self.bank_filled + 1).min(64);
@@ -496,13 +782,38 @@ impl<'m> QueryEngine<'m> {
         for (bit, _) in prog.bits() {
             if let Some(&l) = self.lits.get(&bit) {
                 let v = self.enc.solver().model_value(l).unwrap_or(false);
-                let plane = self.bank.entry(bit).or_insert(0);
-                if v {
-                    *plane |= 1 << lane;
+                if let Some(plane) = self.bank.get_mut(&bit) {
+                    if v {
+                        *plane |= 1 << lane;
+                    } else {
+                        *plane &= !(1 << lane);
+                    }
                 } else {
-                    *plane &= !(1 << lane);
+                    while self.bank.len() >= self.options.cex_bank_capacity.max(1) {
+                        let Some(oldest) = self.bank_order.pop_front() else {
+                            break;
+                        };
+                        if self.bank.remove(&oldest).is_some() {
+                            self.stats.bank_evictions += 1;
+                        }
+                    }
+                    self.bank.insert(bit, if v { 1 << lane } else { 0 });
+                    self.bank_order.push_back(bit);
                 }
             }
+        }
+        if let (Some(bank), Some(shape)) = (&self.shared, shape) {
+            let values: Vec<bool> = shape
+                .bits
+                .iter()
+                .map(|b| {
+                    self.lits
+                        .get(b)
+                        .and_then(|&l| self.enc.solver().model_value(l))
+                        .unwrap_or(false)
+                })
+                .collect();
+            bank.publish(shape.sig, &values);
         }
     }
 }
@@ -653,6 +964,219 @@ mod tests {
         assert_eq!(d, Decision::Unknown);
         assert_eq!(layer, Layer::Prefilter);
         assert_eq!(eng.stats().by_prefilter, 1);
+    }
+
+    /// A minimal thread-safe shared bank for tests: the same ring
+    /// semantics as the driver's `KnowledgeBase`, without bounds.
+    type TestShapes = HashMap<u64, (usize, Vec<Vec<bool>>)>;
+
+    #[derive(Debug, Default)]
+    struct TestBank {
+        shapes: std::sync::Mutex<TestShapes>,
+    }
+
+    impl SharedCexBank for TestBank {
+        fn lookup(&self, sig: u64, width: usize) -> Option<SharedVectors> {
+            let shapes = self.shapes.lock().unwrap();
+            let (w, models) = shapes.get(&sig)?;
+            if *w != width || models.is_empty() {
+                return None;
+            }
+            let mut planes = vec![0u64; width];
+            for (lane, model) in models.iter().take(64).enumerate() {
+                for (i, &v) in model.iter().enumerate() {
+                    if v {
+                        planes[i] |= 1 << lane;
+                    }
+                }
+            }
+            Some(SharedVectors {
+                planes,
+                lanes: models.len().min(64) as u32,
+            })
+        }
+
+        fn publish(&self, sig: u64, values: &[bool]) {
+            let mut shapes = self.shapes.lock().unwrap();
+            let entry = shapes.entry(sig).or_insert_with(|| (values.len(), vec![]));
+            if entry.0 == values.len() {
+                entry.1.push(values.to_vec());
+            }
+        }
+    }
+
+    fn xor_module(name: &str) -> (Module, SigBit) {
+        let mut m = Module::new(name);
+        let a = m.add_input("a", 1);
+        let b = m.add_input("b", 1);
+        let x = m.xor(&a, &b);
+        m.add_output("o", &x);
+        let t = x.bit(0);
+        (m, t)
+    }
+
+    /// Module A's SAT models seed the shared bank; module B's cold
+    /// engine refutes the isomorphic query by shared replay alone.
+    #[test]
+    fn shared_bank_seeds_a_sibling_module() {
+        let bank: Arc<TestBank> = Arc::new(TestBank::default());
+        let (ma, ta) = xor_module("a");
+        let index_a = NetIndex::build(&ma);
+        let mut eng_a = QueryEngine::with_state(
+            &ma,
+            &index_a,
+            sat_only(),
+            VerdictMemo::new(),
+            Some(bank.clone()),
+        );
+        let (sub, assign) = extract_for(&ma, &index_a, index_a.canon(ta), &[]);
+        let (d, layer) = eng_a.decide(&sub, &assign);
+        assert_eq!(d, Decision::Unknown);
+        assert_eq!(layer, Layer::Sat);
+        assert_eq!(eng_a.stats().models_cached, 2);
+
+        let (mb, tb) = xor_module("b");
+        let index_b = NetIndex::build(&mb);
+        let mut eng_b =
+            QueryEngine::with_state(&mb, &index_b, sat_only(), VerdictMemo::new(), Some(bank));
+        let (sub, assign) = extract_for(&mb, &index_b, index_b.canon(tb), &[]);
+        let (d, layer) = eng_b.decide(&sub, &assign);
+        assert_eq!(d, Decision::Unknown);
+        assert_eq!(layer, Layer::SharedCex, "cold module must hit the bank");
+        assert_eq!(eng_b.stats().by_shared_cex, 1);
+        assert_eq!(eng_b.stats().by_sat, 0);
+    }
+
+    /// Shared vectors must never mis-refute a genuinely constant bit:
+    /// replay re-verifies every lane against the local path condition.
+    #[test]
+    fn shared_replay_never_misrefutes_a_constant_bit() {
+        let bank: Arc<TestBank> = Arc::new(TestBank::default());
+        // module A: free or-cone, publishes models witnessing both
+        // polarities of the same shape B will query
+        let mut ma = Module::new("a");
+        let s = ma.add_input("s", 1);
+        let r = ma.add_input("r", 1);
+        let sr = ma.or(&s, &r);
+        ma.add_output("o", &sr);
+        let index_a = NetIndex::build(&ma);
+        let mut eng_a = QueryEngine::with_state(
+            &ma,
+            &index_a,
+            sat_only(),
+            VerdictMemo::new(),
+            Some(bank.clone()),
+        );
+        let (sub, assign) = extract_for(&ma, &index_a, index_a.canon(sr.bit(0)), &[]);
+        let (d, _) = eng_a.decide(&sub, &assign);
+        assert_eq!(d, Decision::Unknown);
+        assert!(eng_a.stats().models_cached > 0);
+
+        // module B: the same or-cone but queried under s=1 — constant
+        // true; the shared lanes with s=0 must be filtered out
+        let mut mb = Module::new("b");
+        let s2 = mb.add_input("s", 1);
+        let r2 = mb.add_input("r", 1);
+        let sr2 = mb.or(&s2, &r2);
+        mb.add_output("o", &sr2);
+        let index_b = NetIndex::build(&mb);
+        let mut eng_b =
+            QueryEngine::with_state(&mb, &index_b, sat_only(), VerdictMemo::new(), Some(bank));
+        let (sub, assign) = extract_for(
+            &mb,
+            &index_b,
+            index_b.canon(sr2.bit(0)),
+            &[(s2.bit(0), true)],
+        );
+        let (d, layer) = eng_b.decide(&sub, &assign);
+        assert_eq!(d, Decision::Const(true));
+        assert_eq!(layer, Layer::Sat);
+        assert_eq!(
+            eng_b.stats().by_shared_cex,
+            0,
+            "shared replay must not fire"
+        );
+    }
+
+    /// The bounded bank evicts its oldest bits instead of growing without
+    /// limit, and eviction stays sound (verdicts unchanged).
+    #[test]
+    fn bounded_bank_evicts_oldest_bits() {
+        let mut m = Module::new("t");
+        let sigs: Vec<_> = (0..4)
+            .map(|i| {
+                let a = m.add_input(&format!("a{i}"), 1);
+                let b = m.add_input(&format!("b{i}"), 1);
+                // xor chained through a not so each cone has distinct bits
+                let x = m.xor(&a, &b);
+                let y = m.not(&x);
+                m.add_output(&format!("o{i}"), &y);
+                y.bit(0)
+            })
+            .collect();
+        let index = NetIndex::build(&m);
+        let opts = QueryEngineOptions {
+            cex_bank_capacity: 3,
+            ..sat_only()
+        };
+        let mut eng = QueryEngine::new(&m, &index, opts);
+        for &t in &sigs {
+            let (sub, assign) = extract_for(&m, &index, index.canon(t), &[]);
+            let (d, _) = eng.decide(&sub, &assign);
+            assert_eq!(d, Decision::Unknown);
+        }
+        let stats = eng.stats();
+        assert!(
+            stats.bank_evictions > 0,
+            "capacity 3 over 4 distinct cones must evict: {stats:?}"
+        );
+    }
+
+    /// Verdict memos persist across engine instances (rounds): a carried
+    /// entry answers the repeat query, and invalidation drops entries
+    /// covering dirty cells.
+    #[test]
+    fn memo_carries_across_rounds_and_invalidates_on_dirty_cells() {
+        let mut m = Module::new("t");
+        let a = m.add_input("a", 1);
+        let b = m.add_input("b", 1);
+        let x = m.xor(&a, &b);
+        m.add_output("o", &x);
+        let t = x.bit(0);
+        // an unrelated gate whose id is NOT in the queried cone
+        let p = m.add_input("p", 1);
+        let q = m.add_input("q", 1);
+        let unrelated_out = m.and(&p, &q);
+        m.add_output("u", &unrelated_out);
+        let unrelated_id = m
+            .cells()
+            .find(|(_, c)| c.kind == smartly_netlist::CellKind::And)
+            .map(|(id, _)| id)
+            .unwrap();
+        let index = NetIndex::build(&m);
+        let mut eng = QueryEngine::new(&m, &index, QueryEngineOptions::default());
+        let (sub, assign) = extract_for(&m, &index, index.canon(t), &[]);
+        let cone_cells = sub.cells.clone();
+        let _ = eng.decide(&sub, &assign);
+        let mut memo = eng.into_memo();
+        assert_eq!(memo.len(), 1);
+
+        // round 2: the same query is answered by a carried entry
+        memo.next_round();
+        let mut eng2 =
+            QueryEngine::with_state(&m, &index, QueryEngineOptions::default(), memo, None);
+        let (d, layer) = eng2.decide(&sub, &assign);
+        assert_eq!(d, Decision::Unknown);
+        assert_eq!(layer, Layer::Memo);
+        assert_eq!(eng2.stats().memo_carryover, 1);
+        let mut memo = eng2.into_memo();
+
+        // an unrelated dirty cell keeps the entry; a cone cell drops it
+        let unrelated: HashSet<CellId> = [unrelated_id].into();
+        assert_eq!(memo.invalidate(&unrelated), 0);
+        let dirty: HashSet<CellId> = cone_cells.iter().copied().collect();
+        assert_eq!(memo.invalidate(&dirty), 1);
+        assert!(memo.is_empty());
     }
 
     /// The engine and the legacy fresh-solver path agree verdict-for-

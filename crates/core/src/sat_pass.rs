@@ -9,10 +9,11 @@
 
 use crate::decide::{decide, DecideOptions, Decision, Engine};
 use crate::inference::{propagate, InferOutcome};
-use crate::query_engine::{Layer, QueryEngine, QueryEngineOptions};
+use crate::query_engine::{Layer, QueryEngine, QueryEngineOptions, SharedCexBank, VerdictMemo};
 use crate::subgraph::{extract_cached, ConeCache, SubgraphStats};
 use smartly_netlist::{CellId, CellKind, Module, NetIndex, Port, SigBit, SigSpec, TriVal};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Configuration for [`sat_redundancy`].
 #[derive(Copy, Clone, Debug)]
@@ -47,12 +48,20 @@ pub struct SatRedundancyOptions {
     /// and only ever degrades to a missed rewrite, never a wrong one.
     /// `false` is the ablation baseline.
     pub incremental: bool,
-    /// Random-simulation prefilter passes per query (engine mode only).
+    /// Base random-simulation prefilter passes per query (engine mode
+    /// only); the engine scales this with the cone's free-leaf count up
+    /// to `prefilter_max_rounds`.
     pub prefilter_rounds: usize,
+    /// Ceiling for the adaptive prefilter's round count.
+    pub prefilter_max_rounds: usize,
+    /// Bound on distinct bits tracked by the engine's counterexample
+    /// bank (oldest evicted first).
+    pub cex_bank_capacity: usize,
 }
 
 impl Default for SatRedundancyOptions {
     fn default() -> Self {
+        let engine = QueryEngineOptions::default();
         SatRedundancyOptions {
             k: 6,
             sim_threshold: 10,
@@ -64,8 +73,59 @@ impl Default for SatRedundancyOptions {
             max_subgraph_cells: 3_000,
             measure_gather: false,
             incremental: true,
-            prefilter_rounds: 2,
+            prefilter_rounds: engine.prefilter_rounds,
+            prefilter_max_rounds: engine.prefilter_max_rounds,
+            cex_bank_capacity: engine.cex_bank_capacity,
         }
+    }
+}
+
+/// State a [`sat_redundancy_with`] sweep inherits from earlier sweeps of
+/// the *same module*: the verdict memo (cross-round carryover) plus the
+/// optional design-level shared counterexample bank, and the cell
+/// fingerprints backing the dirty-set invalidation protocol.
+///
+/// [`crate::Pipeline`] keeps one context per module across its rounds;
+/// [`SweepContext::begin_round`] must be called before each sweep so
+/// entries covering mutated cones are dropped and carryover accounting
+/// starts a new round.
+#[derive(Clone, Debug, Default)]
+pub struct SweepContext {
+    /// The persistent cone-verdict memo.
+    pub memo: VerdictMemo,
+    /// The design-level shared bank, if the caller participates in one.
+    pub shared: Option<Arc<dyn SharedCexBank>>,
+    /// Cell fingerprints at the end of the previous round, if any.
+    fingerprints: Option<HashMap<CellId, u64>>,
+}
+
+impl SweepContext {
+    /// A context with no carried state and no shared bank.
+    pub fn new(shared: Option<Arc<dyn SharedCexBank>>) -> Self {
+        SweepContext {
+            memo: VerdictMemo::new(),
+            shared,
+            fingerprints: None,
+        }
+    }
+
+    /// Prepares the context for the next sweep of `module`: diffs the
+    /// module's cell fingerprints against the previous round's snapshot,
+    /// drops every memo entry whose cone covers a dirty cell, snapshots
+    /// the current fingerprints, and advances the round counter. Returns
+    /// the number of entries invalidated.
+    pub fn begin_round(&mut self, module: &Module) -> usize {
+        let current = NetIndex::fingerprints(module);
+        let invalidated = match &self.fingerprints {
+            Some(prev) => {
+                let dirty = NetIndex::dirty_between(prev, &current);
+                self.memo.invalidate(&dirty)
+            }
+            None => 0,
+        };
+        self.fingerprints = Some(current);
+        self.memo.next_round();
+        invalidated
     }
 }
 
@@ -85,17 +145,39 @@ pub struct SatPassStats {
     /// Queries answered by the engine's cone-verdict memo (isomorphic
     /// structure seen before; any verdict).
     pub by_memo: usize,
+    /// Memo answers from entries carried over from an earlier pipeline
+    /// round (a subset of `by_memo`).
+    pub memo_carryover: usize,
+    /// Memo entries invalidated by the dirty-set protocol between rounds.
+    pub memo_invalidated: usize,
     /// Queries refuted by counterexample replay (engine mode only).
     pub by_cex: usize,
+    /// Queries refuted by replaying the design-level shared bank's
+    /// vectors (engine mode with a shared bank attached).
+    pub by_shared_cex: usize,
     /// Queries refuted by the random-simulation prefilter (engine mode
     /// only).
     pub by_prefilter: usize,
+    /// Random-simulation rounds the adaptive prefilter actually ran.
+    pub prefilter_rounds: usize,
+    /// Bits evicted from the engine's bounded counterexample bank.
+    pub bank_evictions: usize,
     /// Branches proven unreachable.
     pub unreachable: usize,
     /// Gates gathered into sub-graphs before pruning (paper ~80% claim).
     pub gates_before_prune: usize,
     /// Gates kept after pruning.
     pub gates_after_prune: usize,
+    /// Incremental-solver resets triggered by the variable-count
+    /// backstop.
+    pub solver_resets: usize,
+    /// CDCL conflicts across the sweep's solver(s).
+    pub solver_conflicts: u64,
+    /// CDCL propagations across the sweep's solver(s).
+    pub solver_propagations: u64,
+    /// Learnt clauses retained (summed across resets — a growth
+    /// indicator, not a live gauge).
+    pub solver_learnts: u64,
 }
 
 impl SatPassStats {
@@ -112,11 +194,20 @@ impl SatPassStats {
         self.by_sim += o.by_sim;
         self.by_sat += o.by_sat;
         self.by_memo += o.by_memo;
+        self.memo_carryover += o.memo_carryover;
+        self.memo_invalidated += o.memo_invalidated;
         self.by_cex += o.by_cex;
+        self.by_shared_cex += o.by_shared_cex;
         self.by_prefilter += o.by_prefilter;
+        self.prefilter_rounds += o.prefilter_rounds;
+        self.bank_evictions += o.bank_evictions;
         self.unreachable += o.unreachable;
         self.gates_before_prune += o.gates_before_prune;
         self.gates_after_prune += o.gates_after_prune;
+        self.solver_resets += o.solver_resets;
+        self.solver_conflicts += o.solver_conflicts;
+        self.solver_propagations += o.solver_propagations;
+        self.solver_learnts += o.solver_learnts;
     }
 }
 
@@ -124,8 +215,27 @@ impl SatPassStats {
 ///
 /// Run [`smartly_opt::clean_pipeline`] afterwards (or use
 /// [`crate::Pipeline`]) to realize the collapses, and iterate until
-/// `rewrites` is 0.
+/// `rewrites` is 0. The sweep runs on throwaway state; use
+/// [`sat_redundancy_with`] to carry verdict memos across sweeps or
+/// participate in a design-level shared bank.
 pub fn sat_redundancy(module: &mut Module, options: &SatRedundancyOptions) -> SatPassStats {
+    // a throwaway context: no begin_round — fingerprinting the module
+    // buys nothing when the memo dies with this call
+    let mut ctx = SweepContext::new(None);
+    sat_redundancy_with(module, options, &mut ctx)
+}
+
+/// [`sat_redundancy`] with a persistent [`SweepContext`]: the engine is
+/// seeded with the context's verdict memo and shared bank, and the memo
+/// (grown by this sweep) is handed back through the context.
+///
+/// Callers must invoke [`SweepContext::begin_round`] between sweeps of a
+/// mutated module so stale cone entries are invalidated first.
+pub fn sat_redundancy_with(
+    module: &mut Module,
+    options: &SatRedundancyOptions,
+    ctx: &mut SweepContext,
+) -> SatPassStats {
     let index = NetIndex::build(module);
     let topo = match module.topo_order() {
         Ok(t) => t,
@@ -192,16 +302,21 @@ pub fn sat_redundancy(module: &mut Module, options: &SatRedundancyOptions) -> Sa
         conflict_budget: options.conflict_budget,
     };
     // the stateful query funnel (one per sweep; the netlist is immutable
-    // until the pins are applied at the end)
+    // until the pins are applied at the end), seeded from the context's
+    // carried memo and shared bank
     let engine: Option<std::cell::RefCell<QueryEngine>> = if options.incremental {
-        Some(std::cell::RefCell::new(QueryEngine::new(
+        Some(std::cell::RefCell::new(QueryEngine::with_state(
             module,
             &index,
             QueryEngineOptions {
                 decide: decide_opts,
                 prefilter_rounds: options.prefilter_rounds,
+                prefilter_max_rounds: options.prefilter_max_rounds,
+                cex_bank_capacity: options.cex_bank_capacity,
                 ..Default::default()
             },
+            std::mem::take(&mut ctx.memo),
+            ctx.shared.clone(),
         )))
     } else {
         None
@@ -257,6 +372,7 @@ pub fn sat_redundancy(module: &mut Module, options: &SatRedundancyOptions) -> Sa
                     match layer {
                         Layer::Memo => stats.by_memo += 1,
                         Layer::CexReplay => stats.by_cex += 1,
+                        Layer::SharedCex => stats.by_shared_cex += 1,
                         Layer::Prefilter => stats.by_prefilter += 1,
                         _ => {}
                     }
@@ -415,8 +531,20 @@ pub fn sat_redundancy(module: &mut Module, options: &SatRedundancyOptions) -> Sa
         }
     }
 
-    // release the engine's borrow of the netlist before mutating it
-    drop(engine);
+    // fold the engine's telemetry into the sweep stats and hand the memo
+    // back to the context, releasing the netlist borrow before mutation
+    if let Some(e) = engine {
+        let eng = e.into_inner();
+        let es = eng.stats();
+        stats.memo_carryover = es.memo_carryover;
+        stats.prefilter_rounds = es.prefilter_rounds;
+        stats.bank_evictions = es.bank_evictions;
+        stats.solver_resets = es.solver_resets;
+        stats.solver_conflicts = es.solver.conflicts;
+        stats.solver_propagations = es.solver.propagations;
+        stats.solver_learnts = es.solver.learnt_clauses;
+        ctx.memo = eng.into_memo();
+    }
     for (id, port, offset, value) in pins {
         if let Some(cell) = module.cell_mut(id) {
             if let Some(spec) = cell.port_mut(port) {

@@ -328,8 +328,44 @@ pub fn query_key(
     sub: &SubGraph,
     assign: &HashMap<SigBit, bool>,
 ) -> Vec<u64> {
+    query_key_and_shape(module, index, sub, assign).0
+}
+
+/// The *shape* of a decision cone: the structure-only prefix of its
+/// [`query_key`] — cells, connectivity and target with every wire bit
+/// replaced by its first-use intern index, but **no path condition** —
+/// folded to a 64-bit signature, plus the intern table mapping each
+/// index back to this cone's canonical bit.
+///
+/// Isomorphic cones in *different modules* (bus-replicated peripherals,
+/// parameter variants of one block) produce equal signatures with
+/// corresponding bits at equal indices, so counterexample vectors
+/// recorded against one cone can be replayed through the other: the
+/// design-level shared bank keys on `sig` and stores per-index planes.
+/// The signature is a hash — a collision can hand a cone someone else's
+/// vectors, which costs a wasted replay but never a wrong verdict,
+/// because replay re-verifies every lane against the querying cone's own
+/// path condition.
+#[derive(Clone, Debug)]
+pub struct ConeShape {
+    /// FNV-1a over the structural key prefix (and the intern count).
+    pub sig: u64,
+    /// `bits[i]` = the canonical bit interned at index `i`, in first-use
+    /// order over the cone's cells.
+    pub bits: Vec<SigBit>,
+}
+
+/// [`query_key`] and the cone's [`ConeShape`] in one pass (the key's
+/// structural prefix is exactly what the shape hashes).
+pub fn query_key_and_shape(
+    module: &Module,
+    index: &NetIndex,
+    sub: &SubGraph,
+    assign: &HashMap<SigBit, bool>,
+) -> (Vec<u64>, ConeShape) {
     // constants encode as 0/1/2; wires as 3 + first-use index
     let mut ids: HashMap<SigBit, u64> = HashMap::new();
+    let mut order: Vec<SigBit> = Vec::new();
     let mut intern = |bit: SigBit| -> u64 {
         match index.canon(bit) {
             SigBit::Const(TriVal::Zero) => 0,
@@ -337,7 +373,10 @@ pub fn query_key(
             SigBit::Const(TriVal::X) => 2,
             c => {
                 let next = ids.len() as u64;
-                3 + *ids.entry(c).or_insert(next)
+                3 + *ids.entry(c).or_insert_with(|| {
+                    order.push(c);
+                    next
+                })
             }
         }
     };
@@ -360,6 +399,22 @@ pub fn query_key(
     }
     key.push(u64::MAX - 129);
     key.push(intern(sub.target));
+
+    // the shape signature covers exactly the structural prefix built so
+    // far (FNV-1a, stable across processes) plus the intern width
+    let mut sig = 0xcbf2_9ce4_8422_2325u64;
+    let mut fnv = |x: u64| {
+        for byte in x.to_le_bytes() {
+            sig ^= u64::from(byte);
+            sig = sig.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for &word in &key {
+        fnv(word);
+    }
+    fnv(order.len() as u64);
+    let shape = ConeShape { sig, bits: order };
+
     // the path condition, restricted to bits the cone references (bits
     // outside it cannot influence the verdict), in canonical id order
     let mut pairs: Vec<(u64, bool)> = assign
@@ -371,7 +426,7 @@ pub fn query_key(
         key.push(i);
         key.push(u64::from(v));
     }
-    key
+    (key, shape)
 }
 
 #[cfg(test)]
@@ -532,6 +587,53 @@ mod tests {
         // different structure ⇒ different key
         let kw = key_of(w.bit(0), &[]);
         assert_ne!(k0, kw);
+    }
+
+    #[test]
+    fn cone_shapes_match_across_modules_and_ignore_path_values() {
+        // the same (a & b) | c cone built in two separate modules
+        let mk = |name: &str| {
+            let mut m = Module::new(name);
+            let a = m.add_input("a", 1);
+            let b = m.add_input("b", 1);
+            let c = m.add_input("c", 1);
+            let ab = m.and(&a, &b);
+            let y = m.or(&ab, &c);
+            m.add_output("y", &y);
+            (m, a, y)
+        };
+        let (m0, a0, y0) = mk("alpha");
+        let (m1, a1, y1) = mk("beta");
+        let shape_of = |m: &Module, target: SigBit, known: &[(SigBit, bool)]| {
+            let index = NetIndex::build(m);
+            let r = ranks(m);
+            let mut assign = HashMap::new();
+            for (b, v) in known {
+                assign.insert(index.canon(*b), *v);
+            }
+            let (sub, _) = extract(m, &index, &r, index.canon(target), &assign, 8, true);
+            query_key_and_shape(m, &index, &sub, &assign).1
+        };
+        let s0 = shape_of(&m0, y0.bit(0), &[(a0.bit(0), true)]);
+        let s1 = shape_of(&m1, y1.bit(0), &[(a1.bit(0), true)]);
+        assert_eq!(s0.sig, s1.sig, "isomorphic cones share a signature");
+        assert_eq!(s0.bits.len(), s1.bits.len());
+        // the path-condition *value* never enters the shape
+        let s1f = shape_of(&m1, y1.bit(0), &[(a1.bit(0), false)]);
+        assert_eq!(s0.sig, s1f.sig);
+        // intern order puts corresponding bits at corresponding indices
+        let i0 = s0.bits.iter().position(|&b| b == a0.bit(0)).unwrap();
+        let i1 = s1.bits.iter().position(|&b| b == a1.bit(0)).unwrap();
+        assert_eq!(i0, i1);
+
+        // a structurally different cone hashes differently
+        let mut m2 = Module::new("gamma");
+        let x = m2.add_input("x", 1);
+        let z = m2.add_input("z", 1);
+        let w = m2.xor(&x, &z);
+        m2.add_output("w", &w);
+        let s2 = shape_of(&m2, w.bit(0), &[]);
+        assert_ne!(s0.sig, s2.sig);
     }
 
     #[test]

@@ -128,3 +128,100 @@ fn engine_matches_legacy_with_sat_forced() {
         "counterexample replay never hit: {total:?}"
     );
 }
+
+/// Cross-round memo persistence through the full pipeline: round 1
+/// proves and pins a dependent-control cone (which `clean` then
+/// mutates), round 2 re-queries a *stable* undecidable cone whose
+/// carried verdict answers by memo — and the invalidation protocol
+/// drops the entries covering the mutated cells, so the pipeline's
+/// result is bit-identical to the legacy fresh-solver path.
+#[test]
+fn cross_round_memo_carries_and_invalidates_through_the_pipeline() {
+    use smartly_core::{OptLevel, Pipeline};
+    use smartly_netlist::SigSpec;
+
+    let build = || {
+        let mut m = Module::new("rounds");
+        // a fig3 cone: rewritten in round 1, its select cone cleaned away
+        let a = m.add_input("a", 4);
+        let b = m.add_input("b", 4);
+        let c = m.add_input("c", 4);
+        let s = m.add_input("s", 1);
+        let r = m.add_input("r", 1);
+        let sr = m.or(&s, &r);
+        let inner = m.mux(&b, &a, &sr);
+        let outer = m.mux(&c, &inner, &s);
+        m.add_output("y1", &outer);
+        // an independent-control cone: s2&t is undecidable under s2=1
+        // (t free), survives every round unchanged, and is re-queried —
+        // round 2's query must be answered by the carried memo entry
+        let p = m.add_input("p", 4);
+        let q = m.add_input("q", 4);
+        let u = m.add_input("u", 4);
+        let s2 = m.add_input("s2", 1);
+        let t = m.add_input("t", 1);
+        let st = m.and(&s2, &t);
+        let inner2 = m.mux(&q, &p, &st);
+        let outer2 = m.mux(&u, &inner2, &s2);
+        m.add_output("y2", &outer2);
+        // a case chain so restructure has work too
+        let sel = m.add_input("sel", 2);
+        let w: Vec<SigSpec> = (0..3).map(|i| m.add_input(&format!("w{i}"), 4)).collect();
+        let e0 = m.eq(&sel, &SigSpec::const_u64(0, 2));
+        let e1 = m.eq(&sel, &SigSpec::const_u64(1, 2));
+        let m1 = m.mux(&w[2], &w[1], &e1);
+        let m0 = m.mux(&m1, &w[0], &e0);
+        m.add_output("y3", &m0);
+        m
+    };
+
+    // inference off so the dependent cones actually reach the engine
+    let sat_base = SatRedundancyOptions {
+        inference: false,
+        conflict_budget: 1_000_000,
+        ..Default::default()
+    };
+    let run = |incremental: bool| {
+        let mut m = build();
+        let pipe = Pipeline {
+            sat: SatRedundancyOptions {
+                incremental,
+                ..sat_base
+            },
+            verify: true,
+            ..Default::default()
+        };
+        let report = pipe.run(&mut m, OptLevel::Full).expect("pipeline");
+        (m, report)
+    };
+    let (m_inc, rep_inc) = run(true);
+    let (m_leg, rep_leg) = run(false);
+
+    assert_eq!(rep_inc.area_after, rep_leg.area_after, "areas must match");
+    assert_eq!(
+        rep_inc.equivalence,
+        Some(smartly_aig::EquivResult::Equivalent)
+    );
+    assert_eq!(
+        rep_leg.equivalence,
+        Some(smartly_aig::EquivResult::Equivalent)
+    );
+    assert_eq!(
+        smartly_verilog::emit_verilog(&m_inc),
+        smartly_verilog::emit_verilog(&m_leg),
+        "netlists must be identical"
+    );
+
+    // three-round pipeline: the stable cone's round-2 query replays the
+    // carried entry, and the fig3 cleanup dirtied round-1 entries
+    assert!(
+        rep_inc.sat_stats.memo_carryover > 0,
+        "no cross-round memo hit: {:?}",
+        rep_inc.sat_stats
+    );
+    assert!(
+        rep_inc.sat_stats.memo_invalidated > 0,
+        "no stale entry was invalidated: {:?}",
+        rep_inc.sat_stats
+    );
+}

@@ -22,6 +22,10 @@ pub struct CorpusOptions {
     pub jobs: usize,
     /// Verify every optimized circuit against its original.
     pub verify: bool,
+    /// Attach the design-level shared knowledge base (the circuits run
+    /// as modules of one design per level, so cross-circuit cone shapes
+    /// seed each other). On by default; off is the ablation baseline.
+    pub share_knowledge: bool,
 }
 
 impl Default for CorpusOptions {
@@ -30,6 +34,7 @@ impl Default for CorpusOptions {
             scale: Scale::Tiny,
             jobs: 0,
             verify: false,
+            share_knowledge: true,
         }
     }
 }
@@ -97,6 +102,29 @@ impl CorpusRow {
     }
 }
 
+/// Results of the multi-module knowledge-bench design (near-miss
+/// parameter variants exercising the design-level shared bank; see
+/// [`smartly_workloads::knowledge_probes`]).
+#[derive(Clone, Debug)]
+pub struct KnowledgeBench {
+    /// Modules in the probe design.
+    pub modules: usize,
+    /// Whether the shared bank was attached for this run.
+    pub shared: bool,
+    /// Decide queries across all modules.
+    pub queries: usize,
+    /// Queries refuted by replaying sibling modules' vectors.
+    pub by_shared_cex: usize,
+    /// Models published to the bank.
+    pub published: u64,
+    /// Bank lookups that returned vectors.
+    pub hits: u64,
+    /// Total AIG area after optimization (scheduling-independent).
+    pub area_after: usize,
+    /// Wall time for the whole probe design.
+    pub wall: Duration,
+}
+
 /// The whole suite's results.
 #[derive(Clone, Debug)]
 pub struct CorpusReport {
@@ -104,6 +132,9 @@ pub struct CorpusReport {
     pub scale: Scale,
     /// Per-circuit rows, in corpus order.
     pub rows: Vec<CorpusRow>,
+    /// The multi-module shared-bank exercise (timing artifact only; its
+    /// attribution counters depend on worker scheduling).
+    pub knowledge_bench: Option<KnowledgeBench>,
 }
 
 /// Runs the public corpus at every [`OptLevel`] with the engine's
@@ -137,6 +168,7 @@ pub fn run_public_corpus(opts: &CorpusOptions) -> Result<CorpusReport, DriverErr
             level,
             jobs: opts.jobs,
             verify: opts.verify,
+            share_knowledge: opts.share_knowledge,
             // circuits are all distinct; skip the hashing pass
             memoize: false,
             ..Default::default()
@@ -155,9 +187,49 @@ pub fn run_public_corpus(opts: &CorpusOptions) -> Result<CorpusReport, DriverErr
             }
         }
     }
+    let knowledge_bench = Some(run_knowledge_bench(opts)?);
     Ok(CorpusReport {
         scale: opts.scale,
         rows,
+        knowledge_bench,
+    })
+}
+
+/// Runs the multi-module near-miss probe design once at `Full`: the
+/// workload where cross-module counterexample sharing pays (each cone's
+/// rare polarity needs a SAT witness the prefilter cannot find — unless
+/// a sibling module already published it).
+fn run_knowledge_bench(opts: &CorpusOptions) -> Result<KnowledgeBench, DriverError> {
+    let modules = smartly_workloads::knowledge_probes(8, 4, 12);
+    let n = modules.len();
+    let mut design = Design::from_modules(modules);
+    let driver_opts = DriverOptions {
+        level: OptLevel::Full,
+        jobs: opts.jobs,
+        verify: opts.verify,
+        share_knowledge: opts.share_knowledge,
+        ..Default::default()
+    };
+    let started = std::time::Instant::now();
+    let report = optimize_design(&mut design, &driver_opts)?;
+    let wall = started.elapsed();
+    let (mut queries, mut by_shared_cex) = (0usize, 0usize);
+    for m in &report.modules {
+        if let Some(r) = &m.report {
+            queries += r.sat_stats.queries;
+            by_shared_cex += r.sat_stats.by_shared_cex;
+        }
+    }
+    let (published, hits) = report.knowledge.map_or((0, 0), |k| (k.published, k.hits));
+    Ok(KnowledgeBench {
+        modules: n,
+        shared: opts.share_knowledge,
+        queries,
+        by_shared_cex,
+        published,
+        hits,
+        area_after: report.area_after(),
+        wall,
     })
 }
 
@@ -201,14 +273,32 @@ impl CorpusReport {
                         l.set("equivalent", Json::Bool(eq));
                     }
                     if matches!(lr.level, OptLevel::SatOnly | OptLevel::Full) {
+                        // verdict-derived counters stay in the digest;
+                        // layer attribution (scheduling-sensitive once
+                        // the shared bank is on) and solver telemetry
+                        // ride with the timings only
                         let mut q = Json::object();
                         q.set("queries", Json::UInt(lr.sat.queries as u64));
                         q.set("by_inference", Json::UInt(lr.sat.by_inference as u64));
                         q.set("by_memo", Json::UInt(lr.sat.by_memo as u64));
-                        q.set("by_cex", Json::UInt(lr.sat.by_cex as u64));
-                        q.set("by_prefilter", Json::UInt(lr.sat.by_prefilter as u64));
+                        q.set("memo_carryover", Json::UInt(lr.sat.memo_carryover as u64));
                         q.set("by_sim", Json::UInt(lr.sat.by_sim as u64));
                         q.set("by_sat", Json::UInt(lr.sat.by_sat as u64));
+                        if include_timing {
+                            q.set("by_cex", Json::UInt(lr.sat.by_cex as u64));
+                            q.set("by_shared_cex", Json::UInt(lr.sat.by_shared_cex as u64));
+                            q.set("by_prefilter", Json::UInt(lr.sat.by_prefilter as u64));
+                            q.set(
+                                "prefilter_rounds",
+                                Json::UInt(lr.sat.prefilter_rounds as u64),
+                            );
+                            let mut s = Json::object();
+                            s.set("conflicts", Json::UInt(lr.sat.solver_conflicts));
+                            s.set("propagations", Json::UInt(lr.sat.solver_propagations));
+                            s.set("learnts", Json::UInt(lr.sat.solver_learnts));
+                            s.set("resets", Json::UInt(lr.sat.solver_resets as u64));
+                            q.set("solver", s);
+                        }
                         l.set("query_funnel", q);
                     }
                     c.set(lr.level.name(), l);
@@ -217,6 +307,20 @@ impl CorpusReport {
             })
             .collect();
         obj.set("circuits", Json::Array(circuits));
+        if include_timing {
+            if let Some(kb) = &self.knowledge_bench {
+                let mut k = Json::object();
+                k.set("modules", Json::UInt(kb.modules as u64));
+                k.set("shared_bank", Json::Bool(kb.shared));
+                k.set("queries", Json::UInt(kb.queries as u64));
+                k.set("by_shared_cex", Json::UInt(kb.by_shared_cex as u64));
+                k.set("published", Json::UInt(kb.published));
+                k.set("hits", Json::UInt(kb.hits));
+                k.set("area_after", Json::UInt(kb.area_after as u64));
+                k.set("wall_us", Json::UInt(kb.wall.as_micros() as u64));
+                obj.set("knowledge_bench", k);
+            }
+        }
         obj
     }
 
@@ -273,18 +377,50 @@ impl fmt::Display for CorpusReport {
             wall.as_secs_f64(),
         )?;
         let t = self.funnel_totals();
-        write!(
+        writeln!(
             f,
-            "query funnel (sat+full): {} queries = inference {} + memo {} + cex {} + prefilter {} + sim {} + sat-const {} + other {}",
+            "query funnel (sat+full): {} queries = inference {} + memo {} + cex {} + shared-cex {} + prefilter {} + sim {} + sat-const {} + other {}",
             t.queries,
             t.by_inference,
             t.by_memo,
             t.by_cex,
+            t.by_shared_cex,
             t.by_prefilter,
             t.by_sim,
             t.by_sat,
-            t.queries
-                .saturating_sub(t.by_inference + t.by_memo + t.by_cex + t.by_prefilter + t.by_sim + t.by_sat),
-        )
+            t.queries.saturating_sub(
+                t.by_inference
+                    + t.by_memo
+                    + t.by_cex
+                    + t.by_shared_cex
+                    + t.by_prefilter
+                    + t.by_sim
+                    + t.by_sat
+            ),
+        )?;
+        write!(
+            f,
+            "memo carryover {} (invalidated {}), solver: {} conflicts / {} propagations / {} learnts / {} resets",
+            t.memo_carryover,
+            t.memo_invalidated,
+            t.solver_conflicts,
+            t.solver_propagations,
+            t.solver_learnts,
+            t.solver_resets,
+        )?;
+        if let Some(kb) = &self.knowledge_bench {
+            write!(
+                f,
+                "\nknowledge bench ({} near-miss modules, bank {}): {} queries, shared-cex {}, published {}, hits {}, {:.1} ms",
+                kb.modules,
+                if kb.shared { "on" } else { "off" },
+                kb.queries,
+                kb.by_shared_cex,
+                kb.published,
+                kb.hits,
+                kb.wall.as_secs_f64() * 1e3,
+            )?;
+        }
+        Ok(())
     }
 }

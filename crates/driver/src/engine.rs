@@ -2,13 +2,14 @@
 //! threads running the per-module [`Pipeline`] over every module of a
 //! [`Design`], with structural memoization and per-module guards.
 
+use crate::knowledge::KnowledgeBase;
 use crate::report::{DesignReport, ModuleOutcome, ModuleReport};
-use smartly_core::{OptLevel, Pipeline};
+use smartly_core::{OptLevel, Pipeline, SharedCexBank};
 use smartly_netlist::{Design, Module, NetlistError};
 use std::collections::HashMap;
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Configuration for [`optimize_design`].
@@ -35,7 +36,16 @@ pub struct DriverOptions {
     /// depends on wall time, enabling it can make reports differ between
     /// otherwise identical runs.
     pub timeout: Option<Duration>,
-    /// Base pipeline configuration; `verify` above overrides its flag.
+    /// Attach one design-level [`KnowledgeBase`] to every module's
+    /// pipeline so structurally similar modules seed each other's
+    /// counterexample-replay vectors (see [`crate::knowledge`]). Off is
+    /// the ablation baseline; verdicts and areas are identical either
+    /// way.
+    pub share_knowledge: bool,
+    /// Shape bound for the shared knowledge base.
+    pub knowledge_capacity: usize,
+    /// Base pipeline configuration; `verify` above overrides its flag,
+    /// and `share_knowledge` above overrides its `shared_bank`.
     pub pipeline: Pipeline,
 }
 
@@ -48,6 +58,8 @@ impl Default for DriverOptions {
             memoize: true,
             max_cells: None,
             timeout: None,
+            share_knowledge: true,
+            knowledge_capacity: crate::knowledge::DEFAULT_KNOWLEDGE_CAPACITY,
             pipeline: Pipeline::default(),
         }
     }
@@ -179,6 +191,12 @@ pub fn optimize_design(
 
     let mut pipeline = opts.pipeline.clone();
     pipeline.verify = opts.verify;
+    // one knowledge base per design run: every worker's pipeline holds
+    // the same Arc, so module sweeps publish and import concurrently
+    let knowledge: Option<Arc<KnowledgeBase>> = opts
+        .share_knowledge
+        .then(|| Arc::new(KnowledgeBase::new(opts.knowledge_capacity)));
+    pipeline.shared_bank = knowledge.clone().map(|k| k as Arc<dyn SharedCexBank>);
 
     let jobs = opts.effective_jobs(work.len());
     let cursor = AtomicUsize::new(0);
@@ -240,12 +258,9 @@ pub fn optimize_design(
         return Err(err);
     }
 
-    Ok(DesignReport::aggregate(
-        opts.level,
-        jobs,
-        reports,
-        started.elapsed(),
-    ))
+    let mut report = DesignReport::aggregate(opts.level, jobs, reports, started.elapsed());
+    report.knowledge = knowledge.map(|k| k.stats());
+    Ok(report)
 }
 
 fn run_one(slot: &mut Slot, pipeline: &Pipeline, opts: &DriverOptions) {

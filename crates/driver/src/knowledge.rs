@@ -1,0 +1,229 @@
+//! The design-level knowledge base: a thread-safe counterexample bank
+//! shared by every module sweep of one [`crate::optimize_design`] run.
+//!
+//! Per-module query engines already cache counterexamples *within* a
+//! sweep, but the per-module banks die with the sweep — a design full of
+//! bus-replicated peripherals and parameter variants pays the cold-start
+//! cost once per module. [`KnowledgeBase`] implements
+//! [`smartly_core::SharedCexBank`]: SAT models are published under their
+//! cone's canonical *shape signature*
+//! ([`smartly_core::subgraph::ConeShape`]), and a sibling module whose
+//! memo cache *near-misses* (same cone shape, different nets, so the
+//! full-text module memo cannot fire) imports them as 64-wide replay
+//! vectors instead of re-deriving witnesses from scratch.
+//!
+//! Soundness and determinism rest on the replay contract (see the
+//! [`SharedCexBank`] docs): imported lanes are always re-verified
+//! against the querying cone's own path condition, a refutation
+//! concludes exactly the `Unknown` SAT would, and shared witnesses
+//! never feed the SAT polarity skip. The bank can therefore be filled
+//! in any scheduling order — every verdict the conflict budget does not
+//! cut short is identical across `--jobs` settings and bank on/off, and
+//! with it areas and digests (CI pins this empirically); only the
+//! funnel-layer *attribution* (which layer answered) shifts, which is
+//! why those counters live outside the digest.
+//!
+//! The bank is bounded: at most [`KnowledgeBase::capacity`] shapes are
+//! tracked, evicted oldest-first, and each shape holds a 64-lane ring of
+//! models (later models overwrite the oldest lane).
+
+use smartly_core::{SharedCexBank, SharedVectors};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Mutex;
+
+/// Default bound on tracked cone shapes.
+pub const DEFAULT_KNOWLEDGE_CAPACITY: usize = 8_192;
+
+/// One shape's ring of packed models.
+#[derive(Clone, Debug)]
+struct ShapeEntry {
+    /// Intern-table width of the shape (collision guard: lookups with a
+    /// different width miss).
+    width: usize,
+    /// Per-intern-index 64-lane value words.
+    planes: Vec<u64>,
+    /// Lanes holding a model (≤ 64).
+    filled: u32,
+    /// Next lane to (over)write.
+    cursor: u32,
+}
+
+#[derive(Debug, Default)]
+struct Bank {
+    shapes: HashMap<u64, ShapeEntry>,
+    /// Shape insertion order, for oldest-first eviction.
+    order: VecDeque<u64>,
+    stats: KnowledgeStats,
+}
+
+/// Aggregate telemetry of a [`KnowledgeBase`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct KnowledgeStats {
+    /// Distinct cone shapes currently tracked.
+    pub shapes: usize,
+    /// Models published by module sweeps.
+    pub published: u64,
+    /// Lookups that returned vectors.
+    pub hits: u64,
+    /// Lookups that found nothing (unknown shape, width mismatch, or an
+    /// empty ring).
+    pub misses: u64,
+    /// Shapes evicted by the capacity bound.
+    pub evictions: u64,
+}
+
+/// The design-lifetime shared counterexample bank (see the [module
+/// docs](self)).
+#[derive(Debug)]
+pub struct KnowledgeBase {
+    inner: Mutex<Bank>,
+    capacity: usize,
+}
+
+impl Default for KnowledgeBase {
+    fn default() -> Self {
+        KnowledgeBase::new(DEFAULT_KNOWLEDGE_CAPACITY)
+    }
+}
+
+impl KnowledgeBase {
+    /// A bank bounded to `capacity` cone shapes (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        KnowledgeBase {
+            inner: Mutex::new(Bank::default()),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The configured shape bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A snapshot of the bank's telemetry.
+    pub fn stats(&self) -> KnowledgeStats {
+        let bank = self.inner.lock().expect("knowledge bank poisoned");
+        let mut s = bank.stats;
+        s.shapes = bank.shapes.len();
+        s
+    }
+}
+
+impl SharedCexBank for KnowledgeBase {
+    fn lookup(&self, sig: u64, width: usize) -> Option<SharedVectors> {
+        let mut bank = self.inner.lock().expect("knowledge bank poisoned");
+        match bank.shapes.get(&sig) {
+            Some(e) if e.width == width && e.filled > 0 => {
+                let vectors = SharedVectors {
+                    planes: e.planes.clone(),
+                    lanes: e.filled,
+                };
+                bank.stats.hits += 1;
+                Some(vectors)
+            }
+            _ => {
+                bank.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn publish(&self, sig: u64, values: &[bool]) {
+        let mut bank = self.inner.lock().expect("knowledge bank poisoned");
+        bank.stats.published += 1;
+        if let Some(e) = bank.shapes.get_mut(&sig) {
+            if e.width != values.len() {
+                // signature collision between different shapes: keep the
+                // incumbent (first-wins is as sound as any policy — the
+                // colliding shape simply misses on lookup)
+                return;
+            }
+            let lane = e.cursor % 64;
+            e.cursor = e.cursor.wrapping_add(1);
+            e.filled = (e.filled + 1).min(64);
+            for (plane, &v) in e.planes.iter_mut().zip(values) {
+                if v {
+                    *plane |= 1 << lane;
+                } else {
+                    *plane &= !(1 << lane);
+                }
+            }
+            return;
+        }
+        while bank.shapes.len() >= self.capacity {
+            let Some(oldest) = bank.order.pop_front() else {
+                break;
+            };
+            if bank.shapes.remove(&oldest).is_some() {
+                bank.stats.evictions += 1;
+            }
+        }
+        let planes = values
+            .iter()
+            .map(|&v| if v { 1u64 } else { 0 })
+            .collect::<Vec<u64>>();
+        bank.shapes.insert(
+            sig,
+            ShapeEntry {
+                width: values.len(),
+                planes,
+                filled: 1,
+                cursor: 1,
+            },
+        );
+        bank.order.push_back(sig);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_then_lookup_round_trips_lanes() {
+        let kb = KnowledgeBase::new(8);
+        kb.publish(42, &[true, false, true]);
+        kb.publish(42, &[false, true, true]);
+        let v = kb.lookup(42, 3).expect("hit");
+        assert_eq!(v.lanes, 2);
+        assert_eq!(v.planes, vec![0b01, 0b10, 0b11]);
+        assert_eq!(kb.stats().published, 2);
+        assert_eq!(kb.stats().hits, 1);
+    }
+
+    #[test]
+    fn width_mismatch_misses_and_never_mixes() {
+        let kb = KnowledgeBase::new(8);
+        kb.publish(7, &[true, true]);
+        // a colliding shape with a different width neither reads nor
+        // corrupts the incumbent entry
+        assert!(kb.lookup(7, 3).is_none());
+        kb.publish(7, &[false, false, false]);
+        let v = kb.lookup(7, 2).expect("incumbent survives");
+        assert_eq!(v.lanes, 1);
+        assert_eq!(kb.stats().misses, 1);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_shape() {
+        let kb = KnowledgeBase::new(2);
+        kb.publish(1, &[true]);
+        kb.publish(2, &[true]);
+        kb.publish(3, &[true]);
+        assert!(kb.lookup(1, 1).is_none(), "oldest shape evicted");
+        assert!(kb.lookup(2, 1).is_some());
+        assert!(kb.lookup(3, 1).is_some());
+        assert_eq!(kb.stats().evictions, 1);
+        assert_eq!(kb.stats().shapes, 2);
+    }
+
+    #[test]
+    fn ring_overwrites_past_64_lanes() {
+        let kb = KnowledgeBase::new(2);
+        for i in 0..70 {
+            kb.publish(9, &[i % 2 == 0]);
+        }
+        let v = kb.lookup(9, 1).expect("hit");
+        assert_eq!(v.lanes, 64);
+    }
+}

@@ -12,6 +12,10 @@
 //! * a **structural memo cache** — modules with identical bodies (common
 //!   in generated and industrial RTL) are optimized once and the result
 //!   is cloned for every duplicate ([`structural_key`]);
+//! * a **design-level knowledge base** ([`knowledge`]) — a thread-safe
+//!   counterexample bank shared by every module sweep, so memo-cache
+//!   *near-miss* modules (same cone shapes, different nets) seed each
+//!   other's SAT-replay vectors instead of starting cold;
 //! * **guards** — [`DriverOptions::max_cells`] skips oversized modules,
 //!   [`DriverOptions::timeout`] reverts modules whose optimization ran
 //!   too long;
@@ -56,12 +60,15 @@
 mod corpus;
 mod engine;
 pub mod json;
+pub mod knowledge;
 mod report;
 
 pub use corpus::{
-    run_public_corpus, scale_from_str, CorpusOptions, CorpusReport, CorpusRow, LevelResult,
+    run_public_corpus, scale_from_str, CorpusOptions, CorpusReport, CorpusRow, KnowledgeBench,
+    LevelResult,
 };
 pub use engine::{level_from_str, optimize_design, structural_key, DriverOptions};
+pub use knowledge::{KnowledgeBase, KnowledgeStats};
 pub use report::{DesignReport, ModuleOutcome, ModuleReport};
 
 use smartly_netlist::{Design, NetlistError};

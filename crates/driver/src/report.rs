@@ -1,7 +1,18 @@
 //! Deterministic design-level reports aggregating per-module
 //! [`PipelineReport`]s.
+//!
+//! Two renderings share one schema: the full JSON (timing included) and
+//! the timing-free *digest*. The digest carries only fields that are a
+//! pure function of the input design — areas, rewrites, verdicts, and
+//! the verdict-derived query counters. Funnel-layer *attribution* (which
+//! cache layer answered a query) and raw solver telemetry are excluded:
+//! with the design-level shared bank enabled, a query can be refuted by
+//! a sibling module's vectors in one scheduling and by its own prefilter
+//! in another — same verdict, different attribution — so those counters
+//! live next to the wall times in the full JSON only.
 
 use crate::json::Json;
+use crate::knowledge::KnowledgeStats;
 use smartly_aig::EquivResult;
 use smartly_core::{OptLevel, PipelineReport};
 use smartly_netlist::Module;
@@ -136,14 +147,22 @@ impl ModuleReport {
             obj.set("reduction", Json::Float(r.reduction()));
             obj.set("baseline_rewrites", Json::UInt(r.baseline_rewrites as u64));
             obj.set("sat_rewrites", Json::UInt(r.sat_rewrites as u64));
+            // verdict-derived counters: pure functions of the input,
+            // safe for the jobs-deterministic digest
             let mut sat = Json::object();
             sat.set("queries", Json::UInt(r.sat_stats.queries as u64));
             sat.set("by_inference", Json::UInt(r.sat_stats.by_inference as u64));
             sat.set("by_sim", Json::UInt(r.sat_stats.by_sim as u64));
             sat.set("by_sat", Json::UInt(r.sat_stats.by_sat as u64));
             sat.set("by_memo", Json::UInt(r.sat_stats.by_memo as u64));
-            sat.set("by_cex", Json::UInt(r.sat_stats.by_cex as u64));
-            sat.set("by_prefilter", Json::UInt(r.sat_stats.by_prefilter as u64));
+            sat.set(
+                "memo_carryover",
+                Json::UInt(r.sat_stats.memo_carryover as u64),
+            );
+            sat.set(
+                "memo_invalidated",
+                Json::UInt(r.sat_stats.memo_invalidated as u64),
+            );
             sat.set("unreachable", Json::UInt(r.sat_stats.unreachable as u64));
             sat.set(
                 "gates_before_prune",
@@ -153,6 +172,32 @@ impl ModuleReport {
                 "gates_after_prune",
                 Json::UInt(r.sat_stats.gates_after_prune as u64),
             );
+            if include_timing {
+                // layer attribution shifts with scheduling once the
+                // shared bank is on; solver counters likewise
+                let mut funnel = Json::object();
+                funnel.set("by_cex", Json::UInt(r.sat_stats.by_cex as u64));
+                funnel.set(
+                    "by_shared_cex",
+                    Json::UInt(r.sat_stats.by_shared_cex as u64),
+                );
+                funnel.set("by_prefilter", Json::UInt(r.sat_stats.by_prefilter as u64));
+                funnel.set(
+                    "prefilter_rounds",
+                    Json::UInt(r.sat_stats.prefilter_rounds as u64),
+                );
+                funnel.set(
+                    "bank_evictions",
+                    Json::UInt(r.sat_stats.bank_evictions as u64),
+                );
+                sat.set("funnel", funnel);
+                let mut solver = Json::object();
+                solver.set("conflicts", Json::UInt(r.sat_stats.solver_conflicts));
+                solver.set("propagations", Json::UInt(r.sat_stats.solver_propagations));
+                solver.set("learnts", Json::UInt(r.sat_stats.solver_learnts));
+                solver.set("resets", Json::UInt(r.sat_stats.solver_resets as u64));
+                sat.set("solver", solver);
+            }
             obj.set("sat_stats", sat);
             let mut rb = Json::object();
             rb.set("candidates", Json::UInt(r.rebuild_stats.candidates as u64));
@@ -210,6 +255,10 @@ pub struct DesignReport {
     /// Total wall time for the whole design (excluded from
     /// [`DesignReport::digest`]).
     pub wall: Duration,
+    /// Telemetry of the design-level shared knowledge base, when one was
+    /// attached (excluded from [`DesignReport::digest`]: fill order and
+    /// hit attribution depend on worker scheduling).
+    pub knowledge: Option<KnowledgeStats>,
 }
 
 impl DesignReport {
@@ -225,6 +274,7 @@ impl DesignReport {
             jobs,
             modules,
             wall,
+            knowledge: None,
         }
     }
 
@@ -318,6 +368,15 @@ impl DesignReport {
         if include_timing {
             obj.set("jobs", Json::UInt(self.jobs as u64));
             obj.set("wall_us", Json::UInt(self.wall.as_micros() as u64));
+            if let Some(k) = &self.knowledge {
+                let mut kb = Json::object();
+                kb.set("shapes", Json::UInt(k.shapes as u64));
+                kb.set("published", Json::UInt(k.published));
+                kb.set("hits", Json::UInt(k.hits));
+                kb.set("misses", Json::UInt(k.misses));
+                kb.set("evictions", Json::UInt(k.evictions));
+                obj.set("knowledge", kb);
+            }
         }
         obj
     }

@@ -27,6 +27,24 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Number of learnt clauses currently in the database.
     pub learnt_clauses: u64,
+    /// Number of best-phase rephasings applied at restarts.
+    pub rephases: u64,
+}
+
+/// Adds the other stats' monotone counters onto this one (used to carry
+/// telemetry across solver resets; `learnt_clauses` is a gauge and is
+/// summed like the rest — callers accumulating across resets want the
+/// total clauses ever learnt and retained at each reset point).
+impl SolverStats {
+    /// Component-wise sum.
+    pub fn absorb(&mut self, o: &SolverStats) {
+        self.conflicts += o.conflicts;
+        self.decisions += o.decisions;
+        self.propagations += o.propagations;
+        self.restarts += o.restarts;
+        self.learnt_clauses += o.learnt_clauses;
+        self.rephases += o.rephases;
+    }
 }
 
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -70,6 +88,18 @@ pub struct Solver {
     cla_inc: f64,
     order: ActivityHeap,
     polarity: Vec<bool>,
+    /// Best-phase cache: the full assignment at the deepest trail this
+    /// `solve_with` call had reached when a conflict struck (snapshotted
+    /// at the conflict boundary, before unwinding). Restarts rephase
+    /// `polarity` from this snapshot, so search resumes near the most
+    /// satisfied assignment seen instead of wherever the last backtrack
+    /// happened to leave the phases — the progress-saving refinement of
+    /// plain polarity caching (cf. splr's per-var `phase` / batsat's
+    /// `phase_saving`). Assumption-scoped queries over a shared formula
+    /// benefit most: each call re-walks the same prefix.
+    best_phase: Vec<bool>,
+    /// Trail depth at which `best_phase` was last improved.
+    best_trail: usize,
     seen: Vec<bool>,
     ok: bool,
     model: Vec<bool>,
@@ -106,6 +136,8 @@ impl Solver {
             cla_inc: 1.0,
             order: ActivityHeap::new(),
             polarity: Vec::new(),
+            best_phase: Vec::new(),
+            best_trail: 0,
             seen: Vec::new(),
             ok: true,
             model: Vec::new(),
@@ -124,6 +156,7 @@ impl Solver {
         self.reason.push(None);
         self.activity.push(0.0);
         self.polarity.push(false);
+        self.best_phase.push(false);
         self.seen.push(false);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
@@ -566,6 +599,10 @@ impl Solver {
         }
         self.max_learnts = (self.clause_count() as f64 / 3.0).max(100.0);
         let budget_start = self.stats.conflicts;
+        // the best-phase snapshot is per call: polarity carries the
+        // previous call's final phases in, and restarts inside this call
+        // rephase toward this call's own deepest trail
+        self.best_trail = 0;
         let mut restarts = 0u64;
         let result = loop {
             let limit = RESTART_FIRST * luby(restarts);
@@ -576,6 +613,13 @@ impl Solver {
                     restarts += 1;
                     self.stats.restarts += 1;
                     self.max_learnts *= 1.05;
+                    // progress saving: resume near the most satisfied
+                    // assignment this call has seen (skipped while no
+                    // snapshot exists yet)
+                    if self.best_trail > 0 {
+                        self.stats.rephases += 1;
+                        self.polarity.copy_from_slice(&self.best_phase);
+                    }
                 }
                 SearchOutcome::BudgetExhausted => break SolveResult::Unknown,
             }
@@ -603,6 +647,17 @@ impl Solver {
         let mut conflicts_here = 0u64;
         loop {
             if let Some(confl) = self.propagate() {
+                // best-phase snapshot at the conflict boundary, before
+                // the trail unwinds: one full copy per depth-record
+                // conflict (snapshotting at every quiescence instead
+                // would cost a copy per decision — quadratic on the
+                // first descent of every assumption-scoped call)
+                if self.trail.len() > self.best_trail {
+                    for &l in &self.trail {
+                        self.best_phase[l.var().index()] = !l.is_neg();
+                    }
+                    self.best_trail = self.trail.len();
+                }
                 self.stats.conflicts += 1;
                 conflicts_here += 1;
                 if self.decision_level() == 0 {
@@ -910,6 +965,48 @@ mod tests {
         assert_eq!(s.solve(), SolveResult::Unknown);
         s.set_conflict_budget(None);
         assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn restart_heavy_search_rephases_from_best_phase() {
+        // php(6,5): unsatisfiable and hard enough to restart several
+        // times, so best-phase rephasing must both fire and leave the
+        // verdict untouched
+        let mut s = Solver::new();
+        let n = 6usize;
+        let m = 5usize;
+        let var = |i: usize, j: usize| (i * m + j + 1) as i32;
+        for i in 0..n {
+            let c: Vec<i32> = (0..m).map(|j| var(i, j)).collect();
+            cnf(&mut s, &[&c]);
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    cnf(&mut s, &[&[-var(i1, j), -var(i2, j)]]);
+                }
+            }
+        }
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        assert!(s.stats().restarts > 0, "instance must restart");
+        assert!(s.stats().rephases > 0, "rephasing must fire");
+        assert!(s.stats().rephases <= s.stats().restarts);
+    }
+
+    #[test]
+    fn solver_stats_absorb_sums_counters() {
+        let mut a = SolverStats {
+            conflicts: 1,
+            decisions: 2,
+            propagations: 3,
+            restarts: 4,
+            learnt_clauses: 5,
+            rephases: 6,
+        };
+        a.absorb(&a.clone());
+        assert_eq!(a.conflicts, 2);
+        assert_eq!(a.propagations, 6);
+        assert_eq!(a.rephases, 12);
     }
 
     #[test]

@@ -45,6 +45,51 @@ pub use public::public_corpus;
 use smartly_netlist::Module;
 use smartly_verilog::{compile_with, CaseLowering, ElaborateOptions, VerilogError};
 
+/// A multi-module design of *near-miss parameter variants* — the
+/// workload shape the driver's design-level knowledge base targets.
+///
+/// Every module holds `cones` copies of the same dependent-control
+/// pattern: an inner mux whose select is a wide AND-reduction
+/// (`&w[and_width-1:0]`), nested under an outer mux on a free select.
+/// The AND-cone's true polarity has probability `2^-and_width` per
+/// random vector, so the query engine's random prefilter essentially
+/// never witnesses it and every module must pay a SAT call to learn the
+/// all-ones witness — *unless* a sibling module already published that
+/// model to the shared bank. Each variant also carries a distinct chain
+/// of inverters, so the driver's full-text module memo cannot fire: the
+/// modules are structural near-misses, with identical cone shapes on
+/// different nets.
+///
+/// With `and_width` above the hybrid `sim_threshold` (default 10) the
+/// cones route to SAT rather than exhaustive simulation.
+pub fn knowledge_probes(variants: usize, cones: usize, and_width: u32) -> Vec<Module> {
+    (0..variants)
+        .map(|v| {
+            let mut m = Module::new(format!("probe_{v:02}"));
+            for c in 0..cones {
+                let s = m.add_input(&format!("s{c}"), 1);
+                let wide = m.add_input(&format!("w{c}"), and_width);
+                let st = m.reduce_and(&wide);
+                let a = m.add_input(&format!("a{c}"), 4);
+                let b = m.add_input(&format!("b{c}"), 4);
+                let d = m.add_input(&format!("d{c}"), 4);
+                let inner = m.mux(&b, &a, &st);
+                let outer = m.mux(&d, &inner, &s);
+                m.add_output(&format!("y{c}"), &outer);
+            }
+            // the near-miss distinguisher: v+1 chained inverters make
+            // every variant's canonical text unique
+            let x = m.add_input("x", 1);
+            let mut t = x;
+            for _ in 0..=v {
+                t = m.not(&t);
+            }
+            m.add_output("z", &t);
+            m
+        })
+        .collect()
+}
+
 /// One benchmark case: a name, a description and generated Verilog.
 #[derive(Clone, Debug)]
 pub struct BenchCase {

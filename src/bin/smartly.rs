@@ -57,12 +57,16 @@ OPT OPTIONS:
   --timeout-ms <N>                   revert modules that optimized longer
                                      than N ms
   --no-memo                          disable the structural memo cache
+  --no-knowledge                     disable the design-level shared
+                                     counterexample bank (ablation;
+                                     verdicts and areas are identical)
 
 CORPUS OPTIONS:
   --scale <tiny|small|paper>         corpus size (default: tiny)
   --digest <path>                    write the timing-free artifact
                                      (byte-identical across runs and
                                      --jobs settings; CI diffs it)
+  --no-knowledge                     as above
   --jobs <N>, --verify, --json <path> as above
 ";
 
@@ -146,6 +150,7 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
     }
     opts.verify = take_flag(&mut args, "--verify");
     opts.memoize = !take_flag(&mut args, "--no-memo");
+    opts.share_knowledge = !take_flag(&mut args, "--no-knowledge");
     if let Some(n) = take_value(&mut args, &["--max-cells"])? {
         opts.max_cells = Some(parse_number(&n, "--max-cells")? as usize);
     }
@@ -203,6 +208,7 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
         opts.jobs = parse_number(&jobs, "--jobs")? as usize;
     }
     opts.verify = take_flag(&mut args, "--verify");
+    opts.share_knowledge = !take_flag(&mut args, "--no-knowledge");
     let json_path = take_value(&mut args, &["--json"])?;
     let digest_path = take_value(&mut args, &["--digest"])?;
     if let Some(extra) = args.first() {
