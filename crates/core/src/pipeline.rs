@@ -1,6 +1,6 @@
 //! The optimization pipeline: the four configurations the paper measures.
 
-use crate::query_engine::SharedCexBank;
+use crate::query_engine::{SharedCexBank, SharedVerdictStore};
 use crate::restructure::{restructure, RestructureOptions, RestructureStats};
 use crate::sat_pass::{sat_redundancy_with, SatPassStats, SatRedundancyOptions, SweepContext};
 use smartly_aig::{aig_area, check_equiv, EquivOptions, EquivResult};
@@ -60,6 +60,11 @@ pub struct Pipeline {
     /// state module-local. The driver attaches one bank per design so
     /// structurally similar modules seed each other's replay vectors.
     pub shared_bank: Option<Arc<dyn SharedCexBank>>,
+    /// Design-level verdict store this module's sweeps consult and feed
+    /// (see [`SharedVerdictStore`]); `None` keeps verdict reuse
+    /// module-local. The driver attaches one store per design so
+    /// warm-started runs replay a previous run's conclusive verdicts.
+    pub shared_verdicts: Option<Arc<dyn SharedVerdictStore>>,
 }
 
 impl Default for Pipeline {
@@ -70,6 +75,7 @@ impl Default for Pipeline {
             rounds: 3,
             verify: false,
             shared_bank: None,
+            shared_verdicts: None,
         }
     }
 }
@@ -127,10 +133,11 @@ impl std::fmt::Display for PipelineReport {
         )?;
         writeln!(
             f,
-            "query funnel: {} queries (memo {} [carryover {}], cex-replay {}, shared-cex {}, prefilter {} in {} rounds)",
+            "query funnel: {} queries (memo {} [carryover {}], disk-verdict {}, cex-replay {}, shared-cex {}, prefilter {} in {} rounds)",
             self.sat_stats.queries,
             self.sat_stats.by_memo,
             self.sat_stats.memo_carryover,
+            self.sat_stats.by_disk_verdict,
             self.sat_stats.by_cex,
             self.sat_stats.by_shared_cex,
             self.sat_stats.by_prefilter,
@@ -195,7 +202,8 @@ impl Pipeline {
         // rounds below, with begin_round's dirty-set protocol dropping
         // exactly the entries whose cones rebuild/clean/pinning touched,
         // so later rounds skip re-deciding unchanged cones
-        let mut sweep_ctx = SweepContext::new(self.shared_bank.clone());
+        let mut sweep_ctx =
+            SweepContext::new(self.shared_bank.clone(), self.shared_verdicts.clone());
 
         for _ in 0..self.rounds {
             let mut changed = false;

@@ -62,6 +62,9 @@ use std::sync::Arc;
 pub enum Layer {
     /// The cone-verdict memo replayed an earlier decision.
     Memo,
+    /// The design-level verdict store replayed a verdict recorded by an
+    /// earlier run (disk-loaded entries only; see [`SharedVerdictStore`]).
+    DesignVerdict,
     /// Counterexample replay refuted constancy.
     CexReplay,
     /// Replay of the design-level shared bank's vectors refuted
@@ -125,6 +128,41 @@ pub struct SharedVectors {
     pub lanes: u32,
 }
 
+/// A design-level verdict store shared between the query engines of
+/// different modules — the module-agnostic sibling of the per-module
+/// [`VerdictMemo`], and the layer a persistent knowledge file warms.
+///
+/// Keys are canonical [`query_key`](crate::subgraph::query_key)s, so a
+/// *conclusive* verdict — one the conflict budget did not cut short —
+/// is a pure function of its key and can be replayed by any module of
+/// any run whose encoding and budget match. The engine enforces the
+/// conclusiveness half of that contract: it only ever publishes
+/// verdicts whose every SAT call terminated inside the budget (or that
+/// came from exhaustive simulation / verified replay, which have no
+/// budget at all). Implementations enforce the matching half by
+/// recording the budget and encoding fingerprint next to persisted
+/// entries and refusing to serve entries recorded under different ones.
+///
+/// Determinism: [`SharedVerdictStore::lookup`] must answer from state
+/// that is **immutable for the whole design run** (in practice: the
+/// entries loaded from disk at startup). Entries published *during* the
+/// run are accumulated for saving but never served back — a lookup
+/// whose answer depended on what sibling modules happened to publish
+/// first would make layer attribution scheduling-dependent inside a
+/// counter (`by_disk_verdict`) that is otherwise a pure function of the
+/// loaded file and the input design.
+pub trait SharedVerdictStore: Send + Sync + std::fmt::Debug {
+    /// The recorded verdict for a canonical query key, if one was loaded
+    /// from persistent state. Never answers from entries published
+    /// during the current run.
+    fn lookup(&self, key: &[u64]) -> Option<Decision>;
+
+    /// Records a conclusive verdict for saving. Implementations may
+    /// drop duplicates (the verdict for a key is unique) and bound
+    /// their size.
+    fn publish(&self, key: &[u64], decision: Decision);
+}
+
 /// Tuning for a [`QueryEngine`].
 #[derive(Copy, Clone, Debug)]
 pub struct QueryEngineOptions {
@@ -172,6 +210,12 @@ pub struct QueryEngineStats {
     /// Memo answers whose entry was created in an *earlier* pipeline
     /// round (cross-round carryover; a subset of `by_memo`).
     pub memo_carryover: usize,
+    /// Answered by a disk-loaded entry of the design-level verdict
+    /// store (scheduling-independent: the store's served generation is
+    /// immutable during a run).
+    pub by_disk_verdict: usize,
+    /// Conclusive verdicts published to the design-level verdict store.
+    pub verdicts_published: usize,
     /// Refuted by counterexample replay.
     pub by_cex: usize,
     /// Refuted by replaying the design-level shared bank's vectors.
@@ -299,6 +343,8 @@ pub struct QueryEngine<'m> {
     memo: VerdictMemo,
     /// design-level shared counterexample bank, when attached
     shared: Option<Arc<dyn SharedCexBank>>,
+    /// design-level verdict store, when attached
+    verdicts: Option<Arc<dyn SharedVerdictStore>>,
     /// solver stats accumulated from solvers dropped at resets
     solver_base: SolverStats,
     stats: QueryEngineStats,
@@ -333,19 +379,20 @@ impl<'m> QueryEngine<'m> {
     /// Creates an engine over one module for one sweep, with fresh state
     /// and no shared bank.
     pub fn new(module: &'m Module, index: &'m NetIndex, options: QueryEngineOptions) -> Self {
-        QueryEngine::with_state(module, index, options, VerdictMemo::new(), None)
+        QueryEngine::with_state(module, index, options, VerdictMemo::new(), None, None)
     }
 
     /// Creates an engine seeded with a persistent [`VerdictMemo`] (cross-
-    /// round carryover) and an optional design-level [`SharedCexBank`].
-    /// Reclaim the memo with [`QueryEngine::into_memo`] when the sweep
-    /// ends.
+    /// round carryover), an optional design-level [`SharedCexBank`], and
+    /// an optional design-level [`SharedVerdictStore`]. Reclaim the memo
+    /// with [`QueryEngine::into_memo`] when the sweep ends.
     pub fn with_state(
         module: &'m Module,
         index: &'m NetIndex,
         options: QueryEngineOptions,
         memo: VerdictMemo,
         shared: Option<Arc<dyn SharedCexBank>>,
+        verdicts: Option<Arc<dyn SharedVerdictStore>>,
     ) -> Self {
         QueryEngine {
             module,
@@ -360,6 +407,7 @@ impl<'m> QueryEngine<'m> {
             bank_cursor: 0,
             memo,
             shared,
+            verdicts,
             solver_base: SolverStats::default(),
             stats: QueryEngineStats::default(),
         }
@@ -412,6 +460,22 @@ impl<'m> QueryEngine<'m> {
             self.memo.insert(key, Decision::Skipped, &sub.cells);
             return (Decision::Skipped, Layer::None);
         }
+        // layer 1b: the design-level verdict store — conclusive verdicts
+        // recorded by a previous run (disk generation only, so the hit
+        // pattern is a pure function of the loaded file and the input)
+        // answer isomorphic queries across modules before any per-cone
+        // work happens. Deliberately *after* the Skip routing: the store
+        // header pins the conflict budget but not the sim/skip
+        // thresholds, so a store written under laxer thresholds could
+        // otherwise answer a query this configuration skips — and a warm
+        // run must decide exactly the query set the cold run decides.
+        if let Some(store) = self.verdicts.as_ref() {
+            if let Some(d) = store.lookup(&key) {
+                self.stats.by_disk_verdict += 1;
+                self.memo.insert(key, d, &sub.cells);
+                return (d, Layer::DesignVerdict);
+            }
+        }
 
         let prog = compile_cone(self.module, self.index, &sub.cells);
         let target = self.index.canon(sub.target);
@@ -425,7 +489,7 @@ impl<'m> QueryEngine<'m> {
                 seen_false |= f;
                 if seen_true && seen_false {
                     self.stats.by_cex += 1;
-                    self.memo.insert(key, Decision::Unknown, &sub.cells);
+                    self.conclude(key, Decision::Unknown, &sub.cells);
                     return (Decision::Unknown, Layer::CexReplay);
                 }
             }
@@ -445,7 +509,7 @@ impl<'m> QueryEngine<'m> {
                     seen_false |= f;
                     if seen_true && seen_false {
                         self.stats.by_prefilter += 1;
-                        self.memo.insert(key, Decision::Unknown, &sub.cells);
+                        self.conclude(key, Decision::Unknown, &sub.cells);
                         return (Decision::Unknown, Layer::Prefilter);
                     }
                     if !seen_true && !seen_false && round + 1 >= self.options.prefilter_rounds {
@@ -471,14 +535,14 @@ impl<'m> QueryEngine<'m> {
                     let (t, f) = self.replay_shared(&prog, assign, tslot, shape, &vectors);
                     if (seen_true || t) && (seen_false || f) {
                         self.stats.by_shared_cex += 1;
-                        self.memo.insert(key, Decision::Unknown, &sub.cells);
+                        self.conclude(key, Decision::Unknown, &sub.cells);
                         return (Decision::Unknown, Layer::SharedCex);
                     }
                 }
             }
         }
 
-        let (d, layer) = match choice {
+        let (d, layer, conclusive) = match choice {
             EngineChoice::Sim => {
                 self.stats.by_sim += 1;
                 let d = if prog.has_x() || prog.slot(target).is_none() {
@@ -488,11 +552,12 @@ impl<'m> QueryEngine<'m> {
                 } else {
                     self.exhaustive(&prog, assign, target, &free)
                 };
-                (d, Layer::Simulation)
+                // exhaustive simulation has no budget: always conclusive
+                (d, Layer::Simulation, true)
             }
             EngineChoice::Sat => {
                 self.stats.by_sat += 1;
-                let d = self.sat_layer(
+                let (d, budget_limited) = self.sat_layer(
                     sub,
                     &prog,
                     assign,
@@ -501,12 +566,29 @@ impl<'m> QueryEngine<'m> {
                     seen_true,
                     seen_false,
                 );
-                (d, Layer::Sat)
+                (d, Layer::Sat, !budget_limited)
             }
             EngineChoice::Skip => unreachable!("handled above"),
         };
-        self.memo.insert(key, d, &sub.cells);
+        if conclusive {
+            self.conclude(key, d, &sub.cells);
+        } else {
+            // a budget-limited verdict is state-dependent: sound to memo
+            // within this run, never published to the design-level store
+            self.memo.insert(key, d, &sub.cells);
+        }
         (d, layer)
+    }
+
+    /// Records a conclusive verdict — a pure function of its canonical
+    /// key — in the local memo and, when a design-level store is
+    /// attached, publishes it for cross-run persistence.
+    fn conclude(&mut self, key: Vec<u64>, d: Decision, cells: &[CellId]) {
+        if let Some(store) = &self.verdicts {
+            self.stats.verdicts_published += 1;
+            store.publish(&key, d);
+        }
+        self.memo.insert(key, d, cells);
     }
 
     /// The adaptive prefilter budget for a cone with `free` free leaves:
@@ -704,6 +786,10 @@ impl<'m> QueryEngine<'m> {
     /// condition and the target polarity; models feed the counterexample
     /// bank and are published to the shared bank under the cone's shape
     /// signature. Polarities already witnessed by layers 2–3 are skipped.
+    ///
+    /// The second return is `true` when any executed solve exhausted the
+    /// conflict budget — the verdict is then state-dependent and must
+    /// not be persisted.
     #[allow(clippy::too_many_arguments)]
     fn sat_layer(
         &mut self,
@@ -714,7 +800,7 @@ impl<'m> QueryEngine<'m> {
         shape: Option<&ConeShape>,
         seen_true: bool,
         seen_false: bool,
-    ) -> Decision {
+    ) -> (Decision, bool) {
         if self.enc.num_vars() > self.options.reset_vars {
             self.solver_base.absorb(&self.enc.solver().stats());
             self.enc = TseitinEncoder::new();
@@ -759,12 +845,15 @@ impl<'m> QueryEngine<'m> {
         } else {
             query(!tlit, self)
         };
-        match (can_be_true, can_be_false) {
+        let budget_limited =
+            can_be_true == SolveResult::Unknown || can_be_false == SolveResult::Unknown;
+        let d = match (can_be_true, can_be_false) {
             (SolveResult::Unsat, SolveResult::Unsat) => Decision::Unreachable,
             (SolveResult::Sat, SolveResult::Unsat) => Decision::Const(true),
             (SolveResult::Unsat, SolveResult::Sat) => Decision::Const(false),
             _ => Decision::Unknown,
-        }
+        };
+        (d, budget_limited)
     }
 
     /// Packs the last model's values for every cone bit into the next
@@ -1028,6 +1117,7 @@ mod tests {
             sat_only(),
             VerdictMemo::new(),
             Some(bank.clone()),
+            None,
         );
         let (sub, assign) = extract_for(&ma, &index_a, index_a.canon(ta), &[]);
         let (d, layer) = eng_a.decide(&sub, &assign);
@@ -1037,8 +1127,14 @@ mod tests {
 
         let (mb, tb) = xor_module("b");
         let index_b = NetIndex::build(&mb);
-        let mut eng_b =
-            QueryEngine::with_state(&mb, &index_b, sat_only(), VerdictMemo::new(), Some(bank));
+        let mut eng_b = QueryEngine::with_state(
+            &mb,
+            &index_b,
+            sat_only(),
+            VerdictMemo::new(),
+            Some(bank),
+            None,
+        );
         let (sub, assign) = extract_for(&mb, &index_b, index_b.canon(tb), &[]);
         let (d, layer) = eng_b.decide(&sub, &assign);
         assert_eq!(d, Decision::Unknown);
@@ -1066,6 +1162,7 @@ mod tests {
             sat_only(),
             VerdictMemo::new(),
             Some(bank.clone()),
+            None,
         );
         let (sub, assign) = extract_for(&ma, &index_a, index_a.canon(sr.bit(0)), &[]);
         let (d, _) = eng_a.decide(&sub, &assign);
@@ -1080,8 +1177,14 @@ mod tests {
         let sr2 = mb.or(&s2, &r2);
         mb.add_output("o", &sr2);
         let index_b = NetIndex::build(&mb);
-        let mut eng_b =
-            QueryEngine::with_state(&mb, &index_b, sat_only(), VerdictMemo::new(), Some(bank));
+        let mut eng_b = QueryEngine::with_state(
+            &mb,
+            &index_b,
+            sat_only(),
+            VerdictMemo::new(),
+            Some(bank),
+            None,
+        );
         let (sub, assign) = extract_for(
             &mb,
             &index_b,
@@ -1096,6 +1199,132 @@ mod tests {
             0,
             "shared replay must not fire"
         );
+    }
+
+    /// Minimal design-level verdict store for tests: a fixed disk
+    /// generation plus a publish log, mirroring the driver store's
+    /// lookup-serves-disk-only contract.
+    #[derive(Debug, Default)]
+    struct TestVerdicts {
+        disk: HashMap<Vec<u64>, Decision>,
+        published: std::sync::Mutex<Vec<(Vec<u64>, Decision)>>,
+    }
+
+    impl SharedVerdictStore for TestVerdicts {
+        fn lookup(&self, key: &[u64]) -> Option<Decision> {
+            self.disk.get(key).copied()
+        }
+
+        fn publish(&self, key: &[u64], decision: Decision) {
+            self.published
+                .lock()
+                .unwrap()
+                .push((key.to_vec(), decision));
+        }
+    }
+
+    /// Conclusive verdicts are published to the design-level store, and
+    /// a second engine (different module, isomorphic cone) warm-started
+    /// from those entries answers from the store without touching sim,
+    /// SAT, or its own banks.
+    #[test]
+    fn design_verdict_store_replays_across_engines() {
+        let store = Arc::new(TestVerdicts::default());
+        let (ma, ta) = xor_module("a");
+        let index_a = NetIndex::build(&ma);
+        let mut eng_a = QueryEngine::with_state(
+            &ma,
+            &index_a,
+            sat_only(),
+            VerdictMemo::new(),
+            None,
+            Some(store.clone()),
+        );
+        let (sub, assign) = extract_for(&ma, &index_a, index_a.canon(ta), &[]);
+        let (d, layer) = eng_a.decide(&sub, &assign);
+        assert_eq!(d, Decision::Unknown);
+        assert_eq!(layer, Layer::Sat);
+        assert_eq!(eng_a.stats().verdicts_published, 1);
+        let published = store.published.lock().unwrap().clone();
+        assert_eq!(published.len(), 1);
+        assert_eq!(published[0].1, Decision::Unknown);
+
+        // promote the published entries to a fresh store's disk
+        // generation — the load path in miniature
+        let warm = Arc::new(TestVerdicts {
+            disk: published.into_iter().collect(),
+            published: std::sync::Mutex::new(Vec::new()),
+        });
+        let (mb, tb) = xor_module("b");
+        let index_b = NetIndex::build(&mb);
+        let mut eng_b = QueryEngine::with_state(
+            &mb,
+            &index_b,
+            sat_only(),
+            VerdictMemo::new(),
+            None,
+            Some(warm),
+        );
+        let (sub, assign) = extract_for(&mb, &index_b, index_b.canon(tb), &[]);
+        let (d, layer) = eng_b.decide(&sub, &assign);
+        assert_eq!(d, Decision::Unknown);
+        assert_eq!(layer, Layer::DesignVerdict, "disk entry must answer");
+        let s = eng_b.stats();
+        assert_eq!(s.by_disk_verdict, 1);
+        assert_eq!(s.by_sat, 0);
+        assert_eq!(s.sat_solves, 0);
+    }
+
+    /// A budget-limited verdict is state-dependent and must never reach
+    /// the persistent store; the same query under a generous budget is
+    /// conclusive and published.
+    #[test]
+    fn budget_limited_verdicts_are_never_published() {
+        // add(a,b) == add(b,a): constant true, but the UNSAT proof of
+        // "can be false" needs real CDCL search — a 1-conflict budget
+        // cuts it short
+        let build = || {
+            let mut m = Module::new("t");
+            let a = m.add_input("a", 8);
+            let b = m.add_input("b", 8);
+            let s1 = m.add(&a, &b);
+            let s2 = m.add(&b, &a);
+            let y = m.eq(&s1, &s2);
+            m.add_output("y", &y);
+            (m, y.bit(0))
+        };
+        let run = |budget: u64| {
+            let (m, t) = build();
+            let index = NetIndex::build(&m);
+            let store = Arc::new(TestVerdicts::default());
+            let opts = QueryEngineOptions {
+                decide: DecideOptions {
+                    sim_threshold: 0,
+                    conflict_budget: budget,
+                    ..Default::default()
+                },
+                prefilter_rounds: 0,
+                ..Default::default()
+            };
+            let mut eng = QueryEngine::with_state(
+                &m,
+                &index,
+                opts,
+                VerdictMemo::new(),
+                None,
+                Some(store.clone()),
+            );
+            let (sub, assign) = extract_for(&m, &index, index.canon(t), &[]);
+            let (d, _) = eng.decide(&sub, &assign);
+            let published = store.published.lock().unwrap().len();
+            (d, published)
+        };
+        let (d, published) = run(1);
+        assert_eq!(d, Decision::Unknown, "budget 1 must cut the proof short");
+        assert_eq!(published, 0, "budget-limited verdicts stay unpublished");
+        let (d, published) = run(1_000_000);
+        assert_eq!(d, Decision::Const(true));
+        assert_eq!(published, 1, "conclusive verdicts are published");
     }
 
     /// The bounded bank evicts its oldest bits instead of growing without
@@ -1164,7 +1393,7 @@ mod tests {
         // round 2: the same query is answered by a carried entry
         memo.next_round();
         let mut eng2 =
-            QueryEngine::with_state(&m, &index, QueryEngineOptions::default(), memo, None);
+            QueryEngine::with_state(&m, &index, QueryEngineOptions::default(), memo, None, None);
         let (d, layer) = eng2.decide(&sub, &assign);
         assert_eq!(d, Decision::Unknown);
         assert_eq!(layer, Layer::Memo);

@@ -9,7 +9,9 @@
 
 use crate::decide::{decide, DecideOptions, Decision, Engine};
 use crate::inference::{propagate, InferOutcome};
-use crate::query_engine::{Layer, QueryEngine, QueryEngineOptions, SharedCexBank, VerdictMemo};
+use crate::query_engine::{
+    Layer, QueryEngine, QueryEngineOptions, SharedCexBank, SharedVerdictStore, VerdictMemo,
+};
 use crate::subgraph::{extract_cached, ConeCache, SubgraphStats};
 use smartly_netlist::{CellId, CellKind, Module, NetIndex, Port, SigBit, SigSpec, TriVal};
 use std::collections::{HashMap, HashSet};
@@ -95,16 +97,25 @@ pub struct SweepContext {
     pub memo: VerdictMemo,
     /// The design-level shared bank, if the caller participates in one.
     pub shared: Option<Arc<dyn SharedCexBank>>,
+    /// The design-level verdict store, if the caller participates in one
+    /// (serves disk-loaded entries, accumulates this run's conclusive
+    /// verdicts for saving).
+    pub verdicts: Option<Arc<dyn SharedVerdictStore>>,
     /// Cell fingerprints at the end of the previous round, if any.
     fingerprints: Option<HashMap<CellId, u64>>,
 }
 
 impl SweepContext {
-    /// A context with no carried state and no shared bank.
-    pub fn new(shared: Option<Arc<dyn SharedCexBank>>) -> Self {
+    /// A context with no carried state, sharing the given design-level
+    /// counterexample bank and verdict store (either may be `None`).
+    pub fn new(
+        shared: Option<Arc<dyn SharedCexBank>>,
+        verdicts: Option<Arc<dyn SharedVerdictStore>>,
+    ) -> Self {
         SweepContext {
             memo: VerdictMemo::new(),
             shared,
+            verdicts,
             fingerprints: None,
         }
     }
@@ -148,6 +159,12 @@ pub struct SatPassStats {
     /// Memo answers from entries carried over from an earlier pipeline
     /// round (a subset of `by_memo`).
     pub memo_carryover: usize,
+    /// Queries answered by a disk-loaded entry of the design-level
+    /// verdict store (engine mode with a warm-started store attached).
+    pub by_disk_verdict: usize,
+    /// Conclusive verdicts this sweep published to the design-level
+    /// verdict store.
+    pub verdicts_published: usize,
     /// Memo entries invalidated by the dirty-set protocol between rounds.
     pub memo_invalidated: usize,
     /// Queries refuted by counterexample replay (engine mode only).
@@ -195,6 +212,8 @@ impl SatPassStats {
         self.by_sat += o.by_sat;
         self.by_memo += o.by_memo;
         self.memo_carryover += o.memo_carryover;
+        self.by_disk_verdict += o.by_disk_verdict;
+        self.verdicts_published += o.verdicts_published;
         self.memo_invalidated += o.memo_invalidated;
         self.by_cex += o.by_cex;
         self.by_shared_cex += o.by_shared_cex;
@@ -221,7 +240,7 @@ impl SatPassStats {
 pub fn sat_redundancy(module: &mut Module, options: &SatRedundancyOptions) -> SatPassStats {
     // a throwaway context: no begin_round — fingerprinting the module
     // buys nothing when the memo dies with this call
-    let mut ctx = SweepContext::new(None);
+    let mut ctx = SweepContext::new(None, None);
     sat_redundancy_with(module, options, &mut ctx)
 }
 
@@ -317,6 +336,7 @@ pub fn sat_redundancy_with(
             },
             std::mem::take(&mut ctx.memo),
             ctx.shared.clone(),
+            ctx.verdicts.clone(),
         )))
     } else {
         None
@@ -371,6 +391,9 @@ pub fn sat_redundancy_with(
                     let (d, layer) = e.borrow_mut().decide(&sub, &assign);
                     match layer {
                         Layer::Memo => stats.by_memo += 1,
+                        // by_disk_verdict is copied from the engine's
+                        // cumulative stats at the end of the sweep
+                        Layer::DesignVerdict => {}
                         Layer::CexReplay => stats.by_cex += 1,
                         Layer::SharedCex => stats.by_shared_cex += 1,
                         Layer::Prefilter => stats.by_prefilter += 1,
@@ -537,6 +560,8 @@ pub fn sat_redundancy_with(
         let eng = e.into_inner();
         let es = eng.stats();
         stats.memo_carryover = es.memo_carryover;
+        stats.by_disk_verdict = es.by_disk_verdict;
+        stats.verdicts_published = es.verdicts_published;
         stats.prefilter_rounds = es.prefilter_rounds;
         stats.bank_evictions = es.bank_evictions;
         stats.solver_resets = es.solver_resets;

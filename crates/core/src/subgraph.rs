@@ -331,6 +331,36 @@ pub fn query_key(
     query_key_and_shape(module, index, sub, assign).0
 }
 
+/// A stable 64-bit fingerprint of the [`query_key`] *encoding scheme*:
+/// FNV-1a over every [`CellKind`]'s discriminant and name plus the
+/// scheme's sentinel constants.
+///
+/// Persisted knowledge (the driver's `smartly.kb` store) records this
+/// fingerprint in its header. Keys are only comparable between runs
+/// that encode cells identically — reordering the `CellKind` enum,
+/// adding a variant, or renaming one changes the fingerprint, so a
+/// loader that checks it falls back to a cold start instead of
+/// replaying verdicts against silently re-numbered keys.
+pub fn encoding_fingerprint() -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut fnv = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    for kind in CellKind::ALL {
+        fnv(&(kind as u64).to_le_bytes());
+        fnv(kind.name().as_bytes());
+    }
+    // the non-kind encoding constants: const bit codes, the wire-id
+    // offset, and the port/output/target sentinels
+    for sentinel in [0u64, 1, 2, 3, u64::MAX - 64, u64::MAX - 128, u64::MAX - 129] {
+        fnv(&sentinel.to_le_bytes());
+    }
+    h
+}
+
 /// The *shape* of a decision cone: the structure-only prefix of its
 /// [`query_key`] — cells, connectivity and target with every wire bit
 /// replaced by its first-use intern index, but **no path condition** —

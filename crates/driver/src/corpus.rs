@@ -4,12 +4,14 @@
 
 use crate::engine::{optimize_design, DriverOptions};
 use crate::json::Json;
+use crate::persist::{KbReport, KnowledgeState};
 use crate::DriverError;
 use smartly_core::sat_pass::SatPassStats;
 use smartly_core::OptLevel;
 use smartly_netlist::Design;
 use smartly_workloads::{public_corpus, Scale};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Configuration for [`run_public_corpus`].
@@ -26,6 +28,11 @@ pub struct CorpusOptions {
     /// as modules of one design per level, so cross-circuit cone shapes
     /// seed each other). On by default; off is the ablation baseline.
     pub share_knowledge: bool,
+    /// Warm-start knowledge loaded from a file: one state shared by
+    /// every level run and the knowledge bench, so the whole suite
+    /// starts warm and accumulates into one store. `None` keeps the
+    /// previous behavior (fresh in-process state per level run).
+    pub knowledge_state: Option<Arc<KnowledgeState>>,
 }
 
 impl Default for CorpusOptions {
@@ -35,6 +42,7 @@ impl Default for CorpusOptions {
             jobs: 0,
             verify: false,
             share_knowledge: true,
+            knowledge_state: None,
         }
     }
 }
@@ -135,6 +143,10 @@ pub struct CorpusReport {
     /// The multi-module shared-bank exercise (timing artifact only; its
     /// attribution counters depend on worker scheduling).
     pub knowledge_bench: Option<KnowledgeBench>,
+    /// Persistent knowledge-file counters, when the suite ran against a
+    /// [`KnowledgeState`] (timing artifact only: every field depends on
+    /// warm-start state and warm digests must match cold ones).
+    pub kb: Option<KbReport>,
 }
 
 /// Runs the public corpus at every [`OptLevel`] with the engine's
@@ -169,6 +181,7 @@ pub fn run_public_corpus(opts: &CorpusOptions) -> Result<CorpusReport, DriverErr
             jobs: opts.jobs,
             verify: opts.verify,
             share_knowledge: opts.share_knowledge,
+            knowledge_state: opts.knowledge_state.clone(),
             // circuits are all distinct; skip the hashing pass
             memoize: false,
             ..Default::default()
@@ -192,6 +205,8 @@ pub fn run_public_corpus(opts: &CorpusOptions) -> Result<CorpusReport, DriverErr
         scale: opts.scale,
         rows,
         knowledge_bench,
+        // sampled after every level + the bench: cumulative disk hits
+        kb: opts.knowledge_state.as_ref().map(|s| s.kb_report()),
     })
 }
 
@@ -208,6 +223,7 @@ fn run_knowledge_bench(opts: &CorpusOptions) -> Result<KnowledgeBench, DriverErr
         jobs: opts.jobs,
         verify: opts.verify,
         share_knowledge: opts.share_knowledge,
+        knowledge_state: opts.knowledge_state.clone(),
         ..Default::default()
     };
     let started = std::time::Instant::now();
@@ -273,18 +289,24 @@ impl CorpusReport {
                         l.set("equivalent", Json::Bool(eq));
                     }
                     if matches!(lr.level, OptLevel::SatOnly | OptLevel::Full) {
-                        // verdict-derived counters stay in the digest;
+                        // cache-invariant counters stay in the digest;
                         // layer attribution (scheduling-sensitive once
-                        // the shared bank is on) and solver telemetry
-                        // ride with the timings only
+                        // the shared bank is on, warm-state-sensitive
+                        // once a knowledge file is loaded) and solver
+                        // telemetry ride with the timings only
                         let mut q = Json::object();
                         q.set("queries", Json::UInt(lr.sat.queries as u64));
                         q.set("by_inference", Json::UInt(lr.sat.by_inference as u64));
-                        q.set("by_memo", Json::UInt(lr.sat.by_memo as u64));
-                        q.set("memo_carryover", Json::UInt(lr.sat.memo_carryover as u64));
-                        q.set("by_sim", Json::UInt(lr.sat.by_sim as u64));
-                        q.set("by_sat", Json::UInt(lr.sat.by_sat as u64));
                         if include_timing {
+                            q.set("by_memo", Json::UInt(lr.sat.by_memo as u64));
+                            q.set("memo_carryover", Json::UInt(lr.sat.memo_carryover as u64));
+                            q.set("by_disk_verdict", Json::UInt(lr.sat.by_disk_verdict as u64));
+                            q.set(
+                                "verdicts_published",
+                                Json::UInt(lr.sat.verdicts_published as u64),
+                            );
+                            q.set("by_sim", Json::UInt(lr.sat.by_sim as u64));
+                            q.set("by_sat", Json::UInt(lr.sat.by_sat as u64));
                             q.set("by_cex", Json::UInt(lr.sat.by_cex as u64));
                             q.set("by_shared_cex", Json::UInt(lr.sat.by_shared_cex as u64));
                             q.set("by_prefilter", Json::UInt(lr.sat.by_prefilter as u64));
@@ -319,6 +341,9 @@ impl CorpusReport {
                 k.set("area_after", Json::UInt(kb.area_after as u64));
                 k.set("wall_us", Json::UInt(kb.wall.as_micros() as u64));
                 obj.set("knowledge_bench", k);
+            }
+            if let Some(kb) = &self.kb {
+                obj.set("kb", crate::report::kb_json(kb));
             }
         }
         obj
@@ -379,10 +404,11 @@ impl fmt::Display for CorpusReport {
         let t = self.funnel_totals();
         writeln!(
             f,
-            "query funnel (sat+full): {} queries = inference {} + memo {} + cex {} + shared-cex {} + prefilter {} + sim {} + sat-const {} + other {}",
+            "query funnel (sat+full): {} queries = inference {} + memo {} + disk-verdict {} + cex {} + shared-cex {} + prefilter {} + sim {} + sat-const {} + other {}",
             t.queries,
             t.by_inference,
             t.by_memo,
+            t.by_disk_verdict,
             t.by_cex,
             t.by_shared_cex,
             t.by_prefilter,
@@ -391,6 +417,7 @@ impl fmt::Display for CorpusReport {
             t.queries.saturating_sub(
                 t.by_inference
                     + t.by_memo
+                    + t.by_disk_verdict
                     + t.by_cex
                     + t.by_shared_cex
                     + t.by_prefilter
@@ -419,6 +446,20 @@ impl fmt::Display for CorpusReport {
                 kb.published,
                 kb.hits,
                 kb.wall.as_secs_f64() * 1e3,
+            )?;
+        }
+        if let Some(k) = &self.kb {
+            write!(
+                f,
+                "\nknowledge file: loaded {} shapes + {} verdicts, {} disk hits{}",
+                k.loaded_shapes,
+                k.loaded_verdicts,
+                k.disk_hits,
+                if k.stale_rejected || k.load_failed {
+                    " (cold start: store rejected)"
+                } else {
+                    ""
+                },
             )?;
         }
         Ok(())

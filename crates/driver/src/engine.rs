@@ -2,9 +2,10 @@
 //! threads running the per-module [`Pipeline`] over every module of a
 //! [`Design`], with structural memoization and per-module guards.
 
-use crate::knowledge::KnowledgeBase;
+use crate::knowledge::{DesignVerdictStore, KnowledgeBase};
+use crate::persist::KnowledgeState;
 use crate::report::{DesignReport, ModuleOutcome, ModuleReport};
-use smartly_core::{OptLevel, Pipeline, SharedCexBank};
+use smartly_core::{OptLevel, Pipeline, SharedCexBank, SharedVerdictStore};
 use smartly_netlist::{Design, Module, NetlistError};
 use std::collections::HashMap;
 use std::hash::Hasher;
@@ -44,8 +45,16 @@ pub struct DriverOptions {
     pub share_knowledge: bool,
     /// Shape bound for the shared knowledge base.
     pub knowledge_capacity: usize,
+    /// Warm-start state loaded from a knowledge file
+    /// ([`crate::persist::load_state`]): the run then uses this state's
+    /// bank and verdict store instead of creating fresh ones, and
+    /// [`DesignReport::kb`] reports the load/hit counters. `None` (the
+    /// default) runs cold with in-process state only. Ignored when
+    /// `share_knowledge` is off.
+    pub knowledge_state: Option<Arc<KnowledgeState>>,
     /// Base pipeline configuration; `verify` above overrides its flag,
-    /// and `share_knowledge` above overrides its `shared_bank`.
+    /// and `share_knowledge` above overrides its `shared_bank` and
+    /// `shared_verdicts`.
     pub pipeline: Pipeline,
 }
 
@@ -60,6 +69,7 @@ impl Default for DriverOptions {
             timeout: None,
             share_knowledge: true,
             knowledge_capacity: crate::knowledge::DEFAULT_KNOWLEDGE_CAPACITY,
+            knowledge_state: None,
             pipeline: Pipeline::default(),
         }
     }
@@ -191,12 +201,24 @@ pub fn optimize_design(
 
     let mut pipeline = opts.pipeline.clone();
     pipeline.verify = opts.verify;
-    // one knowledge base per design run: every worker's pipeline holds
-    // the same Arc, so module sweeps publish and import concurrently
-    let knowledge: Option<Arc<KnowledgeBase>> = opts
-        .share_knowledge
-        .then(|| Arc::new(KnowledgeBase::new(opts.knowledge_capacity)));
+    // one knowledge base + verdict store per design run: every worker's
+    // pipeline holds the same Arcs, so module sweeps publish and import
+    // concurrently. A warm-start state (loaded from a knowledge file)
+    // supplies pre-seeded instances instead.
+    let (knowledge, verdicts): (Option<Arc<KnowledgeBase>>, Option<Arc<DesignVerdictStore>>) =
+        if opts.share_knowledge {
+            match &opts.knowledge_state {
+                Some(state) => (Some(state.bank.clone()), Some(state.verdicts.clone())),
+                None => (
+                    Some(Arc::new(KnowledgeBase::new(opts.knowledge_capacity))),
+                    Some(Arc::new(DesignVerdictStore::new())),
+                ),
+            }
+        } else {
+            (None, None)
+        };
     pipeline.shared_bank = knowledge.clone().map(|k| k as Arc<dyn SharedCexBank>);
+    pipeline.shared_verdicts = verdicts.map(|v| v as Arc<dyn SharedVerdictStore>);
 
     let jobs = opts.effective_jobs(work.len());
     let cursor = AtomicUsize::new(0);
@@ -260,6 +282,9 @@ pub fn optimize_design(
 
     let mut report = DesignReport::aggregate(opts.level, jobs, reports, started.elapsed());
     report.knowledge = knowledge.map(|k| k.stats());
+    if opts.share_knowledge {
+        report.kb = opts.knowledge_state.as_ref().map(|s| s.kb_report());
+    }
     Ok(report)
 }
 

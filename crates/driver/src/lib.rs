@@ -61,6 +61,7 @@ mod corpus;
 mod engine;
 pub mod json;
 pub mod knowledge;
+pub mod persist;
 mod report;
 
 pub use corpus::{
@@ -68,7 +69,8 @@ pub use corpus::{
     LevelResult,
 };
 pub use engine::{level_from_str, optimize_design, structural_key, DriverOptions};
-pub use knowledge::{KnowledgeBase, KnowledgeStats};
+pub use knowledge::{DesignVerdictStore, KnowledgeBase, KnowledgeStats, VerdictStoreStats};
+pub use persist::{load_state, save_state, KbReport, KnowledgeState, SaveReport, StoreKey};
 pub use report::{DesignReport, ModuleOutcome, ModuleReport};
 
 use smartly_netlist::{Design, NetlistError};

@@ -1,0 +1,557 @@
+//! Persistent cross-run knowledge: the `smartly.kb` file format and its
+//! load/save machinery.
+//!
+//! PRs 2–3 built a cache hierarchy whose tiers end at process exit
+//! (query < sweep < round < design). This module adds the *disk* tier:
+//! the design-level [`KnowledgeBase`] (cone-shape signature → packed
+//! 64-wide counterexample vectors) and [`DesignVerdictStore`] (canonical
+//! query key → conclusive verdict) serialize to a single file, so
+//! repeated `smartly opt` invocations over evolving RTL start warm.
+//!
+//! # Format
+//!
+//! Everything is little-endian (via [`smartly_sat::codec`]):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  magic "SMKB"
+//!      4     4  format version (u32)
+//!      8     8  cell-kind encoding fingerprint (u64,
+//!               smartly_core::subgraph::encoding_fingerprint)
+//!     16     8  SAT conflict budget the verdicts were decided under (u64)
+//!     24     8  payload length in bytes (u64)
+//!     32     8  FNV-1a checksum of the payload (u64)
+//!     40     —  payload:
+//!               shape_count (u32), then per shape:
+//!                 sig u64, width u32, filled u32, cursor u32, hits u64,
+//!                 planes: width × u64
+//!               verdict_count (u32), then per verdict:
+//!                 key_len u32, key: key_len × u64, decision u8
+//! ```
+//!
+//! The header is the whole invalidation story: any mismatch — magic,
+//! version, encoding fingerprint, conflict budget — rejects the store
+//! as *stale*; a bad length, checksum, or truncated payload rejects it
+//! as *corrupt*. Both fall back to a cold start: [`load_state`] never
+//! errors, it only reports what happened, so a damaged knowledge file
+//! can never fail an optimization run.
+//!
+//! Saves are bounded (`max_entries` per section, hottest shapes and
+//! freshest verdicts first) so the file cannot grow without limit
+//! across runs, and are written via a temp-file rename so readers never
+//! observe a torn store.
+
+use crate::knowledge::{DesignVerdictStore, KnowledgeBase, ShapeRecord};
+use smartly_core::decide::Decision;
+use smartly_core::subgraph::encoding_fingerprint;
+use smartly_sat::codec::{fnv64, ByteReader, ByteWriter};
+use std::path::Path;
+use std::sync::Arc;
+
+/// File magic: "SMKB".
+pub const MAGIC: [u8; 4] = *b"SMKB";
+
+/// Current format version; bump on any layout change.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// The header fields a store must match to be loadable.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StoreKey {
+    /// Fingerprint of the query-key encoding scheme.
+    pub kind_fingerprint: u64,
+    /// The SAT conflict budget verdicts were decided under. Conclusive
+    /// verdicts are proofs and would stay valid under any budget, but
+    /// *which* queries resolve conclusively is budget-dependent — equal
+    /// budgets keep a warm run's decision stream aligned with the cold
+    /// run's, which is what the CI determinism gate pins.
+    pub conflict_budget: u64,
+}
+
+impl StoreKey {
+    /// The key for this build's encoding and the given budget.
+    pub fn current(conflict_budget: u64) -> Self {
+        StoreKey {
+            kind_fingerprint: encoding_fingerprint(),
+            conflict_budget,
+        }
+    }
+}
+
+/// What loading a knowledge file did (all-zero for a cold start).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Cone shapes seeded into the bank.
+    pub loaded_shapes: usize,
+    /// Verdicts seeded into the store's disk generation.
+    pub loaded_verdicts: usize,
+    /// The file existed but its header did not match (version, encoding
+    /// fingerprint, or conflict budget): the whole store was dropped.
+    pub stale_rejected: bool,
+    /// The file was unreadable, truncated, or failed its checksum.
+    pub load_failed: bool,
+    /// Human-readable reason for a cold start (empty when warm or when
+    /// no file existed).
+    pub detail: String,
+}
+
+/// What a bounded save wrote.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SaveReport {
+    /// Shape records written.
+    pub shapes_written: usize,
+    /// Verdict records written.
+    pub verdicts_written: usize,
+}
+
+impl SaveReport {
+    /// Total records in the file.
+    pub fn entries_written(&self) -> usize {
+        self.shapes_written + self.verdicts_written
+    }
+}
+
+/// The knowledge-file counters surfaced in the timing JSON (never the
+/// digest: every field depends on warm-start state, and a warm run must
+/// digest byte-identically to a cold one).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KbReport {
+    /// Shapes + verdicts loaded from the file.
+    pub loaded_shapes: usize,
+    /// Verdicts loaded from the file.
+    pub loaded_verdicts: usize,
+    /// Queries answered from disk-loaded state this run: verdict-store
+    /// disk hits plus counterexample-bank hits on loaded shapes.
+    /// Scheduling-independent for the verdict share (the served
+    /// generation is immutable); the bank share can shift attribution
+    /// with scheduling like every other bank counter.
+    pub disk_hits: u64,
+    /// Header mismatch dropped the store (cold start).
+    pub stale_rejected: bool,
+    /// Read/parse/checksum failure dropped the store (cold start).
+    pub load_failed: bool,
+    /// Why the store was dropped, when it was.
+    pub detail: String,
+    /// Records written back on save (0 until a save happens).
+    pub entries_written: usize,
+}
+
+/// The warm-startable knowledge attached to one design run: the shared
+/// counterexample bank, the verdict store, and how loading went.
+#[derive(Debug)]
+pub struct KnowledgeState {
+    /// The design-level counterexample bank (possibly pre-seeded).
+    pub bank: Arc<KnowledgeBase>,
+    /// The design-level verdict store (possibly with a disk generation).
+    pub verdicts: Arc<DesignVerdictStore>,
+    /// What the load did.
+    pub load: LoadReport,
+}
+
+impl KnowledgeState {
+    /// A cold state: empty bank and store.
+    pub fn cold(bank_capacity: usize) -> Self {
+        KnowledgeState {
+            bank: Arc::new(KnowledgeBase::new(bank_capacity)),
+            verdicts: Arc::new(DesignVerdictStore::new()),
+            load: LoadReport::default(),
+        }
+    }
+
+    /// The timing-JSON counter block for this state, with live hit
+    /// counters sampled now (`entries_written` stays 0 until the caller
+    /// saves).
+    pub fn kb_report(&self) -> KbReport {
+        KbReport {
+            loaded_shapes: self.load.loaded_shapes,
+            loaded_verdicts: self.load.loaded_verdicts,
+            disk_hits: self.bank.stats().disk_hits + self.verdicts.stats().disk_hits,
+            stale_rejected: self.load.stale_rejected,
+            load_failed: self.load.load_failed,
+            detail: self.load.detail.clone(),
+            entries_written: 0,
+        }
+    }
+}
+
+/// Why a decode rejected the file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum DecodeError {
+    /// Well-formed but from an incompatible configuration.
+    Stale(String),
+    /// Damaged: truncated, checksum mismatch, or malformed records.
+    Corrupt(String),
+}
+
+fn decision_to_u8(d: Decision) -> Option<u8> {
+    match d {
+        Decision::Const(false) => Some(0),
+        Decision::Const(true) => Some(1),
+        Decision::Unreachable => Some(2),
+        Decision::Unknown => Some(3),
+        // Skipped is not a verdict; the store never accepts one
+        Decision::Skipped => None,
+    }
+}
+
+fn decision_from_u8(b: u8) -> Option<Decision> {
+    match b {
+        0 => Some(Decision::Const(false)),
+        1 => Some(Decision::Const(true)),
+        2 => Some(Decision::Unreachable),
+        3 => Some(Decision::Unknown),
+        _ => None,
+    }
+}
+
+/// Serializes the bounded store: at most `max_entries` shapes (hottest
+/// first) and `max_entries` verdicts (freshest first).
+fn encode(shapes: &[ShapeRecord], verdicts: &[(Box<[u64]>, Decision)], key: &StoreKey) -> Vec<u8> {
+    let mut payload = ByteWriter::new();
+    payload.put_u32(shapes.len() as u32);
+    for s in shapes {
+        payload.put_u64(s.sig);
+        payload.put_u32(s.width);
+        payload.put_u32(s.filled);
+        payload.put_u32(s.cursor);
+        payload.put_u64(s.hits);
+        payload.put_u64s(&s.planes);
+    }
+    payload.put_u32(verdicts.len() as u32);
+    for (k, d) in verdicts {
+        payload.put_u32(k.len() as u32);
+        payload.put_u64s(k);
+        payload.put_u8(decision_to_u8(*d).expect("stores hold no Skipped"));
+    }
+    let payload = payload.into_bytes();
+
+    let mut out = ByteWriter::new();
+    out.put_bytes(&MAGIC);
+    out.put_u32(FORMAT_VERSION);
+    out.put_u64(key.kind_fingerprint);
+    out.put_u64(key.conflict_budget);
+    out.put_u64(payload.len() as u64);
+    out.put_u64(fnv64(&payload));
+    out.put_bytes(&payload);
+    out.into_bytes()
+}
+
+type DecodedStore = (Vec<ShapeRecord>, Vec<(Box<[u64]>, Decision)>);
+
+fn decode(bytes: &[u8], expect: &StoreKey) -> Result<DecodedStore, DecodeError> {
+    let corrupt = |what: &str| DecodeError::Corrupt(what.to_string());
+    let mut r = ByteReader::new(bytes);
+    let magic = r.bytes(4).map_err(|_| corrupt("truncated header"))?;
+    if magic != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = r.u32().map_err(|_| corrupt("truncated header"))?;
+    if version != FORMAT_VERSION {
+        return Err(DecodeError::Stale(format!(
+            "format version {version} != {FORMAT_VERSION}"
+        )));
+    }
+    let fingerprint = r.u64().map_err(|_| corrupt("truncated header"))?;
+    if fingerprint != expect.kind_fingerprint {
+        return Err(DecodeError::Stale(
+            "cell-kind encoding fingerprint mismatch".to_string(),
+        ));
+    }
+    let budget = r.u64().map_err(|_| corrupt("truncated header"))?;
+    if budget != expect.conflict_budget {
+        return Err(DecodeError::Stale(format!(
+            "conflict budget {budget} != {}",
+            expect.conflict_budget
+        )));
+    }
+    let payload_len = r.u64().map_err(|_| corrupt("truncated header"))?;
+    let checksum = r.u64().map_err(|_| corrupt("truncated header"))?;
+    if payload_len != r.remaining() as u64 {
+        return Err(corrupt("payload length mismatch"));
+    }
+    let payload = r
+        .bytes(payload_len as usize)
+        .map_err(|_| corrupt("truncated payload"))?;
+    if fnv64(payload) != checksum {
+        return Err(corrupt("payload checksum mismatch"));
+    }
+
+    let mut p = ByteReader::new(payload);
+    let truncated = |_| corrupt("truncated shape records");
+    let shape_count = p.u32().map_err(truncated)?;
+    let mut shapes = Vec::with_capacity(shape_count.min(1 << 20) as usize);
+    for _ in 0..shape_count {
+        let sig = p.u64().map_err(truncated)?;
+        let width = p.u32().map_err(truncated)?;
+        let filled = p.u32().map_err(truncated)?;
+        let cursor = p.u32().map_err(truncated)?;
+        let hits = p.u64().map_err(truncated)?;
+        let planes = p.u64s(width as usize).map_err(truncated)?;
+        if filled == 0 || filled > 64 {
+            return Err(corrupt("shape with invalid lane count"));
+        }
+        shapes.push(ShapeRecord {
+            sig,
+            width,
+            filled,
+            cursor,
+            hits,
+            planes,
+        });
+    }
+    let truncated = |_| corrupt("truncated verdict records");
+    let verdict_count = p.u32().map_err(truncated)?;
+    let mut verdicts = Vec::with_capacity(verdict_count.min(1 << 20) as usize);
+    for _ in 0..verdict_count {
+        let key_len = p.u32().map_err(truncated)?;
+        let key = p.u64s(key_len as usize).map_err(truncated)?;
+        let d = p.u8().map_err(truncated)?;
+        let d = decision_from_u8(d).ok_or_else(|| corrupt("unknown verdict code"))?;
+        verdicts.push((key.into_boxed_slice(), d));
+    }
+    if p.remaining() != 0 {
+        return Err(corrupt("trailing bytes after records"));
+    }
+    Ok((shapes, verdicts))
+}
+
+/// Loads a knowledge file into a fresh [`KnowledgeState`], falling back
+/// to a cold state on *any* problem — a missing, stale, or corrupt file
+/// is reported in [`KnowledgeState::load`], never an error.
+pub fn load_state(path: &Path, expect: &StoreKey, bank_capacity: usize) -> KnowledgeState {
+    let mut state = KnowledgeState::cold(bank_capacity);
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            // first run: silently cold
+            return state;
+        }
+        Err(e) => {
+            state.load.load_failed = true;
+            state.load.detail = format!("cannot read {}: {e}", path.display());
+            return state;
+        }
+    };
+    match decode(&bytes, expect) {
+        Ok((shapes, verdicts)) => {
+            // shapes were saved hottest-first; preload in that order so
+            // a smaller bank keeps the hot prefix
+            let loaded_shapes = shapes.iter().filter(|s| state.bank.preload(s)).count();
+            let loaded_verdicts = verdicts.len();
+            state.verdicts = Arc::new(DesignVerdictStore::with_disk(verdicts));
+            state.load.loaded_shapes = loaded_shapes;
+            state.load.loaded_verdicts = loaded_verdicts;
+        }
+        Err(DecodeError::Stale(why)) => {
+            state.load.stale_rejected = true;
+            state.load.detail = why;
+        }
+        Err(DecodeError::Corrupt(why)) => {
+            state.load.load_failed = true;
+            state.load.detail = why;
+        }
+    }
+    state
+}
+
+/// Writes the state back to `path`, bounded to `max_entries` shapes and
+/// `max_entries` verdicts (hottest shapes, freshest verdicts). The file
+/// is written to a sibling temp path and renamed, so a concurrent
+/// reader sees either the old store or the new one, never a torn write.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (unlike loading, failing to *save* is
+/// worth surfacing: the user asked to persist knowledge and nothing
+/// was persisted).
+pub fn save_state(
+    path: &Path,
+    state: &KnowledgeState,
+    key: &StoreKey,
+    max_entries: usize,
+) -> std::io::Result<SaveReport> {
+    let mut shapes = state.bank.export();
+    shapes.truncate(max_entries);
+    let mut verdicts = state.verdicts.export();
+    verdicts.truncate(max_entries);
+    let bytes = encode(&shapes, &verdicts, key);
+    let tmp = path.with_extension("kb.tmp");
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(SaveReport {
+        shapes_written: shapes.len(),
+        verdicts_written: verdicts.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> DecodedStore {
+        let shapes = vec![
+            ShapeRecord {
+                sig: 0xDEAD,
+                width: 3,
+                filled: 2,
+                cursor: 2,
+                hits: 7,
+                planes: vec![0b01, 0b10, 0b11],
+            },
+            ShapeRecord {
+                sig: 0xBEEF,
+                width: 1,
+                filled: 64,
+                cursor: 70,
+                hits: 0,
+                planes: vec![u64::MAX],
+            },
+        ];
+        let verdicts: Vec<(Box<[u64]>, Decision)> = vec![
+            (vec![1, 2, 3].into(), Decision::Const(true)),
+            (vec![4].into(), Decision::Unknown),
+            (vec![5, 6].into(), Decision::Unreachable),
+        ];
+        (shapes, verdicts)
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let (shapes, verdicts) = sample_store();
+        let key = StoreKey::current(2_000);
+        let bytes = encode(&shapes, &verdicts, &key);
+        let (s2, v2) = decode(&bytes, &key).expect("round trip");
+        assert_eq!(s2, shapes);
+        assert_eq!(v2, verdicts);
+    }
+
+    #[test]
+    fn header_mismatches_are_stale_not_corrupt() {
+        let (shapes, verdicts) = sample_store();
+        let key = StoreKey::current(2_000);
+        let bytes = encode(&shapes, &verdicts, &key);
+
+        // version
+        let mut v = bytes.clone();
+        v[4] ^= 0xFF;
+        assert!(matches!(
+            decode(&v, &key),
+            Err(DecodeError::Stale(why)) if why.contains("format version")
+        ));
+        // encoding fingerprint
+        let mut f = bytes.clone();
+        f[8] ^= 0xFF;
+        assert!(matches!(
+            decode(&f, &key),
+            Err(DecodeError::Stale(why)) if why.contains("fingerprint")
+        ));
+        // conflict budget
+        let other = StoreKey::current(5_000);
+        assert!(matches!(
+            decode(&bytes, &other),
+            Err(DecodeError::Stale(why)) if why.contains("conflict budget")
+        ));
+    }
+
+    #[test]
+    fn damage_is_detected_as_corrupt() {
+        let (shapes, verdicts) = sample_store();
+        let key = StoreKey::current(2_000);
+        let bytes = encode(&shapes, &verdicts, &key);
+
+        // truncation at every prefix length must be rejected, not panic
+        for cut in [0, 3, 17, 39, 40, bytes.len() - 1] {
+            assert!(
+                matches!(decode(&bytes[..cut], &key), Err(DecodeError::Corrupt(_))),
+                "prefix of {cut} bytes must be corrupt"
+            );
+        }
+        // a single flipped payload bit fails the checksum
+        let mut flipped = bytes.clone();
+        let mid = 40 + (bytes.len() - 40) / 2;
+        flipped[mid] ^= 0x01;
+        assert!(matches!(
+            decode(&flipped, &key),
+            Err(DecodeError::Corrupt(why)) if why.contains("checksum")
+        ));
+        // bad magic
+        let mut m = bytes.clone();
+        m[0] = b'X';
+        assert!(matches!(decode(&m, &key), Err(DecodeError::Corrupt(_))));
+    }
+
+    #[test]
+    fn load_state_never_errors() {
+        let dir = std::env::temp_dir();
+        let key = StoreKey::current(2_000);
+
+        // missing file: silently cold
+        let missing = dir.join(format!("smartly_kb_missing_{}.kb", std::process::id()));
+        let state = load_state(&missing, &key, 16);
+        assert_eq!(state.load, LoadReport::default());
+
+        // corrupt file: cold with load_failed
+        let corrupt = dir.join(format!("smartly_kb_corrupt_{}.kb", std::process::id()));
+        std::fs::write(&corrupt, b"not a knowledge file").unwrap();
+        let state = load_state(&corrupt, &key, 16);
+        assert!(state.load.load_failed);
+        assert!(!state.load.stale_rejected);
+        assert_eq!(state.load.loaded_shapes, 0);
+        let kb = state.kb_report();
+        assert!(kb.load_failed);
+        std::fs::remove_file(&corrupt).unwrap();
+    }
+
+    #[test]
+    fn save_then_load_restores_bank_and_verdicts() {
+        let path =
+            std::env::temp_dir().join(format!("smartly_kb_roundtrip_{}.kb", std::process::id()));
+        let key = StoreKey::current(2_000);
+        let state = KnowledgeState::cold(16);
+        state.bank.publish(0xAB, &[true, false]);
+        use smartly_core::SharedVerdictStore as _;
+        state.verdicts.publish(&[10, 20], Decision::Const(false));
+        let report = save_state(&path, &state, &key, 1_000).expect("save");
+        assert_eq!(report.shapes_written, 1);
+        assert_eq!(report.verdicts_written, 1);
+        assert_eq!(report.entries_written(), 2);
+
+        let warm = load_state(&path, &key, 16);
+        assert_eq!(warm.load.loaded_shapes, 1);
+        assert_eq!(warm.load.loaded_verdicts, 1);
+        use smartly_core::SharedCexBank as _;
+        assert!(warm.bank.lookup(0xAB, 2).is_some());
+        assert_eq!(
+            warm.verdicts.lookup(&[10, 20]),
+            Some(Decision::Const(false))
+        );
+
+        // a budget change invalidates the whole store as stale
+        let stale = load_state(&path, &StoreKey::current(9_999), 16);
+        assert!(stale.load.stale_rejected);
+        assert_eq!(stale.load.loaded_shapes, 0);
+        assert_eq!(stale.verdicts.lookup(&[10, 20]), None);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bounded_save_keeps_hottest_shapes_and_freshest_verdicts() {
+        let path =
+            std::env::temp_dir().join(format!("smartly_kb_bounded_{}.kb", std::process::id()));
+        let key = StoreKey::current(2_000);
+        let state = KnowledgeState::cold(16);
+        use smartly_core::{SharedCexBank as _, SharedVerdictStore as _};
+        state.bank.publish(1, &[true]);
+        state.bank.publish(2, &[true]);
+        let _ = state.bank.lookup(2, 1); // shape 2 is the hot one
+        state.verdicts.publish(&[1], Decision::Unknown);
+        state.verdicts.publish(&[2], Decision::Unknown);
+
+        let report = save_state(&path, &state, &key, 1).expect("save");
+        assert_eq!(report.shapes_written, 1);
+        assert_eq!(report.verdicts_written, 1);
+        let warm = load_state(&path, &key, 16);
+        assert!(warm.bank.lookup(2, 1).is_some(), "hot shape survived");
+        assert!(warm.bank.lookup(1, 1).is_none(), "cold shape was dropped");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -4,15 +4,26 @@
 //! Two renderings share one schema: the full JSON (timing included) and
 //! the timing-free *digest*. The digest carries only fields that are a
 //! pure function of the input design — areas, rewrites, verdicts, and
-//! the verdict-derived query counters. Funnel-layer *attribution* (which
-//! cache layer answered a query) and raw solver telemetry are excluded:
-//! with the design-level shared bank enabled, a query can be refuted by
-//! a sibling module's vectors in one scheduling and by its own prefilter
-//! in another — same verdict, different attribution — so those counters
-//! live next to the wall times in the full JSON only.
+//! the query counters that no cache can shift (`queries`,
+//! `by_inference`, `unreachable`, the pruning gate counts). Funnel-layer
+//! *attribution* (which cache layer answered a query) and raw solver
+//! telemetry are excluded, for two reasons:
+//!
+//! * with the design-level shared bank enabled, a query can be refuted
+//!   by a sibling module's vectors in one scheduling and by its own
+//!   prefilter in another — same verdict, different attribution — so
+//!   attribution is not `--jobs`-deterministic;
+//! * with a persistent knowledge file, a warm run answers from disk
+//!   queries a cold run paid sim/SAT for — same verdict, different
+//!   attribution again — and the CI warm-start gate pins warm digests
+//!   *byte-identical to the cold digest*, so even scheduling-
+//!   independent attribution (`by_memo`, `by_sim`, `by_sat`,
+//!   `by_disk_verdict`) must ride with the wall times in the full JSON
+//!   only.
 
 use crate::json::Json;
 use crate::knowledge::KnowledgeStats;
+use crate::persist::KbReport;
 use smartly_aig::EquivResult;
 use smartly_core::{OptLevel, PipelineReport};
 use smartly_netlist::Module;
@@ -147,22 +158,12 @@ impl ModuleReport {
             obj.set("reduction", Json::Float(r.reduction()));
             obj.set("baseline_rewrites", Json::UInt(r.baseline_rewrites as u64));
             obj.set("sat_rewrites", Json::UInt(r.sat_rewrites as u64));
-            // verdict-derived counters: pure functions of the input,
-            // safe for the jobs-deterministic digest
+            // cache-invariant counters: pure functions of the input no
+            // matter which layer answers, safe for the digest the CI
+            // warm-start gate pins against a cold run
             let mut sat = Json::object();
             sat.set("queries", Json::UInt(r.sat_stats.queries as u64));
             sat.set("by_inference", Json::UInt(r.sat_stats.by_inference as u64));
-            sat.set("by_sim", Json::UInt(r.sat_stats.by_sim as u64));
-            sat.set("by_sat", Json::UInt(r.sat_stats.by_sat as u64));
-            sat.set("by_memo", Json::UInt(r.sat_stats.by_memo as u64));
-            sat.set(
-                "memo_carryover",
-                Json::UInt(r.sat_stats.memo_carryover as u64),
-            );
-            sat.set(
-                "memo_invalidated",
-                Json::UInt(r.sat_stats.memo_invalidated as u64),
-            );
             sat.set("unreachable", Json::UInt(r.sat_stats.unreachable as u64));
             sat.set(
                 "gates_before_prune",
@@ -174,8 +175,26 @@ impl ModuleReport {
             );
             if include_timing {
                 // layer attribution shifts with scheduling once the
-                // shared bank is on; solver counters likewise
+                // shared bank is on, and with warm-start state once a
+                // knowledge file is loaded; solver counters likewise
                 let mut funnel = Json::object();
+                funnel.set("by_memo", Json::UInt(r.sat_stats.by_memo as u64));
+                funnel.set(
+                    "memo_carryover",
+                    Json::UInt(r.sat_stats.memo_carryover as u64),
+                );
+                funnel.set(
+                    "memo_invalidated",
+                    Json::UInt(r.sat_stats.memo_invalidated as u64),
+                );
+                funnel.set(
+                    "by_disk_verdict",
+                    Json::UInt(r.sat_stats.by_disk_verdict as u64),
+                );
+                funnel.set(
+                    "verdicts_published",
+                    Json::UInt(r.sat_stats.verdicts_published as u64),
+                );
                 funnel.set("by_cex", Json::UInt(r.sat_stats.by_cex as u64));
                 funnel.set(
                     "by_shared_cex",
@@ -186,6 +205,8 @@ impl ModuleReport {
                     "prefilter_rounds",
                     Json::UInt(r.sat_stats.prefilter_rounds as u64),
                 );
+                funnel.set("by_sim", Json::UInt(r.sat_stats.by_sim as u64));
+                funnel.set("by_sat", Json::UInt(r.sat_stats.by_sat as u64));
                 funnel.set(
                     "bank_evictions",
                     Json::UInt(r.sat_stats.bank_evictions as u64),
@@ -259,6 +280,12 @@ pub struct DesignReport {
     /// attached (excluded from [`DesignReport::digest`]: fill order and
     /// hit attribution depend on worker scheduling).
     pub knowledge: Option<KnowledgeStats>,
+    /// Persistent knowledge-file counters, when the run was attached to
+    /// a [`crate::persist::KnowledgeState`] (excluded from the digest:
+    /// every field depends on warm-start state, and warm digests must
+    /// match cold ones byte-for-byte). `entries_written` stays 0 until
+    /// the caller saves the store and records the result.
+    pub kb: Option<KbReport>,
 }
 
 impl DesignReport {
@@ -275,6 +302,7 @@ impl DesignReport {
             modules,
             wall,
             knowledge: None,
+            kb: None,
         }
     }
 
@@ -373,13 +401,34 @@ impl DesignReport {
                 kb.set("shapes", Json::UInt(k.shapes as u64));
                 kb.set("published", Json::UInt(k.published));
                 kb.set("hits", Json::UInt(k.hits));
+                kb.set("disk_hits", Json::UInt(k.disk_hits));
                 kb.set("misses", Json::UInt(k.misses));
                 kb.set("evictions", Json::UInt(k.evictions));
                 obj.set("knowledge", kb);
             }
+            if let Some(k) = &self.kb {
+                obj.set("kb", kb_json(k));
+            }
         }
         obj
     }
+}
+
+/// Renders the persistent-knowledge counter block (timing JSON only).
+pub(crate) fn kb_json(k: &KbReport) -> Json {
+    let mut kb = Json::object();
+    kb.set(
+        "kb_loaded",
+        Json::UInt((k.loaded_shapes + k.loaded_verdicts) as u64),
+    );
+    kb.set("kb_loaded_shapes", Json::UInt(k.loaded_shapes as u64));
+    kb.set("kb_loaded_verdicts", Json::UInt(k.loaded_verdicts as u64));
+    kb.set("kb_disk_hits", Json::UInt(k.disk_hits));
+    kb.set("kb_stale_rejected", Json::Bool(k.stale_rejected));
+    kb.set("kb_load_failed", Json::Bool(k.load_failed));
+    kb.set("kb_load_detail", Json::Str(k.detail.clone()));
+    kb.set("kb_entries_written", Json::UInt(k.entries_written as u64));
+    kb
 }
 
 impl fmt::Display for DesignReport {

@@ -1,0 +1,193 @@
+//! Integration tests for the persistent cross-run knowledge store:
+//! save/load round trips, header invalidation, corruption handling, and
+//! the warm-start determinism contract (warm-run netlists and digests
+//! byte-identical to cold runs).
+
+use smartly_driver::persist::{load_state, save_state, KnowledgeState, StoreKey};
+use smartly_driver::{emit_design, optimize_design, DriverOptions};
+use smartly_netlist::Design;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A unique temp path per test (the suite runs tests concurrently).
+fn temp_kb(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("smartly_{tag}_{}.kb", std::process::id()))
+}
+
+fn probes_design() -> Design {
+    // seeded smartly-workloads near-miss variants: identical cone
+    // shapes on different nets, SAT-only rare polarity — the workload
+    // the knowledge store exists for
+    Design::from_modules(smartly_workloads::knowledge_probes(6, 3, 12))
+}
+
+fn default_store_key() -> StoreKey {
+    StoreKey::current(DriverOptions::default().pipeline.sat.conflict_budget)
+}
+
+fn run_with(
+    state: Option<Arc<KnowledgeState>>,
+    jobs: usize,
+) -> (smartly_driver::DesignReport, String) {
+    let mut design = probes_design();
+    let opts = DriverOptions {
+        jobs,
+        knowledge_state: state,
+        ..Default::default()
+    };
+    let report = optimize_design(&mut design, &opts).expect("driver");
+    let emitted = emit_design(&design);
+    (report, emitted)
+}
+
+/// Cold run → save → warm run: the warm run answers queries from disk
+/// (`kb_disk_hits > 0`, `by_disk_verdict > 0`) and still produces the
+/// byte-identical netlist and digest, at one and at four workers.
+#[test]
+fn warm_runs_reproduce_cold_netlists_and_digests() {
+    let path = temp_kb("warm_diff");
+    let key = default_store_key();
+
+    // cold reference run, attached to a (missing-file) state
+    let cold_state = Arc::new(load_state(&path, &key, 8_192));
+    assert_eq!(
+        cold_state.load.loaded_shapes + cold_state.load.loaded_verdicts,
+        0
+    );
+    let (cold_report, cold_verilog) = run_with(Some(cold_state.clone()), 1);
+    let cold_digest = cold_report.digest();
+    let saved = save_state(&path, &cold_state, &key, 4_096).expect("save");
+    assert!(saved.entries_written() > 0, "the run produced knowledge");
+
+    for jobs in [1, 4] {
+        let warm_state = Arc::new(load_state(&path, &key, 8_192));
+        assert!(
+            warm_state.load.loaded_verdicts > 0,
+            "verdicts were persisted"
+        );
+        let (warm_report, warm_verilog) = run_with(Some(warm_state), jobs);
+
+        // the determinism contract: byte-identical results cold vs warm
+        assert_eq!(warm_report.digest(), cold_digest, "jobs {jobs}");
+        assert_eq!(warm_verilog, cold_verilog, "jobs {jobs}");
+
+        // and the warm start actually did something
+        let kb = warm_report.kb.as_ref().expect("kb counters attached");
+        assert!(kb.disk_hits > 0, "jobs {jobs}: no disk hits");
+        let disk_verdicts: usize = warm_report
+            .modules
+            .iter()
+            .filter_map(|m| m.report.as_ref())
+            .map(|r| r.sat_stats.by_disk_verdict)
+            .sum();
+        assert!(disk_verdicts > 0, "jobs {jobs}: no disk-verdict answers");
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Round trip: what a run published is what a reload serves, and a
+/// second save carries it forward unchanged.
+#[test]
+fn save_load_round_trips_run_knowledge() {
+    let path = temp_kb("roundtrip");
+    let key = default_store_key();
+    let state = Arc::new(load_state(&path, &key, 8_192));
+    let _ = run_with(Some(state.clone()), 1);
+    let first = save_state(&path, &state, &key, 4_096).expect("save");
+
+    let reloaded = Arc::new(load_state(&path, &key, 8_192));
+    assert_eq!(
+        reloaded.load.loaded_shapes + reloaded.load.loaded_verdicts,
+        first.entries_written(),
+        "every written entry loads back"
+    );
+    // saving the reloaded (untouched) state preserves the entry set
+    let second = save_state(&path, &reloaded, &key, 4_096).expect("save");
+    assert_eq!(second.entries_written(), first.entries_written());
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A version bump invalidates the whole store: the loader reports
+/// stale, loads nothing, and the run proceeds cold.
+#[test]
+fn version_mismatch_rejects_the_store() {
+    let path = temp_kb("version");
+    let key = default_store_key();
+    let state = Arc::new(load_state(&path, &key, 8_192));
+    let _ = run_with(Some(state.clone()), 1);
+    save_state(&path, &state, &key, 4_096).expect("save");
+
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[4] ^= 0xFF; // format version, little-endian low byte
+    std::fs::write(&path, &bytes).unwrap();
+
+    let stale = load_state(&path, &key, 8_192);
+    assert!(stale.load.stale_rejected);
+    assert!(!stale.load.load_failed);
+    assert!(stale.load.detail.contains("format version"));
+    assert_eq!(stale.load.loaded_shapes + stale.load.loaded_verdicts, 0);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A different cell-kind encoding fingerprint (a future enum change)
+/// invalidates the store the same way.
+#[test]
+fn encoding_fingerprint_mismatch_rejects_the_store() {
+    let path = temp_kb("fingerprint");
+    let key = default_store_key();
+    let state = Arc::new(load_state(&path, &key, 8_192));
+    let _ = run_with(Some(state.clone()), 1);
+    save_state(&path, &state, &key, 4_096).expect("save");
+
+    let skewed = StoreKey {
+        kind_fingerprint: key.kind_fingerprint ^ 1,
+        ..key
+    };
+    let stale = load_state(&path, &skewed, 8_192);
+    assert!(stale.load.stale_rejected);
+    assert!(stale.load.detail.contains("fingerprint"));
+
+    // so does a conflict-budget change
+    let other_budget = StoreKey {
+        conflict_budget: key.conflict_budget + 1,
+        ..key
+    };
+    let stale = load_state(&path, &other_budget, 8_192);
+    assert!(stale.load.stale_rejected);
+    assert!(stale.load.detail.contains("conflict budget"));
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Truncation and bit flips degrade to a clean cold start with the
+/// failure counters set — never an error, never a partial load.
+#[test]
+fn damaged_stores_fall_back_cold() {
+    let path = temp_kb("damage");
+    let key = default_store_key();
+    let state = Arc::new(load_state(&path, &key, 8_192));
+    let _ = run_with(Some(state.clone()), 1);
+    save_state(&path, &state, &key, 4_096).expect("save");
+    let pristine = std::fs::read(&path).unwrap();
+
+    // truncated to a header prefix
+    std::fs::write(&path, &pristine[..32.min(pristine.len())]).unwrap();
+    let t = load_state(&path, &key, 8_192);
+    assert!(t.load.load_failed, "truncation is a load failure");
+    assert_eq!(t.load.loaded_shapes + t.load.loaded_verdicts, 0);
+
+    // one flipped payload bit
+    let mut flipped = pristine.clone();
+    let mid = 40 + (pristine.len() - 40) / 2;
+    flipped[mid] ^= 0x01;
+    std::fs::write(&path, &flipped).unwrap();
+    let f = load_state(&path, &key, 8_192);
+    assert!(f.load.load_failed, "bit flip is a load failure");
+    assert!(f.load.detail.contains("checksum"));
+
+    // and a damaged-state run still optimizes, reporting the failure
+    let (report, _) = run_with(Some(Arc::new(f)), 1);
+    let kb = report.kb.expect("kb counters attached");
+    assert!(kb.load_failed);
+    assert_eq!(kb.disk_hits, 0);
+    std::fs::remove_file(&path).unwrap();
+}

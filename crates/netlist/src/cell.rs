@@ -114,6 +114,18 @@ pub enum CellKind {
 }
 
 impl CellKind {
+    /// Every cell kind, in discriminant order. Consumers that fingerprint
+    /// the kind encoding (the persistent knowledge store) iterate this
+    /// list, so extending the enum automatically invalidates stale
+    /// on-disk state.
+    pub const ALL: [CellKind; 26] = {
+        use CellKind::*;
+        [
+            Not, And, Or, Xor, Xnor, ReduceAnd, ReduceOr, ReduceXor, ReduceBool, LogicNot,
+            LogicAnd, LogicOr, Add, Sub, Mul, Shl, Shr, Eq, Ne, Lt, Le, Gt, Ge, Mux, Pmux, Dff,
+        ]
+    };
+
     /// The ports this kind binds, inputs first, outputs last.
     pub fn ports(self) -> &'static [Port] {
         use CellKind::*;
@@ -282,5 +294,26 @@ mod tests {
         c.set_port(Port::A, SigSpec::ones(4));
         assert_eq!(c.port(Port::A), Some(&SigSpec::ones(4)));
         assert_eq!(c.connections().len(), 1);
+    }
+
+    /// Compile-time enforcement that `CellKind::ALL` stays complete: the
+    /// exhaustive match below fails to build when a variant is added, and
+    /// whoever fixes it must extend `ALL` — which in turn rotates the
+    /// persistent knowledge store's encoding fingerprint, invalidating
+    /// stale on-disk verdicts keyed under the old discriminants.
+    #[test]
+    fn all_is_exhaustive_and_in_discriminant_order() {
+        // one arm per variant: extending the enum breaks this match
+        let covered = |k: CellKind| -> u64 {
+            use CellKind::*;
+            match k {
+                Not | And | Or | Xor | Xnor | ReduceAnd | ReduceOr | ReduceXor | ReduceBool
+                | LogicNot | LogicAnd | LogicOr | Add | Sub | Mul | Shl | Shr | Eq | Ne | Lt
+                | Le | Gt | Ge | Mux | Pmux | Dff => k as u64,
+            }
+        };
+        for (i, kind) in CellKind::ALL.into_iter().enumerate() {
+            assert_eq!(covered(kind), i as u64, "{kind} out of order in ALL");
+        }
     }
 }

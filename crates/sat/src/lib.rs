@@ -36,11 +36,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod dimacs;
 mod heap;
 mod solver;
 pub mod tseitin;
 
+pub use codec::{fnv64, ByteReader, ByteWriter, CodecError};
 pub use dimacs::{parse_dimacs, write_dimacs, DimacsProblem, ParseDimacsError};
 pub use solver::{SolveResult, Solver, SolverStats};
 pub use tseitin::TseitinEncoder;

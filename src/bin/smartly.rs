@@ -11,10 +11,11 @@
 
 use smartly_driver::{
     emit_design, level_from_str, optimize_design, run_public_corpus, scale_from_str, CorpusOptions,
-    DriverOptions,
+    DriverOptions, KnowledgeState, StoreKey,
 };
 use smartly_netlist::CellStats;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// `println!` that ignores a closed stdout (e.g. `smartly stats | head`)
@@ -60,13 +61,22 @@ OPT OPTIONS:
   --no-knowledge                     disable the design-level shared
                                      counterexample bank (ablation;
                                      verdicts and areas are identical)
+  --knowledge-file <path>            load/save the persistent knowledge
+                                     store (smartly.kb): repeated runs
+                                     over evolving RTL start warm. A
+                                     missing, stale, or corrupt file
+                                     falls back to a cold start, never
+                                     an error
+  --no-knowledge-save                read the knowledge file but do not
+                                     write it back
 
 CORPUS OPTIONS:
   --scale <tiny|small|paper>         corpus size (default: tiny)
   --digest <path>                    write the timing-free artifact
-                                     (byte-identical across runs and
-                                     --jobs settings; CI diffs it)
-  --no-knowledge                     as above
+                                     (byte-identical across runs,
+                                     --jobs settings, and knowledge-file
+                                     warm/cold state; CI diffs it)
+  --no-knowledge, --knowledge-file <path>, --no-knowledge-save  as above
   --jobs <N>, --verify, --json <path> as above
 ";
 
@@ -133,6 +143,35 @@ fn positional(args: Vec<String>, what: &str) -> Result<String, String> {
     Ok(first)
 }
 
+/// Loads the persistent knowledge store at `path`, printing a cold-start
+/// warning when an existing file had to be rejected (stale header or
+/// damage) — the run itself always proceeds.
+fn load_knowledge(path: &str, budget: u64, bank_capacity: usize) -> Arc<KnowledgeState> {
+    let key = StoreKey::current(budget);
+    let state = smartly_driver::load_state(std::path::Path::new(path), &key, bank_capacity);
+    if state.load.stale_rejected || state.load.load_failed {
+        eprintln!(
+            "smartly: warning: knowledge file {path} rejected ({}); starting cold",
+            state.load.detail
+        );
+    }
+    Arc::new(state)
+}
+
+/// Writes the (bounded) knowledge store back to `path`; returns the
+/// entry count for the report.
+fn save_knowledge(
+    path: &str,
+    state: &KnowledgeState,
+    budget: u64,
+    max_entries: usize,
+) -> Result<usize, String> {
+    let key = StoreKey::current(budget);
+    let report = smartly_driver::save_state(std::path::Path::new(path), state, &key, max_entries)
+        .map_err(|e| format!("cannot write knowledge file {path}: {e}"))?;
+    Ok(report.entries_written())
+}
+
 fn compile_file(path: &str) -> Result<smartly_netlist::Design, String> {
     let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     smartly_verilog::compile(&source).map_err(|e| format!("{path}: {e}"))
@@ -157,12 +196,34 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
     if let Some(ms) = take_value(&mut args, &["--timeout-ms"])? {
         opts.timeout = Some(Duration::from_millis(parse_number(&ms, "--timeout-ms")?));
     }
+    let knowledge_file = take_value(&mut args, &["--knowledge-file"])?;
+    let knowledge_save = !take_flag(&mut args, "--no-knowledge-save");
     let json_path = take_value(&mut args, &["--json"])?;
     let out_path = take_value(&mut args, &["--output", "-o"])?;
     let input = positional(args, "input file")?;
 
+    let budget = opts.pipeline.sat.conflict_budget;
+    let store_bound = opts.pipeline.sat.cex_bank_capacity;
+    if let Some(path) = &knowledge_file {
+        if opts.share_knowledge {
+            opts.knowledge_state = Some(load_knowledge(path, budget, opts.knowledge_capacity));
+        } else {
+            eprintln!("smartly: warning: --knowledge-file is ignored with --no-knowledge");
+        }
+    }
+
     let mut design = compile_file(&input)?;
-    let report = optimize_design(&mut design, &opts).map_err(|e| e.to_string())?;
+    let mut report = optimize_design(&mut design, &opts).map_err(|e| e.to_string())?;
+
+    if let (Some(path), Some(state)) = (&knowledge_file, &opts.knowledge_state) {
+        if knowledge_save {
+            let written = save_knowledge(path, state, budget, store_bound)?;
+            if let Some(kb) = report.kb.as_mut() {
+                kb.entries_written = written;
+            }
+            outln!("knowledge store written to {path} ({written} entries)");
+        }
+    }
 
     outln!("{report}");
     // Write the report before the verification verdict: on failure the
@@ -209,13 +270,39 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
     }
     opts.verify = take_flag(&mut args, "--verify");
     opts.share_knowledge = !take_flag(&mut args, "--no-knowledge");
+    let knowledge_file = take_value(&mut args, &["--knowledge-file"])?;
+    let knowledge_save = !take_flag(&mut args, "--no-knowledge-save");
     let json_path = take_value(&mut args, &["--json"])?;
     let digest_path = take_value(&mut args, &["--digest"])?;
     if let Some(extra) = args.first() {
         return Err(format!("unexpected argument '{extra}'"));
     }
 
-    let report = run_public_corpus(&opts).map_err(|e| e.to_string())?;
+    let driver_defaults = DriverOptions::default();
+    let budget = driver_defaults.pipeline.sat.conflict_budget;
+    let store_bound = driver_defaults.pipeline.sat.cex_bank_capacity;
+    if let Some(path) = &knowledge_file {
+        if opts.share_knowledge {
+            opts.knowledge_state = Some(load_knowledge(
+                path,
+                budget,
+                driver_defaults.knowledge_capacity,
+            ));
+        } else {
+            eprintln!("smartly: warning: --knowledge-file is ignored with --no-knowledge");
+        }
+    }
+
+    let mut report = run_public_corpus(&opts).map_err(|e| e.to_string())?;
+    if let (Some(path), Some(state)) = (&knowledge_file, &opts.knowledge_state) {
+        if knowledge_save {
+            let written = save_knowledge(path, state, budget, store_bound)?;
+            if let Some(kb) = report.kb.as_mut() {
+                kb.entries_written = written;
+            }
+            outln!("knowledge store written to {path} ({written} entries)");
+        }
+    }
     outln!("{report}");
     if let Some(path) = json_path {
         std::fs::write(&path, report.to_json().render_pretty(2))
