@@ -143,14 +143,7 @@ impl std::fmt::Display for PipelineReport {
             self.sat_stats.by_prefilter,
             self.sat_stats.prefilter_rounds,
         )?;
-        writeln!(
-            f,
-            "solver: {} conflicts, {} propagations, {} learnts, {} resets",
-            self.sat_stats.solver_conflicts,
-            self.sat_stats.solver_propagations,
-            self.sat_stats.solver_learnts,
-            self.sat_stats.solver_resets,
-        )?;
+        writeln!(f, "solver: {}", self.sat_stats.solver_summary())?;
         writeln!(
             f,
             "restructuring: {}/{} candidates rebuilt, muxes {} -> {}, eq freed {}",

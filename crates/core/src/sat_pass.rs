@@ -195,9 +195,45 @@ pub struct SatPassStats {
     /// Learnt clauses retained (summed across resets — a growth
     /// indicator, not a live gauge).
     pub solver_learnts: u64,
+    /// Learnt clauses that entered the solver's core tier (LBD ≤ 2 or
+    /// binary — kept forever).
+    pub solver_lbd_core: u64,
+    /// Learnt-database reductions the solver performed.
+    pub solver_reduces: u64,
+    /// Compacting clause-arena garbage collections.
+    pub solver_arena_gcs: u64,
+    /// Restart rephasings applied (all kinds).
+    pub solver_rephases: u64,
+    /// Rephasings that restored the best-phase snapshot.
+    pub solver_rephase_best: u64,
+    /// Rephasings that inverted the best-phase snapshot.
+    pub solver_rephase_inverted: u64,
+    /// Rephasings that restored the original default phases.
+    pub solver_rephase_original: u64,
 }
 
 impl SatPassStats {
+    /// One-line human-readable summary of the CDCL solver counters — the
+    /// single source for the pipeline report, the corpus solver bench,
+    /// and `smartly stats --solver`, so a new counter is threaded through
+    /// one format string instead of three.
+    pub fn solver_summary(&self) -> String {
+        format!(
+            "{} conflicts, {} propagations, {} learnts ({} core), {} reduces, {} arena-gcs, {} rephases (best {}/inv {}/orig {}), {} resets",
+            self.solver_conflicts,
+            self.solver_propagations,
+            self.solver_learnts,
+            self.solver_lbd_core,
+            self.solver_reduces,
+            self.solver_arena_gcs,
+            self.solver_rephases,
+            self.solver_rephase_best,
+            self.solver_rephase_inverted,
+            self.solver_rephase_original,
+            self.solver_resets,
+        )
+    }
+
     fn absorb_subgraph(&mut self, s: SubgraphStats) {
         self.gates_before_prune += s.gates_before_prune;
         self.gates_after_prune += s.gates_after_prune;
@@ -227,6 +263,13 @@ impl SatPassStats {
         self.solver_conflicts += o.solver_conflicts;
         self.solver_propagations += o.solver_propagations;
         self.solver_learnts += o.solver_learnts;
+        self.solver_lbd_core += o.solver_lbd_core;
+        self.solver_reduces += o.solver_reduces;
+        self.solver_arena_gcs += o.solver_arena_gcs;
+        self.solver_rephases += o.solver_rephases;
+        self.solver_rephase_best += o.solver_rephase_best;
+        self.solver_rephase_inverted += o.solver_rephase_inverted;
+        self.solver_rephase_original += o.solver_rephase_original;
     }
 }
 
@@ -568,6 +611,13 @@ pub fn sat_redundancy_with(
         stats.solver_conflicts = es.solver.conflicts;
         stats.solver_propagations = es.solver.propagations;
         stats.solver_learnts = es.solver.learnt_clauses;
+        stats.solver_lbd_core = es.solver.lbd_core;
+        stats.solver_reduces = es.solver.reduces;
+        stats.solver_arena_gcs = es.solver.arena_gcs;
+        stats.solver_rephases = es.solver.rephases;
+        stats.solver_rephase_best = es.solver.rephase_best;
+        stats.solver_rephase_inverted = es.solver.rephase_inverted;
+        stats.solver_rephase_original = es.solver.rephase_original;
         ctx.memo = eng.into_memo();
     }
     for (id, port, offset, value) in pins {

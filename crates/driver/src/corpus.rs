@@ -133,6 +133,24 @@ pub struct KnowledgeBench {
     pub wall: Duration,
 }
 
+/// Results of the CDCL stress design (adder-commutativity miter selects
+/// forcing real conflict-driven search; see
+/// [`smartly_workloads::solver_stress`]). Timing artifact only — every
+/// counter is solver-work attribution, which cache warm-state shifts.
+#[derive(Clone, Debug)]
+pub struct SolverBench {
+    /// Cones (= queries that must reach the solver when cold).
+    pub cones: usize,
+    /// Decide queries across the stress design.
+    pub queries: usize,
+    /// Aggregated SAT-pass telemetry (solver counters live here).
+    pub sat: SatPassStats,
+    /// Total AIG area after optimization (scheduling-independent).
+    pub area_after: usize,
+    /// Wall time for the stress design.
+    pub wall: Duration,
+}
+
 /// The whole suite's results.
 #[derive(Clone, Debug)]
 pub struct CorpusReport {
@@ -143,6 +161,9 @@ pub struct CorpusReport {
     /// The multi-module shared-bank exercise (timing artifact only; its
     /// attribution counters depend on worker scheduling).
     pub knowledge_bench: Option<KnowledgeBench>,
+    /// The CDCL stress exercise (timing artifact only; CI asserts its
+    /// `reduces`/`lbd_core` counters are non-zero on a cold run).
+    pub solver_bench: Option<SolverBench>,
     /// Persistent knowledge-file counters, when the suite ran against a
     /// [`KnowledgeState`] (timing artifact only: every field depends on
     /// warm-start state and warm digests must match cold ones).
@@ -201,11 +222,13 @@ pub fn run_public_corpus(opts: &CorpusOptions) -> Result<CorpusReport, DriverErr
         }
     }
     let knowledge_bench = Some(run_knowledge_bench(opts)?);
+    let solver_bench = Some(run_solver_bench(opts)?);
     Ok(CorpusReport {
         scale: opts.scale,
         rows,
         knowledge_bench,
-        // sampled after every level + the bench: cumulative disk hits
+        solver_bench,
+        // sampled after every level + the benches: cumulative disk hits
         kb: opts.knowledge_state.as_ref().map(|s| s.kb_report()),
     })
 }
@@ -244,6 +267,41 @@ fn run_knowledge_bench(opts: &CorpusOptions) -> Result<KnowledgeBench, DriverErr
         by_shared_cex,
         published,
         hits,
+        area_after: report.area_after(),
+        wall,
+    })
+}
+
+/// Runs the CDCL stress design once at `SatOnly`: every cone's mux
+/// select is an adder-commutativity miter whose UNSAT side needs real
+/// conflict-driven search, so the solver's tier/reduction/GC/rephasing
+/// machinery demonstrably fires on a corpus run (cold state; a warm
+/// knowledge file answers these queries from disk instead).
+fn run_solver_bench(opts: &CorpusOptions) -> Result<SolverBench, DriverError> {
+    let cones = 4;
+    let modules = smartly_workloads::solver_stress(cones, 10);
+    let mut design = Design::from_modules(modules);
+    let driver_opts = DriverOptions {
+        level: OptLevel::SatOnly,
+        jobs: opts.jobs,
+        verify: opts.verify,
+        share_knowledge: opts.share_knowledge,
+        knowledge_state: opts.knowledge_state.clone(),
+        ..Default::default()
+    };
+    let started = std::time::Instant::now();
+    let report = optimize_design(&mut design, &driver_opts)?;
+    let wall = started.elapsed();
+    let mut sat = SatPassStats::default();
+    for m in &report.modules {
+        if let Some(r) = &m.report {
+            sat.absorb(&r.sat_stats);
+        }
+    }
+    Ok(SolverBench {
+        cones,
+        queries: sat.queries,
+        sat,
         area_after: report.area_after(),
         wall,
     })
@@ -314,12 +372,7 @@ impl CorpusReport {
                                 "prefilter_rounds",
                                 Json::UInt(lr.sat.prefilter_rounds as u64),
                             );
-                            let mut s = Json::object();
-                            s.set("conflicts", Json::UInt(lr.sat.solver_conflicts));
-                            s.set("propagations", Json::UInt(lr.sat.solver_propagations));
-                            s.set("learnts", Json::UInt(lr.sat.solver_learnts));
-                            s.set("resets", Json::UInt(lr.sat.solver_resets as u64));
-                            q.set("solver", s);
+                            q.set("solver", crate::report::solver_json(&lr.sat));
                         }
                         l.set("query_funnel", q);
                     }
@@ -341,6 +394,16 @@ impl CorpusReport {
                 k.set("area_after", Json::UInt(kb.area_after as u64));
                 k.set("wall_us", Json::UInt(kb.wall.as_micros() as u64));
                 obj.set("knowledge_bench", k);
+            }
+            if let Some(sb) = &self.solver_bench {
+                let mut k = Json::object();
+                k.set("cones", Json::UInt(sb.cones as u64));
+                k.set("queries", Json::UInt(sb.queries as u64));
+                k.set("by_sat", Json::UInt(sb.sat.by_sat as u64));
+                k.set("solver", crate::report::solver_json(&sb.sat));
+                k.set("area_after", Json::UInt(sb.area_after as u64));
+                k.set("wall_us", Json::UInt(sb.wall.as_micros() as u64));
+                obj.set("solver_bench", k);
             }
             if let Some(kb) = &self.kb {
                 obj.set("kb", crate::report::kb_json(kb));
@@ -435,6 +498,16 @@ impl fmt::Display for CorpusReport {
             t.solver_learnts,
             t.solver_resets,
         )?;
+        if let Some(sb) = &self.solver_bench {
+            write!(
+                f,
+                "\nsolver bench ({} miter cones): {} queries, {}, {:.1} ms",
+                sb.cones,
+                sb.queries,
+                sb.sat.solver_summary(),
+                sb.wall.as_secs_f64() * 1e3,
+            )?;
+        }
         if let Some(kb) = &self.knowledge_bench {
             write!(
                 f,

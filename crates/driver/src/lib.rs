@@ -66,7 +66,7 @@ mod report;
 
 pub use corpus::{
     run_public_corpus, scale_from_str, CorpusOptions, CorpusReport, CorpusRow, KnowledgeBench,
-    LevelResult,
+    LevelResult, SolverBench,
 };
 pub use engine::{level_from_str, optimize_design, structural_key, DriverOptions};
 pub use knowledge::{DesignVerdictStore, KnowledgeBase, KnowledgeStats, VerdictStoreStats};

@@ -374,7 +374,11 @@ pub fn save_state(
     let mut verdicts = state.verdicts.export();
     verdicts.truncate(max_entries);
     let bytes = encode(&shapes, &verdicts, key);
-    let tmp = path.with_extension("kb.tmp");
+    // per-process temp name: concurrent *processes* each write their own
+    // file and the final rename publishes one complete store, never a
+    // torn interleaving through a shared temp path (within one process
+    // the CLI saves once, at exit)
+    let tmp = path.with_extension(format!("kb.tmp.{}", std::process::id()));
     std::fs::write(&tmp, &bytes)?;
     std::fs::rename(&tmp, path)?;
     Ok(SaveReport {

@@ -212,12 +212,7 @@ impl ModuleReport {
                     Json::UInt(r.sat_stats.bank_evictions as u64),
                 );
                 sat.set("funnel", funnel);
-                let mut solver = Json::object();
-                solver.set("conflicts", Json::UInt(r.sat_stats.solver_conflicts));
-                solver.set("propagations", Json::UInt(r.sat_stats.solver_propagations));
-                solver.set("learnts", Json::UInt(r.sat_stats.solver_learnts));
-                solver.set("resets", Json::UInt(r.sat_stats.solver_resets as u64));
-                sat.set("solver", solver);
+                sat.set("solver", solver_json(&r.sat_stats));
             }
             obj.set("sat_stats", sat);
             let mut rb = Json::object();
@@ -412,6 +407,27 @@ impl DesignReport {
         }
         obj
     }
+}
+
+/// Renders the CDCL solver counter block (timing JSON only: the solver's
+/// work profile shifts with whatever the cache layers absorb, even
+/// though its conclusive verdicts never do).
+pub(crate) fn solver_json(s: &smartly_core::sat_pass::SatPassStats) -> Json {
+    let mut solver = Json::object();
+    solver.set("conflicts", Json::UInt(s.solver_conflicts));
+    solver.set("propagations", Json::UInt(s.solver_propagations));
+    solver.set("learnts", Json::UInt(s.solver_learnts));
+    solver.set("lbd_core", Json::UInt(s.solver_lbd_core));
+    solver.set("reduces", Json::UInt(s.solver_reduces));
+    solver.set("arena_gcs", Json::UInt(s.solver_arena_gcs));
+    solver.set("rephases", Json::UInt(s.solver_rephases));
+    let mut kinds = Json::object();
+    kinds.set("best", Json::UInt(s.solver_rephase_best));
+    kinds.set("inverted", Json::UInt(s.solver_rephase_inverted));
+    kinds.set("original", Json::UInt(s.solver_rephase_original));
+    solver.set("rephase_kind", kinds);
+    solver.set("resets", Json::UInt(s.solver_resets as u64));
+    solver
 }
 
 /// Renders the persistent-knowledge counter block (timing JSON only).

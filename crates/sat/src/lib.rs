@@ -1,14 +1,23 @@
-//! A CDCL SAT solver in the MiniSAT lineage.
+//! A CDCL SAT solver in the MiniSAT lineage, on a modern data layout.
 //!
 //! The smaRTLy paper uses MiniSAT [Sörensson & Eén 2005] to decide whether a
 //! multiplexer control signal is constant under a path condition. This
-//! crate is a from-scratch Rust implementation of the same ingredient list:
+//! crate is a from-scratch Rust implementation of the same ingredient
+//! list, modernized where it pays in the hot loop:
 //!
-//! * two-watched-literal unit propagation with blocker literals,
-//! * VSIDS variable activity with an indexed max-heap,
+//! * a flat `u32` **clause arena** (header packs size/learnt/tier/LBD;
+//!   literals contiguous) with a compacting GC, so propagation is
+//!   cache-local and clause deletion is a header-bit flip,
+//! * two-watched-literal unit propagation with **blocking literals**
+//!   and in-place watch-list compaction,
+//! * VSIDS variable activity with an indexed max-heap (activity
+//!   rescales hoisted out of the per-bump hot path),
 //! * first-UIP conflict analysis with deep conflict-clause minimization
 //!   (MiniSAT 1.13's headline feature),
-//! * phase saving, Luby restarts, learnt-clause database reduction,
+//! * an **LBD-tiered learnt database** (core / tier2 / local, glucose
+//!   style) with periodic reduction,
+//! * best-phase saving plus **aspiration rephasing** (a CaDiCaL-style
+//!   best/inverted/original schedule at restarts), Luby restarts,
 //! * solving under assumptions and an optional conflict budget (the paper
 //!   bounds SAT effort with a threshold; [`Solver::set_conflict_budget`]
 //!   is the hook for that).

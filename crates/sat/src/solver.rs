@@ -1,4 +1,34 @@
 //! The CDCL search engine.
+//!
+//! # Data layout
+//!
+//! Clauses live in a single flat `u32` arena ([`Solver::arena`]): two
+//! header words (size/learnt/tier/LBD packed into one, the activity as
+//! `f32` bits in the other) followed by the literal codes, so unit
+//! propagation walks contiguous memory instead of chasing one heap
+//! allocation per clause. A clause reference is the word offset of its
+//! header. Deleting a clause only flips a header bit and counts the
+//! freed words; a compacting GC ([`Solver::garbage_collect`]) rebuilds
+//! the arena once a quarter of it is garbage, forwarding watcher and
+//! reason references through the old activity slots.
+//!
+//! # Learnt-clause management
+//!
+//! Learnt clauses are tiered by their literal-block distance (LBD,
+//! Audemard & Simon's glucose metric) computed at learn time: **core**
+//! (LBD ≤ 2 or binary — kept forever), **tier2** (LBD ≤ 6), and
+//! **local**. When the live non-core learnt count passes an adaptive
+//! limit, [`Solver::reduce_db`] deletes the worst half of the non-core
+//! tiers (local before tier2, high LBD before low, low activity before
+//! high), never touching reason ("locked") clauses.
+//!
+//! # Rephasing
+//!
+//! On top of best-phase saving (the deepest-trail snapshot), restarts
+//! walk a CaDiCaL-style aspiration schedule that alternates the best
+//! phases with their inversion and the original defaults, so search
+//! periodically explores the complement of its best basin instead of
+//! re-descending it forever.
 
 use crate::heap::ActivityHeap;
 use crate::{Lit, Var};
@@ -27,8 +57,20 @@ pub struct SolverStats {
     pub restarts: u64,
     /// Number of learnt clauses currently in the database.
     pub learnt_clauses: u64,
-    /// Number of best-phase rephasings applied at restarts.
+    /// Number of rephasings applied at restarts (all kinds).
     pub rephases: u64,
+    /// Rephasings that restored the best-phase snapshot.
+    pub rephase_best: u64,
+    /// Rephasings that inverted the best-phase snapshot.
+    pub rephase_inverted: u64,
+    /// Rephasings that restored the original default phases.
+    pub rephase_original: u64,
+    /// Learnt clauses that entered the core tier (LBD ≤ 2 or binary).
+    pub lbd_core: u64,
+    /// Learnt-database reductions performed.
+    pub reduces: u64,
+    /// Compacting arena garbage collections performed.
+    pub arena_gcs: u64,
 }
 
 /// Adds the other stats' monotone counters onto this one (used to carry
@@ -44,6 +86,12 @@ impl SolverStats {
         self.restarts += o.restarts;
         self.learnt_clauses += o.learnt_clauses;
         self.rephases += o.rephases;
+        self.rephase_best += o.rephase_best;
+        self.rephase_inverted += o.rephase_inverted;
+        self.rephase_original += o.rephase_original;
+        self.lbd_core += o.lbd_core;
+        self.reduces += o.reduces;
+        self.arena_gcs += o.arena_gcs;
     }
 }
 
@@ -54,18 +102,56 @@ enum LBool {
     Undef,
 }
 
-#[derive(Clone, Debug)]
-struct Clause {
-    lits: Vec<Lit>,
-    learnt: bool,
-    deleted: bool,
-    activity: f64,
-}
-
 #[derive(Copy, Clone, Debug)]
 struct Watcher {
     cref: u32,
+    /// A literal of the clause other than the watched one; when it is
+    /// already true the clause is satisfied and propagation never
+    /// touches the arena (MiniSAT 2.2's "blocker").
     blocker: Lit,
+}
+
+// ---------------------------------------------------------------------
+// Clause arena: header word 0 packs size | LBD | tier | learnt | deleted,
+// header word 1 holds the activity as f32 bits (or the forwarding
+// reference during GC), then `size` literal codes follow contiguously.
+// ---------------------------------------------------------------------
+
+/// Words before the literals of a clause.
+const HEADER_WORDS: usize = 2;
+/// Bits 0..20 of the header: clause size (≤ ~1M literals).
+const SIZE_BITS: u32 = 20;
+const SIZE_MASK: u32 = (1 << SIZE_BITS) - 1;
+/// Bits 20..28: LBD, saturated at 255.
+const LBD_SHIFT: u32 = 20;
+const LBD_MAX: u32 = 0xFF;
+/// Bits 28..30: tier.
+const TIER_SHIFT: u32 = 28;
+const TIER_MASK: u32 = 0b11;
+/// Bit 30: learnt flag.
+const LEARNT_BIT: u32 = 1 << 30;
+/// Bit 31: deleted (awaiting GC).
+const DELETED_BIT: u32 = 1 << 31;
+
+/// Learnt tiers, stored in the header. Originals carry `TIER_CORE`.
+const TIER_CORE: u32 = 0;
+const TIER_TIER2: u32 = 1;
+const TIER_LOCAL: u32 = 2;
+
+/// LBD at or below which a learnt clause is core (kept forever).
+const CORE_LBD: u32 = 2;
+/// LBD at or below which a learnt clause is tier2 (reduced reluctantly).
+const TIER2_LBD: u32 = 6;
+
+fn pack_header(size: usize, learnt: bool, tier: u32, lbd: u32) -> u32 {
+    debug_assert!(size as u32 <= SIZE_MASK);
+    let mut h = size as u32;
+    h |= lbd.min(LBD_MAX) << LBD_SHIFT;
+    h |= (tier & TIER_MASK) << TIER_SHIFT;
+    if learnt {
+        h |= LEARNT_BIT;
+    }
+    h
 }
 
 /// A CDCL SAT solver; see the [crate docs](crate) for an example.
@@ -75,7 +161,10 @@ struct Watcher {
 /// without permanently asserting them.
 #[derive(Clone, Debug)]
 pub struct Solver {
-    clauses: Vec<Clause>,
+    /// The flat clause store; see the module docs for the layout.
+    arena: Vec<u32>,
+    /// Words occupied by deleted clauses, pending compaction.
+    garbage: usize,
     watches: Vec<Vec<Watcher>>,
     assigns: Vec<LBool>,
     level: Vec<u32>,
@@ -86,6 +175,12 @@ pub struct Solver {
     activity: Vec<f64>,
     var_inc: f64,
     cla_inc: f64,
+    /// Deferred VSIDS rescale flags: bumps only set these; the walk over
+    /// every activity happens once per conflict at a safe point instead
+    /// of inside the bump loop (relative order is scale-invariant, so
+    /// deferral never perturbs the heap).
+    var_rescale_pending: bool,
+    cla_rescale_pending: bool,
     order: ActivityHeap,
     polarity: Vec<bool>,
     /// Best-phase cache: the full assignment at the deepest trail this
@@ -100,18 +195,47 @@ pub struct Solver {
     best_phase: Vec<bool>,
     /// Trail depth at which `best_phase` was last improved.
     best_trail: usize,
+    /// Position in the aspiration-rephasing schedule (advances once per
+    /// applied rephase, across `solve_with` calls).
+    rephase_index: u64,
     seen: Vec<bool>,
+    /// Level-stamp scratch for LBD computation (indexed by level).
+    lbd_seen: Vec<u32>,
+    lbd_stamp: u32,
     ok: bool,
     model: Vec<bool>,
     stats: SolverStats,
     conflict_budget: Option<u64>,
+    /// Live original (problem) clauses in the arena.
+    num_originals: usize,
+    /// Live non-core learnt clauses (the reducible population).
     num_learnts: usize,
+    /// Live core-tier learnt clauses (kept forever, not reducible).
+    num_core: usize,
     max_learnts: f64,
 }
 
 const VAR_DECAY: f64 = 1.0 / 0.95;
 const CLA_DECAY: f64 = 1.0 / 0.999;
 const RESTART_FIRST: u64 = 100;
+/// The aspiration-rephasing schedule walked at restarts (CaDiCaL-style:
+/// best phases dominate, with periodic excursions to their inversion and
+/// the original defaults).
+const REPHASE_SCHEDULE: [RephaseKind; 6] = [
+    RephaseKind::Best,
+    RephaseKind::Inverted,
+    RephaseKind::Best,
+    RephaseKind::Original,
+    RephaseKind::Best,
+    RephaseKind::Best,
+];
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum RephaseKind {
+    Best,
+    Inverted,
+    Original,
+}
 
 impl Default for Solver {
     fn default() -> Self {
@@ -123,7 +247,8 @@ impl Solver {
     /// Creates an empty solver.
     pub fn new() -> Self {
         Solver {
-            clauses: Vec::new(),
+            arena: Vec::new(),
+            garbage: 0,
             watches: Vec::new(),
             assigns: Vec::new(),
             level: Vec::new(),
@@ -134,16 +259,23 @@ impl Solver {
             activity: Vec::new(),
             var_inc: 1.0,
             cla_inc: 1.0,
+            var_rescale_pending: false,
+            cla_rescale_pending: false,
             order: ActivityHeap::new(),
             polarity: Vec::new(),
             best_phase: Vec::new(),
             best_trail: 0,
+            rephase_index: 0,
             seen: Vec::new(),
+            lbd_seen: vec![0],
+            lbd_stamp: 0,
             ok: true,
             model: Vec::new(),
             stats: SolverStats::default(),
             conflict_budget: None,
+            num_originals: 0,
             num_learnts: 0,
+            num_core: 0,
             max_learnts: 0.0,
         }
     }
@@ -158,6 +290,7 @@ impl Solver {
         self.polarity.push(false);
         self.best_phase.push(false);
         self.seen.push(false);
+        self.lbd_seen.push(0);
         self.watches.push(Vec::new());
         self.watches.push(Vec::new());
         self.order.insert(v.0, &self.activity);
@@ -172,7 +305,7 @@ impl Solver {
     /// Search statistics so far.
     pub fn stats(&self) -> SolverStats {
         let mut s = self.stats;
-        s.learnt_clauses = self.num_learnts as u64;
+        s.learnt_clauses = (self.num_learnts + self.num_core) as u64;
         s
     }
 
@@ -205,6 +338,66 @@ impl Solver {
                 }
             }
         }
+    }
+
+    // -- arena accessors ------------------------------------------------
+
+    fn clause_size(&self, cref: u32) -> usize {
+        (self.arena[cref as usize] & SIZE_MASK) as usize
+    }
+
+    fn clause_lit(&self, cref: u32, i: usize) -> Lit {
+        Lit(self.arena[cref as usize + HEADER_WORDS + i])
+    }
+
+    fn clause_is_learnt(&self, cref: u32) -> bool {
+        self.arena[cref as usize] & LEARNT_BIT != 0
+    }
+
+    fn clause_is_deleted(&self, cref: u32) -> bool {
+        self.arena[cref as usize] & DELETED_BIT != 0
+    }
+
+    fn clause_activity(&self, cref: u32) -> f32 {
+        f32::from_bits(self.arena[cref as usize + 1])
+    }
+
+    fn set_clause_activity(&mut self, cref: u32, a: f32) {
+        self.arena[cref as usize + 1] = a.to_bits();
+    }
+
+    /// Allocates a clause in the arena and returns its reference.
+    fn alloc_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> u32 {
+        assert!(
+            lits.len() as u32 <= SIZE_MASK,
+            "clause exceeds the arena size field"
+        );
+        let tier = if !learnt || lbd <= CORE_LBD || lits.len() == 2 {
+            // originals carry the core tag too; the learnt bit keeps
+            // them out of every learnt-only path
+            TIER_CORE
+        } else if lbd <= TIER2_LBD {
+            TIER_TIER2
+        } else {
+            TIER_LOCAL
+        };
+        let cref = self.arena.len() as u32;
+        self.arena.push(pack_header(lits.len(), learnt, tier, lbd));
+        self.arena.push(0f32.to_bits());
+        for l in lits {
+            self.arena.push(l.0);
+        }
+        if learnt {
+            if tier == TIER_CORE {
+                self.num_core += 1;
+                self.stats.lbd_core += 1;
+            } else {
+                self.num_learnts += 1;
+            }
+        } else {
+            self.num_originals += 1;
+        }
+        cref
     }
 
     /// Adds a clause; returns `false` if the solver became trivially
@@ -256,15 +449,15 @@ impl Solver {
                 self.ok
             }
             _ => {
-                self.attach_clause(out, false);
+                self.attach_clause(&out, false, 0);
                 true
             }
         }
     }
 
-    fn attach_clause(&mut self, lits: Vec<Lit>, learnt: bool) -> u32 {
+    fn attach_clause(&mut self, lits: &[Lit], learnt: bool, lbd: u32) -> u32 {
         debug_assert!(lits.len() >= 2);
-        let cref = self.clauses.len() as u32;
+        let cref = self.alloc_clause(lits, learnt, lbd);
         self.watches[lits[0].code()].push(Watcher {
             cref,
             blocker: lits[1],
@@ -273,23 +466,11 @@ impl Solver {
             cref,
             blocker: lits[0],
         });
-        if learnt {
-            self.num_learnts += 1;
-        }
-        self.clauses.push(Clause {
-            lits,
-            learnt,
-            deleted: false,
-            activity: 0.0,
-        });
         cref
     }
 
     fn detach_clause(&mut self, cref: u32) {
-        let (l0, l1) = {
-            let c = &self.clauses[cref as usize];
-            (c.lits[0], c.lits[1])
-        };
+        let (l0, l1) = (self.clause_lit(cref, 0), self.clause_lit(cref, 1));
         // Position lookup + swap_remove: O(1) removal once found, instead
         // of `retain`'s full compaction of the watch list. Clause-DB
         // reduction detaches half the learnts at once, so this runs hot.
@@ -299,6 +480,15 @@ impl Solver {
                 ws.swap_remove(pos);
             }
         }
+    }
+
+    /// Marks a (detached) clause deleted; the words are reclaimed by the
+    /// next [`Solver::garbage_collect`].
+    fn free_clause(&mut self, cref: u32) {
+        debug_assert!(!self.clause_is_deleted(cref));
+        let size = self.clause_size(cref);
+        self.arena[cref as usize] |= DELETED_BIT;
+        self.garbage += HEADER_WORDS + size;
     }
 
     fn decision_level(&self) -> usize {
@@ -319,6 +509,12 @@ impl Solver {
     }
 
     /// Unit propagation; returns the conflicting clause if any.
+    ///
+    /// Watch lists are compacted in place with a read/write cursor pair:
+    /// watchers that stay (satisfied blocker, updated blocker, unit or
+    /// conflict) are moved down at most once and the list is truncated at
+    /// the end — no `mem::take`/re-push round trip, and the arena is not
+    /// touched at all when the blocking literal is already true.
     fn propagate(&mut self) -> Option<u32> {
         let mut conflict = None;
         while self.qhead < self.trail.len() {
@@ -326,63 +522,74 @@ impl Solver {
             self.qhead += 1;
             self.stats.propagations += 1;
             let false_lit = !p;
-            // clauses watching `false_lit` must be fixed up
-            let mut ws = std::mem::take(&mut self.watches[false_lit.code()]);
-            let mut i = 0;
-            'watchers: while i < ws.len() {
-                let w = ws[i];
-                // fast path: blocker already true
+            let fcode = false_lit.code();
+            let n = self.watches[fcode].len();
+            let mut i = 0usize; // read cursor
+            let mut j = 0usize; // write cursor
+            'watchers: while i < n {
+                let w = self.watches[fcode][i];
+                // fast path: blocker already true — clause satisfied,
+                // watcher kept, arena untouched
                 if self.value_lit(w.blocker) == LBool::True {
+                    self.watches[fcode][j] = w;
                     i += 1;
+                    j += 1;
                     continue;
                 }
                 let cref = w.cref;
+                let base = cref as usize + HEADER_WORDS;
                 // make sure the false literal is at position 1
-                {
-                    let c = &mut self.clauses[cref as usize];
-                    if c.lits[0] == false_lit {
-                        c.lits.swap(0, 1);
-                    }
-                    debug_assert_eq!(c.lits[1], false_lit);
+                if self.arena[base] == false_lit.0 {
+                    self.arena.swap(base, base + 1);
                 }
-                let first = self.clauses[cref as usize].lits[0];
+                debug_assert_eq!(self.arena[base + 1], false_lit.0);
+                let first = Lit(self.arena[base]);
                 if first != w.blocker && self.value_lit(first) == LBool::True {
-                    ws[i] = Watcher {
+                    self.watches[fcode][j] = Watcher {
                         cref,
                         blocker: first,
                     };
                     i += 1;
+                    j += 1;
                     continue;
                 }
                 // look for a new literal to watch
-                let len = self.clauses[cref as usize].lits.len();
-                for k in 2..len {
-                    let lk = self.clauses[cref as usize].lits[k];
+                let size = (self.arena[cref as usize] & SIZE_MASK) as usize;
+                for k in 2..size {
+                    let lk = Lit(self.arena[base + k]);
                     if self.value_lit(lk) != LBool::False {
-                        let c = &mut self.clauses[cref as usize];
-                        c.lits.swap(1, k);
+                        self.arena.swap(base + 1, base + k);
+                        // `lk` is not false while `false_lit` is, so this
+                        // push never targets the list being compacted
                         self.watches[lk.code()].push(Watcher {
                             cref,
                             blocker: first,
                         });
-                        ws.swap_remove(i);
+                        i += 1; // watcher moved away: not re-written
                         continue 'watchers;
                     }
                 }
                 // no new watch: clause is unit or conflicting
-                ws[i] = Watcher {
+                self.watches[fcode][j] = Watcher {
                     cref,
                     blocker: first,
                 };
                 i += 1;
+                j += 1;
                 if self.value_lit(first) == LBool::False {
                     conflict = Some(cref);
                     self.qhead = self.trail.len();
+                    // keep the unvisited suffix: slide it down
+                    while i < n {
+                        self.watches[fcode][j] = self.watches[fcode][i];
+                        i += 1;
+                        j += 1;
+                    }
                     break;
                 }
                 self.unchecked_enqueue(first, Some(cref));
             }
-            self.watches[false_lit.code()] = ws;
+            self.watches[fcode].truncate(j);
             if conflict.is_some() {
                 break;
             }
@@ -393,20 +600,46 @@ impl Solver {
     fn var_bump(&mut self, v: Var) {
         self.activity[v.index()] += self.var_inc;
         if self.activity[v.index()] > 1e100 {
-            for a in &mut self.activity {
-                *a *= 1e-100;
-            }
-            self.var_inc *= 1e-100;
+            // rescaling preserves relative order, so it is deferred to
+            // one pass per conflict instead of running inside the
+            // bump-per-literal loop of conflict analysis
+            self.var_rescale_pending = true;
         }
         self.order.bump(v.0, &self.activity);
     }
 
     fn cla_bump(&mut self, cref: u32) {
-        let c = &mut self.clauses[cref as usize];
-        c.activity += self.cla_inc;
-        if c.activity > 1e20 {
-            for cl in &mut self.clauses {
-                cl.activity *= 1e-20;
+        if !self.clause_is_learnt(cref) {
+            return; // original clauses are never reduced: activity unused
+        }
+        let a = self.clause_activity(cref) + self.cla_inc as f32;
+        self.set_clause_activity(cref, a);
+        if a > 1e20 {
+            self.cla_rescale_pending = true;
+        }
+    }
+
+    /// Applies any rescale requested by `var_bump`/`cla_bump` since the
+    /// last conflict: one pass each, hoisted out of the bump hot paths.
+    fn apply_pending_rescales(&mut self) {
+        if self.var_rescale_pending {
+            self.var_rescale_pending = false;
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.var_inc *= 1e-100;
+        }
+        if self.cla_rescale_pending {
+            self.cla_rescale_pending = false;
+            let mut off = 0usize;
+            while off < self.arena.len() {
+                let h = self.arena[off];
+                let size = (h & SIZE_MASK) as usize;
+                if h & LEARNT_BIT != 0 && h & DELETED_BIT == 0 {
+                    let a = f32::from_bits(self.arena[off + 1]) * 1e-20;
+                    self.arena[off + 1] = a.to_bits();
+                }
+                off += HEADER_WORDS + size;
             }
             self.cla_inc *= 1e-20;
         }
@@ -416,9 +649,31 @@ impl Solver {
         1 << (self.level[v.index()] & 31)
     }
 
+    /// Literal-block distance: the number of distinct decision levels
+    /// among the clause's literals (glucose's quality metric; smaller is
+    /// better, ≤ 2 is "glue").
+    fn lbd_of(&mut self, lits: &[Lit]) -> u32 {
+        self.lbd_stamp = self.lbd_stamp.wrapping_add(1);
+        if self.lbd_stamp == 0 {
+            // wrapped: clear the stamps so stale matches are impossible
+            self.lbd_seen.iter_mut().for_each(|s| *s = 0);
+            self.lbd_stamp = 1;
+        }
+        let mut lbd = 0u32;
+        for l in lits {
+            let lvl = self.level[l.var().index()] as usize;
+            if self.lbd_seen[lvl] != self.lbd_stamp {
+                self.lbd_seen[lvl] = self.lbd_stamp;
+                lbd += 1;
+            }
+        }
+        lbd
+    }
+
     /// 1-UIP conflict analysis with deep clause minimization.
-    /// Returns (learnt clause with asserting literal first, backtrack level).
-    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, usize) {
+    /// Returns (learnt clause with asserting literal first, backtrack
+    /// level, LBD of the learnt clause).
+    fn analyze(&mut self, mut confl: u32) -> (Vec<Lit>, usize, u32) {
         let mut learnt: Vec<Lit> = vec![Lit(0)]; // slot for asserting literal
         let mut path_count = 0u32;
         let mut p: Option<Lit> = None;
@@ -428,8 +683,9 @@ impl Solver {
         loop {
             self.cla_bump(confl);
             let start = if p.is_none() { 0 } else { 1 };
-            let lits: Vec<Lit> = self.clauses[confl as usize].lits[start..].to_vec();
-            for q in lits {
+            let size = self.clause_size(confl);
+            for k in start..size {
+                let q = self.clause_lit(confl, k);
                 let v = q.var();
                 if !self.seen[v.index()] && self.level[v.index()] > 0 {
                     self.var_bump(v);
@@ -478,6 +734,9 @@ impl Solver {
             self.seen[v.index()] = false;
         }
 
+        // LBD at learn time (before unwinding destroys the levels)
+        let lbd = self.lbd_of(&learnt);
+
         // compute backtrack level; move the max-level literal to slot 1
         let bt_level = if learnt.len() == 1 {
             0
@@ -491,7 +750,7 @@ impl Solver {
             learnt.swap(1, max_i);
             self.level[learnt[1].var().index()] as usize
         };
-        (learnt, bt_level)
+        (learnt, bt_level, lbd)
     }
 
     /// Checks whether `p` is redundant w.r.t. the currently-seen literals
@@ -501,8 +760,9 @@ impl Solver {
         let top = to_clear.len();
         while let Some(q) = stack.pop() {
             let cref = self.reason[q.var().index()].expect("reason checked by caller");
-            let lits: Vec<Lit> = self.clauses[cref as usize].lits[1..].to_vec();
-            for l in lits {
+            let size = self.clause_size(cref);
+            for k in 1..size {
+                let l = self.clause_lit(cref, k);
                 let v = l.var();
                 if !self.seen[v.index()] && self.level[v.index()] > 0 {
                     if self.reason[v.index()].is_some()
@@ -551,31 +811,128 @@ impl Solver {
         None
     }
 
+    /// Halves the non-core learnt population: local-tier clauses go
+    /// before tier2, higher LBD before lower, lower activity before
+    /// higher. Core-tier clauses, binary clauses and reason ("locked")
+    /// clauses are never deleted. Compacts the arena afterwards when a
+    /// quarter of it is garbage.
     fn reduce_db(&mut self) {
-        // collect learnt, non-locked clause refs ordered by activity
-        let mut refs: Vec<u32> = (0..self.clauses.len() as u32)
-            .filter(|&c| {
-                let cl = &self.clauses[c as usize];
-                cl.learnt && !cl.deleted && cl.lits.len() > 2 && !self.is_locked(c)
-            })
-            .collect();
-        refs.sort_by(|&a, &b| {
-            self.clauses[a as usize]
-                .activity
-                .partial_cmp(&self.clauses[b as usize].activity)
-                .unwrap_or(std::cmp::Ordering::Equal)
+        self.stats.reduces += 1;
+        // (cref, tier, lbd, activity) of every reducible learnt
+        let mut refs: Vec<(u32, u32, u32, f32)> = Vec::with_capacity(self.num_learnts);
+        let mut off = 0usize;
+        while off < self.arena.len() {
+            let h = self.arena[off];
+            let size = (h & SIZE_MASK) as usize;
+            let cref = off as u32;
+            if h & LEARNT_BIT != 0
+                && h & DELETED_BIT == 0
+                && (h >> TIER_SHIFT) & TIER_MASK != TIER_CORE
+                && size > 2
+                && !self.is_locked(cref)
+            {
+                refs.push((
+                    cref,
+                    (h >> TIER_SHIFT) & TIER_MASK,
+                    (h >> LBD_SHIFT) & LBD_MAX,
+                    self.clause_activity(cref),
+                ));
+            }
+            off += HEADER_WORDS + size;
+        }
+        // victims first; cref as the deterministic tiebreaker
+        refs.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then(b.2.cmp(&a.2))
+                .then(a.3.partial_cmp(&b.3).unwrap_or(std::cmp::Ordering::Equal))
+                .then(a.0.cmp(&b.0))
         });
         let target = refs.len() / 2;
-        for &cref in refs.iter().take(target) {
+        for &(cref, ..) in refs.iter().take(target) {
             self.detach_clause(cref);
-            self.clauses[cref as usize].deleted = true;
+            self.free_clause(cref);
             self.num_learnts -= 1;
+        }
+        if self.garbage * 4 > self.arena.len() {
+            self.garbage_collect();
         }
     }
 
+    /// Compacts the arena: live clauses move down contiguously, watcher
+    /// and reason references are forwarded through the old activity
+    /// slots, and the freed words are reclaimed.
+    fn garbage_collect(&mut self) {
+        self.stats.arena_gcs += 1;
+        let mut new_arena: Vec<u32> = Vec::with_capacity(self.arena.len() - self.garbage);
+        let mut off = 0usize;
+        while off < self.arena.len() {
+            let h = self.arena[off];
+            let total = HEADER_WORDS + (h & SIZE_MASK) as usize;
+            if h & DELETED_BIT == 0 {
+                let new_cref = new_arena.len() as u32;
+                new_arena.extend_from_slice(&self.arena[off..off + total]);
+                // forward pointer for the remap passes below
+                self.arena[off + 1] = new_cref;
+            }
+            off += total;
+        }
+        let old = &self.arena;
+        for ws in &mut self.watches {
+            for w in ws.iter_mut() {
+                debug_assert!(old[w.cref as usize] & DELETED_BIT == 0);
+                w.cref = old[w.cref as usize + 1];
+            }
+        }
+        for r in self.reason.iter_mut().flatten() {
+            debug_assert!(old[*r as usize] & DELETED_BIT == 0);
+            *r = old[*r as usize + 1];
+        }
+        self.arena = new_arena;
+        self.garbage = 0;
+    }
+
     fn is_locked(&self, cref: u32) -> bool {
-        let first = self.clauses[cref as usize].lits[0];
+        let first = self.clause_lit(cref, 0);
         self.reason[first.var().index()] == Some(cref) && self.value_lit(first) == LBool::True
+    }
+
+    /// Applies the next step of the aspiration-rephasing schedule at a
+    /// restart boundary. `Best` restores the deepest-trail snapshot (a
+    /// no-op while no snapshot exists), `Inverted` installs its
+    /// complement, and `Original` resets to the default (all-false)
+    /// phases, so successive restarts descend into the best basin, its
+    /// mirror image, and virgin territory in turn.
+    fn aspiration_rephase(&mut self) {
+        let kind = REPHASE_SCHEDULE[(self.rephase_index % REPHASE_SCHEDULE.len() as u64) as usize];
+        match kind {
+            RephaseKind::Best => {
+                if self.best_trail == 0 {
+                    return; // nothing recorded yet: keep current phases
+                }
+                self.polarity.copy_from_slice(&self.best_phase);
+                self.stats.rephase_best += 1;
+            }
+            RephaseKind::Inverted => {
+                if self.best_trail > 0 {
+                    for (p, &b) in self.polarity.iter_mut().zip(&self.best_phase) {
+                        *p = !b;
+                    }
+                } else {
+                    for p in &mut self.polarity {
+                        *p = !*p;
+                    }
+                }
+                self.stats.rephase_inverted += 1;
+            }
+            RephaseKind::Original => {
+                for p in &mut self.polarity {
+                    *p = false;
+                }
+                self.stats.rephase_original += 1;
+            }
+        }
+        self.rephase_index += 1;
+        self.stats.rephases += 1;
     }
 
     /// Solves the current formula with no assumptions.
@@ -597,7 +954,7 @@ impl Solver {
                 "assumption on unallocated variable"
             );
         }
-        self.max_learnts = (self.clause_count() as f64 / 3.0).max(100.0);
+        self.max_learnts = (self.num_originals as f64 / 3.0).max(100.0);
         let budget_start = self.stats.conflicts;
         // the best-phase snapshot is per call: polarity carries the
         // previous call's final phases in, and restarts inside this call
@@ -613,13 +970,7 @@ impl Solver {
                     restarts += 1;
                     self.stats.restarts += 1;
                     self.max_learnts *= 1.05;
-                    // progress saving: resume near the most satisfied
-                    // assignment this call has seen (skipped while no
-                    // snapshot exists yet)
-                    if self.best_trail > 0 {
-                        self.stats.rephases += 1;
-                        self.polarity.copy_from_slice(&self.best_phase);
-                    }
+                    self.aspiration_rephase();
                 }
                 SearchOutcome::BudgetExhausted => break SolveResult::Unknown,
             }
@@ -629,13 +980,6 @@ impl Solver {
         }
         self.cancel_until(0);
         result
-    }
-
-    fn clause_count(&self) -> usize {
-        self.clauses
-            .iter()
-            .filter(|c| !c.deleted && !c.learnt)
-            .count()
     }
 
     fn search(
@@ -668,12 +1012,12 @@ impl Solver {
                 if self.decision_level() <= assumptions.len() {
                     // analyze to be sure the conflict does not depend on
                     // assumption-free levels; a simple sound answer:
-                    let (learnt, bt) = self.analyze(confl);
+                    let (learnt, bt, lbd) = self.analyze(confl);
                     if bt < assumptions.len() {
                         // learnt clause asserts at a level inside the
                         // assumption prefix: record it and retry there
                         self.cancel_until(bt);
-                        self.record_learnt(learnt);
+                        self.record_learnt(learnt, lbd);
                         if self.decision_level() == 0 && self.propagate().is_some() {
                             self.ok = false;
                             return SearchOutcome::Unsat;
@@ -681,12 +1025,12 @@ impl Solver {
                         continue;
                     }
                     self.cancel_until(bt);
-                    self.record_learnt(learnt);
+                    self.record_learnt(learnt, lbd);
                     continue;
                 }
-                let (learnt, bt) = self.analyze(confl);
+                let (learnt, bt, lbd) = self.analyze(confl);
                 self.cancel_until(bt);
-                self.record_learnt(learnt);
+                self.record_learnt(learnt, lbd);
                 self.var_inc *= VAR_DECAY;
                 self.cla_inc *= CLA_DECAY;
                 if let Some(b) = self.conflict_budget {
@@ -734,7 +1078,9 @@ impl Solver {
         }
     }
 
-    fn record_learnt(&mut self, learnt: Vec<Lit>) {
+    fn record_learnt(&mut self, learnt: Vec<Lit>, lbd: u32) {
+        // one pass per conflict, hoisted out of the per-bump branches
+        self.apply_pending_rescales();
         if learnt.len() == 1 {
             self.cancel_until(0);
             if self.value_lit(learnt[0]) == LBool::Undef {
@@ -744,7 +1090,7 @@ impl Solver {
             }
         } else {
             let first = learnt[0];
-            let cref = self.attach_clause(learnt, true);
+            let cref = self.attach_clause(&learnt, true, lbd);
             self.cla_bump(cref);
             self.unchecked_enqueue(first, Some(cref));
         }
@@ -827,12 +1173,41 @@ mod tests {
         }
     }
 
+    fn pigeonhole(s: &mut Solver, n: usize, m: usize) {
+        let var = |i: usize, j: usize| (i * m + j + 1) as i32;
+        for i in 0..n {
+            let c: Vec<i32> = (0..m).map(|j| var(i, j)).collect();
+            cnf(s, &[&c]);
+        }
+        for j in 0..m {
+            for i1 in 0..n {
+                for i2 in (i1 + 1)..n {
+                    cnf(s, &[&[-var(i1, j), -var(i2, j)]]);
+                }
+            }
+        }
+    }
+
     #[test]
     fn luby_sequence() {
         let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
         for (i, &e) in expect.iter().enumerate() {
             assert_eq!(luby(i as u64), e, "luby({i})");
         }
+    }
+
+    #[test]
+    fn header_packs_and_unpacks() {
+        let h = pack_header(17, true, TIER_TIER2, 5);
+        assert_eq!(h & SIZE_MASK, 17);
+        assert_eq!((h >> LBD_SHIFT) & LBD_MAX, 5);
+        assert_eq!((h >> TIER_SHIFT) & TIER_MASK, TIER_TIER2);
+        assert_ne!(h & LEARNT_BIT, 0);
+        assert_eq!(h & DELETED_BIT, 0);
+        // LBD saturates instead of overflowing into the tier bits
+        let h = pack_header(3, true, TIER_LOCAL, 1_000);
+        assert_eq!((h >> LBD_SHIFT) & LBD_MAX, LBD_MAX);
+        assert_eq!((h >> TIER_SHIFT) & TIER_MASK, TIER_LOCAL);
     }
 
     #[test]
@@ -864,40 +1239,15 @@ mod tests {
 
     #[test]
     fn pigeonhole_3_into_2_unsat() {
-        // p_ij: pigeon i in hole j; vars laid out 1..=6
         let mut s = Solver::new();
-        let var = |i: usize, j: usize| (i * 2 + j + 1) as i32;
-        for i in 0..3 {
-            let c: Vec<i32> = (0..2).map(|j| var(i, j)).collect();
-            cnf(&mut s, &[&c]);
-        }
-        for j in 0..2 {
-            for i1 in 0..3 {
-                for i2 in (i1 + 1)..3 {
-                    cnf(&mut s, &[&[-var(i1, j), -var(i2, j)]]);
-                }
-            }
-        }
+        pigeonhole(&mut s, 3, 2);
         assert_eq!(s.solve(), SolveResult::Unsat);
     }
 
     #[test]
     fn pigeonhole_5_into_4_unsat() {
         let mut s = Solver::new();
-        let n = 5usize;
-        let m = 4usize;
-        let var = |i: usize, j: usize| (i * m + j + 1) as i32;
-        for i in 0..n {
-            let c: Vec<i32> = (0..m).map(|j| var(i, j)).collect();
-            cnf(&mut s, &[&c]);
-        }
-        for j in 0..m {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    cnf(&mut s, &[&[-var(i1, j), -var(i2, j)]]);
-                }
-            }
-        }
+        pigeonhole(&mut s, 5, 4);
         assert_eq!(s.solve(), SolveResult::Unsat);
         assert!(s.stats().conflicts > 0);
     }
@@ -947,20 +1297,7 @@ mod tests {
     fn budget_returns_unknown() {
         // php(7,6) is hard enough to exceed a 5-conflict budget
         let mut s = Solver::new();
-        let n = 7usize;
-        let m = 6usize;
-        let var = |i: usize, j: usize| (i * m + j + 1) as i32;
-        for i in 0..n {
-            let c: Vec<i32> = (0..m).map(|j| var(i, j)).collect();
-            cnf(&mut s, &[&c]);
-        }
-        for j in 0..m {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    cnf(&mut s, &[&[-var(i1, j), -var(i2, j)]]);
-                }
-            }
-        }
+        pigeonhole(&mut s, 7, 6);
         s.set_conflict_budget(Some(5));
         assert_eq!(s.solve(), SolveResult::Unknown);
         s.set_conflict_budget(None);
@@ -970,27 +1307,34 @@ mod tests {
     #[test]
     fn restart_heavy_search_rephases_from_best_phase() {
         // php(6,5): unsatisfiable and hard enough to restart several
-        // times, so best-phase rephasing must both fire and leave the
+        // times, so aspiration rephasing must both fire and leave the
         // verdict untouched
         let mut s = Solver::new();
-        let n = 6usize;
-        let m = 5usize;
-        let var = |i: usize, j: usize| (i * m + j + 1) as i32;
-        for i in 0..n {
-            let c: Vec<i32> = (0..m).map(|j| var(i, j)).collect();
-            cnf(&mut s, &[&c]);
-        }
-        for j in 0..m {
-            for i1 in 0..n {
-                for i2 in (i1 + 1)..n {
-                    cnf(&mut s, &[&[-var(i1, j), -var(i2, j)]]);
-                }
-            }
-        }
+        pigeonhole(&mut s, 6, 5);
         assert_eq!(s.solve(), SolveResult::Unsat);
-        assert!(s.stats().restarts > 0, "instance must restart");
-        assert!(s.stats().rephases > 0, "rephasing must fire");
-        assert!(s.stats().rephases <= s.stats().restarts);
+        let st = s.stats();
+        assert!(st.restarts > 0, "instance must restart");
+        assert!(st.rephases > 0, "rephasing must fire");
+        assert!(st.rephases <= st.restarts);
+        // every applied rephase lands in exactly one histogram bucket
+        assert_eq!(
+            st.rephases,
+            st.rephase_best + st.rephase_inverted + st.rephase_original
+        );
+    }
+
+    #[test]
+    fn learnt_tiers_and_reduction_preserve_verdicts() {
+        // php(7,6) generates thousands of conflicts: the learnt database
+        // must pass its limit, reduce (and usually GC) at least once, and
+        // still prove UNSAT
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 7, 6);
+        assert_eq!(s.solve(), SolveResult::Unsat);
+        let st = s.stats();
+        assert!(st.conflicts > 500, "expected a hard instance: {st:?}");
+        assert!(st.reduces > 0, "learnt DB must reduce: {st:?}");
+        assert!(st.lbd_core > 0, "glue clauses must be found: {st:?}");
     }
 
     #[test]
@@ -1002,11 +1346,23 @@ mod tests {
             restarts: 4,
             learnt_clauses: 5,
             rephases: 6,
+            rephase_best: 3,
+            rephase_inverted: 2,
+            rephase_original: 1,
+            lbd_core: 7,
+            reduces: 8,
+            arena_gcs: 9,
         };
         a.absorb(&a.clone());
         assert_eq!(a.conflicts, 2);
         assert_eq!(a.propagations, 6);
         assert_eq!(a.rephases, 12);
+        assert_eq!(a.rephase_best, 6);
+        assert_eq!(a.rephase_inverted, 4);
+        assert_eq!(a.rephase_original, 2);
+        assert_eq!(a.lbd_core, 14);
+        assert_eq!(a.reduces, 16);
+        assert_eq!(a.arena_gcs, 18);
     }
 
     #[test]

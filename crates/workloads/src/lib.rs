@@ -90,6 +90,39 @@ pub fn knowledge_probes(variants: usize, cones: usize, and_width: u32) -> Vec<Mo
         .collect()
 }
 
+/// A SAT-heavy stress design for the CDCL solver itself: every mux
+/// select is an adder-commutativity miter, `(a + b) == (b + a)`, which
+/// is constant-true but only provably so by real conflict-driven search
+/// — the random prefilter witnesses the true polarity instantly and
+/// never the false one, and the UNSAT proof of "can it be false?" walks
+/// a carry-chain refutation that generates hundreds-to-thousands of
+/// conflicts. Widths grow by one per cone (`bits`, `bits + 1`, …) so
+/// the cones are *not* isomorphic and the per-module verdict memo
+/// cannot shortcut them: each query hits the shared incremental solver,
+/// piling learnt clauses into one database until tier-based reduction
+/// and the compacting arena GC fire.
+///
+/// One module holds all `cones`: the corpus runner uses this as the
+/// timing-only solver bench exercising the learnt-clause tiers
+/// (`lbd_core`), `reduce_db` (`reduces`), arena compaction
+/// (`arena_gcs`) and aspiration rephasing on a real query stream.
+pub fn solver_stress(cones: usize, bits: u32) -> Vec<Module> {
+    let mut m = Module::new("solver_stress");
+    for c in 0..cones {
+        let w = bits + c as u32;
+        let a = m.add_input(&format!("a{c}"), w);
+        let b = m.add_input(&format!("b{c}"), w);
+        let p = m.add_input(&format!("p{c}"), 4);
+        let q = m.add_input(&format!("q{c}"), 4);
+        let ab = m.add(&a, &b);
+        let ba = m.add(&b, &a);
+        let sel = m.eq(&ab, &ba);
+        let y = m.mux(&q, &p, &sel);
+        m.add_output(&format!("y{c}"), &y);
+    }
+    vec![m]
+}
+
 /// One benchmark case: a name, a description and generated Verilog.
 #[derive(Clone, Debug)]
 pub struct BenchCase {

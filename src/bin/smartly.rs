@@ -4,7 +4,7 @@
 //! smartly opt <file.v> [--level yosys|sat|rebuild|full] [--jobs N]
 //!             [--verify] [--json report.json] [-o out.v]
 //!             [--max-cells N] [--timeout-ms N] [--no-memo]
-//! smartly stats <file.v>
+//! smartly stats <file.v> [--solver] [--level L]
 //! smartly corpus [--scale tiny|small|paper] [--jobs N] [--verify]
 //!                [--json BENCH_driver.json] [--digest digest.json]
 //! ```
@@ -42,7 +42,12 @@ const USAGE: &str = "smartly — SAT-based RTL optimization (smaRTLy reproductio
 USAGE:
   smartly opt <file.v> [OPTIONS]     parse, optimize all modules in
                                      parallel, and emit Verilog
-  smartly stats <file.v>             per-module cell statistics
+  smartly stats <file.v> [--solver]  per-module cell statistics; with
+                                     --solver (optionally --level L) also
+                                     optimize a scratch copy and print
+                                     the per-design CDCL solver summary
+                                     (conflicts, learnt tiers, reduces,
+                                     arena GCs, rephase histogram)
   smartly corpus [OPTIONS]           run the public workload suite and
                                      print a Table-III-style summary
 
@@ -245,7 +250,10 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
-    let input = positional(args.to_vec(), "input file")?;
+    let mut args = args.to_vec();
+    let solver = take_flag(&mut args, "--solver");
+    let level = take_value(&mut args, &["--level"])?;
+    let input = positional(args, "input file")?;
     let design = compile_file(&input)?;
     for (i, is_top, module) in design.iter_with_top() {
         let marker = if is_top { " (top)" } else { "" };
@@ -254,6 +262,32 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         if i + 1 < design.len() {
             outln!();
         }
+    }
+    if solver || level.is_some() {
+        // run the pipeline on a scratch copy and surface the per-design
+        // solver/funnel summary, so ablations over one design do not
+        // need the corpus runner
+        let mut opts = DriverOptions::default();
+        if let Some(level) = level {
+            opts.level = level_from_str(&level)
+                .ok_or_else(|| format!("unknown level '{level}' (yosys|sat|rebuild|full)"))?;
+        }
+        let mut scratch = design;
+        let report = optimize_design(&mut scratch, &opts).map_err(|e| e.to_string())?;
+        let mut sat = smartly_core::sat_pass::SatPassStats::default();
+        for m in &report.modules {
+            if let Some(r) = &m.report {
+                sat.absorb(&r.sat_stats);
+            }
+        }
+        outln!();
+        outln!(
+            "solver ({} level): {} queries ({} to SAT), {}",
+            opts.level.name(),
+            sat.queries,
+            sat.by_sat,
+            sat.solver_summary(),
+        );
     }
     Ok(())
 }
