@@ -1,0 +1,22 @@
+use smartly_sat::{Lit, SolveResult, Solver, Var};
+
+fn lit_of(l: i32) -> Lit {
+    Lit::new(Var::from_index(l.unsigned_abs() as usize - 1), l > 0)
+}
+
+#[test]
+fn duplicate_assumptions_with_conflict() {
+    // 3 vars: a=1, x=2, y=3; UNSAT core over x,y so any decision on x
+    // conflicts. Duplicated assumptions open dummy decision levels, so
+    // the conflicting decision lands at level 4 > nvars.
+    let mut s = Solver::new();
+    for _ in 0..3 {
+        s.new_var();
+    }
+    for c in [[2, 3], [-2, 3], [2, -3], [-2, -3]] {
+        s.add_clause(c.iter().map(|&l| lit_of(l)));
+    }
+    let a = lit_of(1);
+    let r = s.solve_with(&[a, a, a]);
+    assert_eq!(r, SolveResult::Unsat);
+}
