@@ -62,8 +62,8 @@ pub mod subgraph;
 
 pub use pipeline::{OptLevel, Pipeline, PipelineReport};
 pub use query_engine::{
-    QueryEngine, QueryEngineOptions, QueryEngineStats, SharedCexBank, SharedVectors,
-    SharedVerdictStore, VerdictMemo,
+    FunnelProfile, Layer, QueryEngine, QueryEngineOptions, QueryEngineStats, SharedCexBank,
+    SharedVectors, SharedVerdictStore, VerdictMemo,
 };
 pub use restructure::{restructure, RestructureOptions};
 pub use sat_pass::{sat_redundancy, sat_redundancy_with, SatRedundancyOptions, SweepContext};

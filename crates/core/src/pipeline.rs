@@ -6,6 +6,7 @@ use crate::sat_pass::{sat_redundancy_with, SatPassStats, SatRedundancyOptions, S
 use smartly_aig::{aig_area, check_equiv, EquivOptions, EquivResult};
 use smartly_netlist::{Module, NetlistError};
 use smartly_opt::{baseline_optimize, clean_pipeline};
+use smartly_telemetry::{ArgValue, TraceHandle};
 use std::sync::Arc;
 
 /// Which optimizations run (paper Table III columns).
@@ -179,6 +180,21 @@ impl Pipeline {
         module: &mut Module,
         level: OptLevel,
     ) -> Result<PipelineReport, NetlistError> {
+        self.run_traced(module, level, &TraceHandle::disabled())
+    }
+
+    /// [`Pipeline::run`] with a span recorder: rounds and passes emit
+    /// `round` / `pass:*` spans, and the SAT sweeps' query engines emit
+    /// nested `query` / `sat_call` spans into the same handle.
+    ///
+    /// Telemetry only: the optimization performed — and every counter in
+    /// the returned report — is identical with a disabled handle.
+    pub fn run_traced(
+        &self,
+        module: &mut Module,
+        level: OptLevel,
+        trace: &TraceHandle,
+    ) -> Result<PipelineReport, NetlistError> {
         let original = if self.verify {
             Some(module.clone())
         } else {
@@ -189,7 +205,10 @@ impl Pipeline {
             ..Default::default()
         };
 
-        report.baseline_rewrites += baseline_optimize(module);
+        {
+            let _span = trace.scope("pass:baseline");
+            report.baseline_rewrites += baseline_optimize(module);
+        }
 
         // cross-round sweep state: the verdict memo persists over the
         // rounds below, with begin_round's dirty-set protocol dropping
@@ -197,10 +216,13 @@ impl Pipeline {
         // so later rounds skip re-deciding unchanged cones
         let mut sweep_ctx =
             SweepContext::new(self.shared_bank.clone(), self.shared_verdicts.clone());
+        sweep_ctx.trace = trace.clone();
 
-        for _ in 0..self.rounds {
+        for round in 0..self.rounds {
+            let _round_span = trace.scope_with("round", &[("index", ArgValue::U64(round as u64))]);
             let mut changed = false;
             if matches!(level, OptLevel::RebuildOnly | OptLevel::Full) {
+                let _span = trace.scope("pass:rebuild");
                 let st = restructure(module, &self.rebuild);
                 changed |= st.rebuilt > 0;
                 report.rebuild_stats.candidates += st.candidates;
@@ -211,6 +233,7 @@ impl Pipeline {
                 report.cells_cleaned += clean_pipeline(module, 8);
             }
             if matches!(level, OptLevel::SatOnly | OptLevel::Full) {
+                let _span = trace.scope("pass:sat");
                 // the fingerprint pass only pays off when the engine (and
                 // therefore the cross-round memo) is actually in play
                 if self.sat.incremental {
@@ -228,10 +251,14 @@ impl Pipeline {
                 break;
             }
         }
-        report.cells_cleaned += clean_pipeline(module, 8);
+        {
+            let _span = trace.scope("pass:clean");
+            report.cells_cleaned += clean_pipeline(module, 8);
+        }
 
         report.area_after = aig_area(module)?;
         if let Some(orig) = original {
+            let _span = trace.scope("pass:verify");
             let r = check_equiv(&orig, module, &EquivOptions::default())?;
             report.equivalence = Some(r);
         }

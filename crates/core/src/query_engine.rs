@@ -54,8 +54,10 @@ use crate::subgraph::{query_key, query_key_and_shape, ConeShape, SubGraph};
 use smartly_netlist::{CellId, Module, NetIndex, Port, SigBit, TriVal};
 use smartly_sat::{Lit, SolveResult, SolverStats, TseitinEncoder};
 use smartly_sim::{compile_cone, ConeProgram, ConeSim};
+use smartly_telemetry::{ArgValue, Histogram, TraceHandle};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Which funnel layer terminated a query.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -78,6 +80,90 @@ pub enum Layer {
     Sat,
     /// No layer ran (query skipped as too large).
     None,
+}
+
+impl Layer {
+    /// Every layer, in funnel order — the index into
+    /// [`FunnelProfile::latency_by_layer`] and the canonical order for
+    /// rendering per-layer telemetry.
+    pub const ALL: [Layer; 8] = [
+        Layer::Memo,
+        Layer::DesignVerdict,
+        Layer::CexReplay,
+        Layer::SharedCex,
+        Layer::Prefilter,
+        Layer::Simulation,
+        Layer::Sat,
+        Layer::None,
+    ];
+
+    /// Stable snake_case name (JSON keys, trace span args).
+    pub fn name(self) -> &'static str {
+        match self {
+            Layer::Memo => "memo",
+            Layer::DesignVerdict => "disk_verdict",
+            Layer::CexReplay => "cex_replay",
+            Layer::SharedCex => "shared_cex",
+            Layer::Prefilter => "prefilter",
+            Layer::Simulation => "simulation",
+            Layer::Sat => "sat",
+            Layer::None => "skipped",
+        }
+    }
+
+    /// Index of this layer in [`Layer::ALL`].
+    pub fn index(self) -> usize {
+        match self {
+            Layer::Memo => 0,
+            Layer::DesignVerdict => 1,
+            Layer::CexReplay => 2,
+            Layer::SharedCex => 3,
+            Layer::Prefilter => 4,
+            Layer::Simulation => 5,
+            Layer::Sat => 6,
+            Layer::None => 7,
+        }
+    }
+}
+
+/// Always-on latency/work distributions for the query funnel.
+///
+/// Recording costs two `Instant::now` calls per query (plus two per SAT
+/// solve), so the profile rides inside the regular stats structs rather
+/// than behind the `--trace` flag — but like every histogram it may only
+/// ever surface in timing JSON and traces, never in a digest.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FunnelProfile {
+    /// Query wall latency (µs), bucketed by the layer that terminated
+    /// the query (indexed per [`Layer::index`]).
+    pub latency_by_layer: [Histogram; 8],
+    /// Wall time (µs) per individual incremental `solve_with` call.
+    pub sat_call_us: Histogram,
+    /// CDCL propagations per individual solve call.
+    pub sat_call_propagations: Histogram,
+    /// CDCL conflicts per individual solve call.
+    pub sat_call_conflicts: Histogram,
+}
+
+impl FunnelProfile {
+    /// Component-wise histogram merge.
+    pub fn absorb(&mut self, o: &FunnelProfile) {
+        for (a, b) in self
+            .latency_by_layer
+            .iter_mut()
+            .zip(o.latency_by_layer.iter())
+        {
+            a.absorb(b);
+        }
+        self.sat_call_us.absorb(&o.sat_call_us);
+        self.sat_call_propagations.absorb(&o.sat_call_propagations);
+        self.sat_call_conflicts.absorb(&o.sat_call_conflicts);
+    }
+
+    /// Total queries profiled (sum over all layer histograms).
+    pub fn queries(&self) -> u64 {
+        self.latency_by_layer.iter().map(|h| h.count()).sum()
+    }
 }
 
 /// A design-lifetime counterexample bank shared between the query
@@ -241,6 +327,9 @@ pub struct QueryEngineStats {
     pub solver_resets: usize,
     /// CDCL search statistics, accumulated across solver resets.
     pub solver: SolverStats,
+    /// Always-on latency/work distributions (timing JSON only — never
+    /// digest material).
+    pub profile: FunnelProfile,
 }
 
 /// A cone-verdict memo that outlives a single sweep: the cross-round
@@ -348,6 +437,8 @@ pub struct QueryEngine<'m> {
     /// solver stats accumulated from solvers dropped at resets
     solver_base: SolverStats,
     stats: QueryEngineStats,
+    /// span recorder (disabled by default; see [`QueryEngine::set_trace`])
+    trace: TraceHandle,
 }
 
 fn mask(v: bool) -> u64 {
@@ -410,7 +501,16 @@ impl<'m> QueryEngine<'m> {
             verdicts,
             solver_base: SolverStats::default(),
             stats: QueryEngineStats::default(),
+            trace: TraceHandle::disabled(),
         }
+    }
+
+    /// Attaches a span recorder: subsequent queries emit `query` spans
+    /// (with layer attribution) and nested `sat_call` spans into it.
+    /// Telemetry only — verdicts are identical with or without a
+    /// recorder attached.
+    pub fn set_trace(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Consumes the engine, handing the verdict memo back for the next
@@ -436,6 +536,22 @@ impl<'m> QueryEngine<'m> {
     /// witnesses) → exhaustive simulation or incremental SAT, with the
     /// same sim/SAT/skip routing as [`crate::decide::decide`].
     pub fn decide(&mut self, sub: &SubGraph, assign: &HashMap<SigBit, bool>) -> (Decision, Layer) {
+        let started = Instant::now();
+        self.trace
+            .begin_with("query", &[("cells", ArgValue::U64(sub.cells.len() as u64))]);
+        let (d, layer) = self.decide_inner(sub, assign);
+        self.stats.profile.latency_by_layer[layer.index()]
+            .record(started.elapsed().as_micros() as u64);
+        self.trace
+            .end_with(&[("layer", ArgValue::Str(layer.name()))]);
+        (d, layer)
+    }
+
+    fn decide_inner(
+        &mut self,
+        sub: &SubGraph,
+        assign: &HashMap<SigBit, bool>,
+    ) -> (Decision, Layer) {
         self.stats.queries += 1;
         // one cone traversal builds the memo key — and, when a shared
         // bank is attached, the cone shape riding on the same pass
@@ -545,6 +661,7 @@ impl<'m> QueryEngine<'m> {
         let (d, layer, conclusive) = match choice {
             EngineChoice::Sim => {
                 self.stats.by_sim += 1;
+                let _span = self.trace.scope("layer:simulation");
                 let d = if prog.has_x() || prog.slot(target).is_none() {
                     // constant-x cones need exact three-valued semantics;
                     // empty cones have nothing to replay
@@ -557,6 +674,7 @@ impl<'m> QueryEngine<'m> {
             }
             EngineChoice::Sat => {
                 self.stats.by_sat += 1;
+                let _span = self.trace.scope("layer:sat");
                 let (d, budget_limited) = self.sat_layer(
                     sub,
                     &prog,
@@ -829,7 +947,35 @@ impl<'m> QueryEngine<'m> {
             this.stats.sat_solves += 1;
             let mut a = assumptions.clone();
             a.push(polarity);
+            let base = this.enc.solver().stats();
+            let started = Instant::now();
+            this.trace.begin("sat_call");
             let r = this.enc.solve_with(&a);
+            let delta = this.enc.solver().stats().since(&base);
+            this.stats
+                .profile
+                .sat_call_us
+                .record(started.elapsed().as_micros() as u64);
+            this.stats
+                .profile
+                .sat_call_propagations
+                .record(delta.propagations);
+            this.stats
+                .profile
+                .sat_call_conflicts
+                .record(delta.conflicts);
+            this.trace.end_with(&[
+                (
+                    "result",
+                    ArgValue::Str(match r {
+                        SolveResult::Sat => "sat",
+                        SolveResult::Unsat => "unsat",
+                        SolveResult::Unknown => "unknown",
+                    }),
+                ),
+                ("conflicts", ArgValue::U64(delta.conflicts)),
+                ("propagations", ArgValue::U64(delta.propagations)),
+            ]);
             if r == SolveResult::Sat {
                 this.capture_model(prog, shape);
             }

@@ -10,7 +10,8 @@
 use crate::decide::{decide, DecideOptions, Decision, Engine};
 use crate::inference::{propagate, InferOutcome};
 use crate::query_engine::{
-    Layer, QueryEngine, QueryEngineOptions, SharedCexBank, SharedVerdictStore, VerdictMemo,
+    FunnelProfile, Layer, QueryEngine, QueryEngineOptions, SharedCexBank, SharedVerdictStore,
+    VerdictMemo,
 };
 use crate::subgraph::{extract_cached, ConeCache, SubgraphStats};
 use smartly_netlist::{CellId, CellKind, Module, NetIndex, Port, SigBit, SigSpec, TriVal};
@@ -101,6 +102,10 @@ pub struct SweepContext {
     /// (serves disk-loaded entries, accumulates this run's conclusive
     /// verdicts for saving).
     pub verdicts: Option<Arc<dyn SharedVerdictStore>>,
+    /// Span recorder handed to each sweep's query engine (disabled by
+    /// default). `Rc`-based, so a context carrying a live recorder is
+    /// deliberately not `Send` — one worker owns one module's sweeps.
+    pub trace: smartly_telemetry::TraceHandle,
     /// Cell fingerprints at the end of the previous round, if any.
     fingerprints: Option<HashMap<CellId, u64>>,
 }
@@ -116,6 +121,7 @@ impl SweepContext {
             memo: VerdictMemo::new(),
             shared,
             verdicts,
+            trace: smartly_telemetry::TraceHandle::disabled(),
             fingerprints: None,
         }
     }
@@ -210,6 +216,9 @@ pub struct SatPassStats {
     pub solver_rephase_inverted: u64,
     /// Rephasings that restored the original default phases.
     pub solver_rephase_original: u64,
+    /// Per-layer latency and per-SAT-call work distributions (timing
+    /// JSON only — never digest material).
+    pub profile: FunnelProfile,
 }
 
 impl SatPassStats {
@@ -270,6 +279,7 @@ impl SatPassStats {
         self.solver_rephase_best += o.solver_rephase_best;
         self.solver_rephase_inverted += o.solver_rephase_inverted;
         self.solver_rephase_original += o.solver_rephase_original;
+        self.profile.absorb(&o.profile);
     }
 }
 
@@ -367,7 +377,7 @@ pub fn sat_redundancy_with(
     // until the pins are applied at the end), seeded from the context's
     // carried memo and shared bank
     let engine: Option<std::cell::RefCell<QueryEngine>> = if options.incremental {
-        Some(std::cell::RefCell::new(QueryEngine::with_state(
+        let mut eng = QueryEngine::with_state(
             module,
             &index,
             QueryEngineOptions {
@@ -380,7 +390,9 @@ pub fn sat_redundancy_with(
             std::mem::take(&mut ctx.memo),
             ctx.shared.clone(),
             ctx.verdicts.clone(),
-        )))
+        );
+        eng.set_trace(ctx.trace.clone());
+        Some(std::cell::RefCell::new(eng))
     } else {
         None
     };
@@ -618,6 +630,7 @@ pub fn sat_redundancy_with(
         stats.solver_rephase_best = es.solver.rephase_best;
         stats.solver_rephase_inverted = es.solver.rephase_inverted;
         stats.solver_rephase_original = es.solver.rephase_original;
+        stats.profile = es.profile;
         ctx.memo = eng.into_memo();
     }
     for (id, port, offset, value) in pins {

@@ -5,10 +5,12 @@
 use crate::engine::{optimize_design, DriverOptions};
 use crate::json::Json;
 use crate::persist::{KbReport, KnowledgeState};
+use crate::report::{funnel_counters, funnel_hist_json, Verbosity};
 use crate::DriverError;
 use smartly_core::sat_pass::SatPassStats;
 use smartly_core::OptLevel;
 use smartly_netlist::Design;
+use smartly_telemetry::Trace;
 use smartly_workloads::{public_corpus, Scale};
 use std::fmt;
 use std::sync::Arc;
@@ -33,6 +35,10 @@ pub struct CorpusOptions {
     /// starts warm and accumulates into one store. `None` keeps the
     /// previous behavior (fresh in-process state per level run).
     pub knowledge_state: Option<Arc<KnowledgeState>>,
+    /// Record span traces for every level run and both benches into
+    /// [`CorpusReport::traces`] (one merged trace per run, named after
+    /// it). Purely observational; the digest artifact is unaffected.
+    pub trace: bool,
 }
 
 impl Default for CorpusOptions {
@@ -43,6 +49,7 @@ impl Default for CorpusOptions {
             verify: false,
             share_knowledge: true,
             knowledge_state: None,
+            trace: false,
         }
     }
 }
@@ -168,6 +175,11 @@ pub struct CorpusReport {
     /// [`KnowledgeState`] (timing artifact only: every field depends on
     /// warm-start state and warm digests must match cold ones).
     pub kb: Option<KbReport>,
+    /// Span traces collected when [`CorpusOptions::trace`] was on: one
+    /// per level run (`corpus-<level>`) plus the two benches. Written to
+    /// separate files by `smartly corpus --trace-dir`, never embedded in
+    /// the JSON artifact.
+    pub traces: Vec<Trace>,
 }
 
 /// Runs the public corpus at every [`OptLevel`] with the engine's
@@ -195,6 +207,7 @@ pub fn run_public_corpus(opts: &CorpusOptions) -> Result<CorpusReport, DriverErr
         .map(|c| c.compile())
         .collect::<Result<_, _>>()?;
 
+    let mut traces: Vec<Trace> = Vec::new();
     for level in OptLevel::ALL {
         let mut design = Design::from_modules(pristine.clone());
         let driver_opts = DriverOptions {
@@ -203,11 +216,16 @@ pub fn run_public_corpus(opts: &CorpusOptions) -> Result<CorpusReport, DriverErr
             verify: opts.verify,
             share_knowledge: opts.share_knowledge,
             knowledge_state: opts.knowledge_state.clone(),
+            trace: opts.trace,
             // circuits are all distinct; skip the hashing pass
             memoize: false,
             ..Default::default()
         };
-        let report = optimize_design(&mut design, &driver_opts)?;
+        let mut report = optimize_design(&mut design, &driver_opts)?;
+        if let Some(mut t) = report.trace.take() {
+            t.name = format!("corpus-{}", level.name());
+            traces.push(t);
+        }
         for (row, module) in rows.iter_mut().zip(&report.modules) {
             if let Some(r) = &module.report {
                 row.area_original = r.area_before;
@@ -221,15 +239,18 @@ pub fn run_public_corpus(opts: &CorpusOptions) -> Result<CorpusReport, DriverErr
             }
         }
     }
-    let knowledge_bench = Some(run_knowledge_bench(opts)?);
-    let solver_bench = Some(run_solver_bench(opts)?);
+    let (knowledge_bench, kb_trace) = run_knowledge_bench(opts)?;
+    traces.extend(kb_trace);
+    let (solver_bench, sb_trace) = run_solver_bench(opts)?;
+    traces.extend(sb_trace);
     Ok(CorpusReport {
         scale: opts.scale,
         rows,
-        knowledge_bench,
-        solver_bench,
+        knowledge_bench: Some(knowledge_bench),
+        solver_bench: Some(solver_bench),
         // sampled after every level + the benches: cumulative disk hits
         kb: opts.knowledge_state.as_ref().map(|s| s.kb_report()),
+        traces,
     })
 }
 
@@ -237,7 +258,9 @@ pub fn run_public_corpus(opts: &CorpusOptions) -> Result<CorpusReport, DriverErr
 /// workload where cross-module counterexample sharing pays (each cone's
 /// rare polarity needs a SAT witness the prefilter cannot find — unless
 /// a sibling module already published it).
-fn run_knowledge_bench(opts: &CorpusOptions) -> Result<KnowledgeBench, DriverError> {
+fn run_knowledge_bench(
+    opts: &CorpusOptions,
+) -> Result<(KnowledgeBench, Option<Trace>), DriverError> {
     let modules = smartly_workloads::knowledge_probes(8, 4, 12);
     let n = modules.len();
     let mut design = Design::from_modules(modules);
@@ -247,11 +270,16 @@ fn run_knowledge_bench(opts: &CorpusOptions) -> Result<KnowledgeBench, DriverErr
         verify: opts.verify,
         share_knowledge: opts.share_knowledge,
         knowledge_state: opts.knowledge_state.clone(),
+        trace: opts.trace,
         ..Default::default()
     };
     let started = std::time::Instant::now();
-    let report = optimize_design(&mut design, &driver_opts)?;
+    let mut report = optimize_design(&mut design, &driver_opts)?;
     let wall = started.elapsed();
+    let trace = report.trace.take().map(|mut t| {
+        t.name = "corpus-knowledge_bench".to_string();
+        t
+    });
     let (mut queries, mut by_shared_cex) = (0usize, 0usize);
     for m in &report.modules {
         if let Some(r) = &m.report {
@@ -259,17 +287,23 @@ fn run_knowledge_bench(opts: &CorpusOptions) -> Result<KnowledgeBench, DriverErr
             by_shared_cex += r.sat_stats.by_shared_cex;
         }
     }
-    let (published, hits) = report.knowledge.map_or((0, 0), |k| (k.published, k.hits));
-    Ok(KnowledgeBench {
-        modules: n,
-        shared: opts.share_knowledge,
-        queries,
-        by_shared_cex,
-        published,
-        hits,
-        area_after: report.area_after(),
-        wall,
-    })
+    let (published, hits) = report
+        .knowledge
+        .as_ref()
+        .map_or((0, 0), |k| (k.published, k.hits));
+    Ok((
+        KnowledgeBench {
+            modules: n,
+            shared: opts.share_knowledge,
+            queries,
+            by_shared_cex,
+            published,
+            hits,
+            area_after: report.area_after(),
+            wall,
+        },
+        trace,
+    ))
 }
 
 /// Runs the CDCL stress design once at `SatOnly`: every cone's mux
@@ -277,7 +311,7 @@ fn run_knowledge_bench(opts: &CorpusOptions) -> Result<KnowledgeBench, DriverErr
 /// conflict-driven search, so the solver's tier/reduction/GC/rephasing
 /// machinery demonstrably fires on a corpus run (cold state; a warm
 /// knowledge file answers these queries from disk instead).
-fn run_solver_bench(opts: &CorpusOptions) -> Result<SolverBench, DriverError> {
+fn run_solver_bench(opts: &CorpusOptions) -> Result<(SolverBench, Option<Trace>), DriverError> {
     let cones = 4;
     let modules = smartly_workloads::solver_stress(cones, 10);
     let mut design = Design::from_modules(modules);
@@ -287,24 +321,32 @@ fn run_solver_bench(opts: &CorpusOptions) -> Result<SolverBench, DriverError> {
         verify: opts.verify,
         share_knowledge: opts.share_knowledge,
         knowledge_state: opts.knowledge_state.clone(),
+        trace: opts.trace,
         ..Default::default()
     };
     let started = std::time::Instant::now();
-    let report = optimize_design(&mut design, &driver_opts)?;
+    let mut report = optimize_design(&mut design, &driver_opts)?;
     let wall = started.elapsed();
+    let trace = report.trace.take().map(|mut t| {
+        t.name = "corpus-solver_bench".to_string();
+        t
+    });
     let mut sat = SatPassStats::default();
     for m in &report.modules {
         if let Some(r) = &m.report {
             sat.absorb(&r.sat_stats);
         }
     }
-    Ok(SolverBench {
-        cones,
-        queries: sat.queries,
-        sat,
-        area_after: report.area_after(),
-        wall,
-    })
+    Ok((
+        SolverBench {
+            cones,
+            queries: sat.queries,
+            sat,
+            area_after: report.area_after(),
+            wall,
+        },
+        trace,
+    ))
 }
 
 impl CorpusReport {
@@ -356,22 +398,12 @@ impl CorpusReport {
                         q.set("queries", Json::UInt(lr.sat.queries as u64));
                         q.set("by_inference", Json::UInt(lr.sat.by_inference as u64));
                         if include_timing {
-                            q.set("by_memo", Json::UInt(lr.sat.by_memo as u64));
-                            q.set("memo_carryover", Json::UInt(lr.sat.memo_carryover as u64));
-                            q.set("by_disk_verdict", Json::UInt(lr.sat.by_disk_verdict as u64));
-                            q.set(
-                                "verdicts_published",
-                                Json::UInt(lr.sat.verdicts_published as u64),
-                            );
-                            q.set("by_sim", Json::UInt(lr.sat.by_sim as u64));
-                            q.set("by_sat", Json::UInt(lr.sat.by_sat as u64));
-                            q.set("by_cex", Json::UInt(lr.sat.by_cex as u64));
-                            q.set("by_shared_cex", Json::UInt(lr.sat.by_shared_cex as u64));
-                            q.set("by_prefilter", Json::UInt(lr.sat.by_prefilter as u64));
-                            q.set(
-                                "prefilter_rounds",
-                                Json::UInt(lr.sat.prefilter_rounds as u64),
-                            );
+                            // same registry as the module report: one
+                            // registration point defines key names/order
+                            for (name, value) in funnel_counters(&lr.sat).iter() {
+                                q.set(name, Json::UInt(value));
+                            }
+                            q.set("funnel_hist", funnel_hist_json(&lr.sat.profile));
                             q.set("solver", crate::report::solver_json(&lr.sat));
                         }
                         l.set("query_funnel", q);
@@ -426,31 +458,40 @@ impl CorpusReport {
     }
 }
 
-impl fmt::Display for CorpusReport {
-    /// Table-III-style summary: per-method reduction vs the Yosys
-    /// baseline.
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "{:<16} {:>10} {:>10} {:>8} {:>8} {:>8}",
-            "circuit", "original", "yosys", "sat%", "rebuild%", "full%"
-        )?;
-        for row in &self.rows {
-            let yosys = row.level(OptLevel::Baseline).map_or(0, |l| l.area_after);
-            let pct = |level| {
-                row.reduction_vs_baseline(level)
-                    .map_or("-".to_string(), |r| format!("{:.2}", 100.0 * r))
-            };
+impl CorpusReport {
+    /// Table-III-style summary at an explicit verbosity: `Quiet` drops
+    /// the per-circuit rows (the totals and bench lines remain), which
+    /// is what CI logs want. `Display` delegates here with `Normal`.
+    pub fn render_human(&self, verbosity: Verbosity) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, verbosity).expect("write");
+        out
+    }
+
+    fn render_into(&self, f: &mut impl fmt::Write, verbosity: Verbosity) -> fmt::Result {
+        if verbosity != Verbosity::Quiet {
             writeln!(
                 f,
                 "{:<16} {:>10} {:>10} {:>8} {:>8} {:>8}",
-                row.name,
-                row.area_original,
-                yosys,
-                pct(OptLevel::SatOnly),
-                pct(OptLevel::RebuildOnly),
-                pct(OptLevel::Full),
+                "circuit", "original", "yosys", "sat%", "rebuild%", "full%"
             )?;
+            for row in &self.rows {
+                let yosys = row.level(OptLevel::Baseline).map_or(0, |l| l.area_after);
+                let pct = |level| {
+                    row.reduction_vs_baseline(level)
+                        .map_or("-".to_string(), |r| format!("{:.2}", 100.0 * r))
+                };
+                writeln!(
+                    f,
+                    "{:<16} {:>10} {:>10} {:>8} {:>8} {:>8}",
+                    row.name,
+                    row.area_original,
+                    yosys,
+                    pct(OptLevel::SatOnly),
+                    pct(OptLevel::RebuildOnly),
+                    pct(OptLevel::Full),
+                )?;
+            }
         }
         let wall: Duration = self
             .rows
@@ -536,5 +577,13 @@ impl fmt::Display for CorpusReport {
             )?;
         }
         Ok(())
+    }
+}
+
+impl fmt::Display for CorpusReport {
+    /// Table-III-style summary: per-method reduction vs the Yosys
+    /// baseline.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.render_into(f, Verbosity::Normal)
     }
 }

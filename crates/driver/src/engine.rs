@@ -7,6 +7,7 @@ use crate::persist::KnowledgeState;
 use crate::report::{DesignReport, ModuleOutcome, ModuleReport};
 use smartly_core::{OptLevel, Pipeline, SharedCexBank, SharedVerdictStore};
 use smartly_netlist::{Design, Module, NetlistError};
+use smartly_telemetry::{ArgValue, SpanEvent, Trace, TraceClock, TraceHandle};
 use std::collections::HashMap;
 use std::hash::Hasher;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -52,6 +53,13 @@ pub struct DriverOptions {
     /// default) runs cold with in-process state only. Ignored when
     /// `share_knowledge` is off.
     pub knowledge_state: Option<Arc<KnowledgeState>>,
+    /// Record hierarchical spans (module → round → pass → query → SAT
+    /// call) into per-module trace buffers and attach the merged
+    /// [`Trace`] to [`DesignReport::trace`]. Purely observational:
+    /// counters, areas, and `--digest` output are byte-identical with
+    /// tracing on or off (latency histograms are always collected either
+    /// way — only span recording is gated here).
+    pub trace: bool,
     /// Base pipeline configuration; `verify` above overrides its flag,
     /// and `share_knowledge` above overrides its `shared_bank` and
     /// `shared_verdicts`.
@@ -70,6 +78,7 @@ impl Default for DriverOptions {
             share_knowledge: true,
             knowledge_capacity: crate::knowledge::DEFAULT_KNOWLEDGE_CAPACITY,
             knowledge_state: None,
+            trace: false,
             pipeline: Pipeline::default(),
         }
     }
@@ -140,6 +149,10 @@ struct Slot {
     module: Module,
     done: Option<ModuleReport>,
     error: Option<NetlistError>,
+    /// Finished span events for this module's optimization. The
+    /// recording handle is `Rc`-based and never leaves the worker; only
+    /// this plain (and `Send`) event vector crosses back.
+    trace: Option<Vec<SpanEvent>>,
 }
 
 /// Optimizes every module of `design` in place and returns the aggregate
@@ -195,6 +208,7 @@ pub fn optimize_design(
                 module: m,
                 done: None,
                 error: None,
+                trace: None,
             })
         })
         .collect();
@@ -221,6 +235,10 @@ pub fn optimize_design(
     pipeline.shared_verdicts = verdicts.map(|v| v as Arc<dyn SharedVerdictStore>);
 
     let jobs = opts.effective_jobs(work.len());
+    // One clock for the whole design run so per-module tracks share a
+    // time base when merged. `TraceClock` is `Copy`, so each worker gets
+    // its own copy and builds a thread-confined recording handle from it.
+    let clock = opts.trace.then(TraceClock::start);
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..jobs {
@@ -228,7 +246,7 @@ pub fn optimize_design(
                 let w = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(&idx) = work.get(w) else { break };
                 let mut slot = slots[idx].lock().expect("slot poisoned");
-                run_one(&mut slot, &pipeline, opts);
+                run_one(&mut slot, &pipeline, opts, clock);
             });
         }
     });
@@ -237,6 +255,9 @@ pub fn optimize_design(
     let mut reports: Vec<ModuleReport> = Vec::with_capacity(n);
     let mut out_modules: Vec<Option<Module>> = (0..n).map(|_| None).collect();
     let mut first_error: Option<NetlistError> = None;
+    // Per-module trace tracks, collected in design order so the merged
+    // trace is structurally deterministic regardless of worker schedule.
+    let mut tracks: Vec<(String, Vec<SpanEvent>)> = Vec::new();
 
     let mut finished: Vec<Slot> = slots
         .into_iter()
@@ -256,6 +277,9 @@ pub fn optimize_design(
                 .done
                 .take()
                 .unwrap_or_else(|| ModuleReport::untouched(&slot.module));
+            if let Some(events) = slot.trace.take() {
+                tracks.push((report.name.clone(), events));
+            }
             reports.push(report);
             out_modules[i] = Some(std::mem::replace(&mut slot.module, Module::new("")));
         } else {
@@ -285,10 +309,17 @@ pub fn optimize_design(
     if opts.share_knowledge {
         report.kb = opts.knowledge_state.as_ref().map(|s| s.kb_report());
     }
+    if opts.trace {
+        let mut trace = Trace::new(format!("smartly-{}", opts.level.name()));
+        for (label, events) in tracks {
+            trace.push_track(label, events);
+        }
+        report.trace = Some(trace);
+    }
     Ok(report)
 }
 
-fn run_one(slot: &mut Slot, pipeline: &Pipeline, opts: &DriverOptions) {
+fn run_one(slot: &mut Slot, pipeline: &Pipeline, opts: &DriverOptions, clock: Option<TraceClock>) {
     let cells_before = slot.module.live_cell_count();
     if let Some(limit) = opts.max_cells {
         if cells_before > limit {
@@ -309,8 +340,21 @@ fn run_one(slot: &mut Slot, pipeline: &Pipeline, opts: &DriverOptions) {
     // timeout budget. Lives only while this worker runs this module, so
     // peak overhead is one module per worker, not per design.
     let original = slot.module.clone();
+    let trace = match clock {
+        Some(clock) => TraceHandle::recording(clock),
+        None => TraceHandle::disabled(),
+    };
+    trace.begin_with("module", &[("cells", ArgValue::U64(cells_before as u64))]);
     let t0 = Instant::now();
-    match pipeline.run(&mut slot.module, opts.level) {
+    let result = pipeline.run_traced(&mut slot.module, opts.level, &trace);
+    trace.end_with(&[(
+        "cells_after",
+        ArgValue::U64(slot.module.live_cell_count() as u64),
+    )]);
+    // By here every pipeline-internal clone of the handle has been
+    // dropped, so `finish` yields the events (or `None` when disabled).
+    slot.trace = trace.finish();
+    match result {
         Ok(report) => {
             let wall = t0.elapsed();
             if let Some(budget) = opts.timeout {

@@ -24,7 +24,12 @@
 //!   [`DesignReport::digest`] is byte-identical across `jobs` settings;
 //! * [`emit_design`] — post-optimization Verilog for the whole design;
 //! * [`run_public_corpus`] — the benchmark harness behind
-//!   `smartly corpus` and the `BENCH_driver.json` artifact.
+//!   `smartly corpus` and the `BENCH_driver.json` artifact;
+//! * **observability** ([`trace`]) — opt-in hierarchical span traces
+//!   (module → round → pass → query → SAT call) exported as Chrome
+//!   trace-event JSON, plus always-on latency histograms in the timing
+//!   report. Purely observational: `--digest` output is byte-identical
+//!   with tracing on or off.
 //!
 //! # Example
 //!
@@ -63,6 +68,7 @@ pub mod json;
 pub mod knowledge;
 pub mod persist;
 mod report;
+pub mod trace;
 
 pub use corpus::{
     run_public_corpus, scale_from_str, CorpusOptions, CorpusReport, CorpusRow, KnowledgeBench,
@@ -71,7 +77,8 @@ pub use corpus::{
 pub use engine::{level_from_str, optimize_design, structural_key, DriverOptions};
 pub use knowledge::{DesignVerdictStore, KnowledgeBase, KnowledgeStats, VerdictStoreStats};
 pub use persist::{load_state, save_state, KbReport, KnowledgeState, SaveReport, StoreKey};
-pub use report::{DesignReport, ModuleOutcome, ModuleReport};
+pub use report::{DesignReport, ModuleOutcome, ModuleReport, Verbosity};
+pub use trace::{chrome_trace_json, LayerAgg, SpanAgg, TraceSummary};
 
 use smartly_netlist::{Design, NetlistError};
 use smartly_verilog::{emit_verilog, VerilogError};

@@ -25,10 +25,24 @@ use crate::json::Json;
 use crate::knowledge::KnowledgeStats;
 use crate::persist::KbReport;
 use smartly_aig::EquivResult;
-use smartly_core::{OptLevel, PipelineReport};
+use smartly_core::sat_pass::SatPassStats;
+use smartly_core::{FunnelProfile, Layer, OptLevel, PipelineReport};
 use smartly_netlist::Module;
+use smartly_telemetry::{Counters, Histogram, Trace};
 use std::fmt;
 use std::time::Duration;
+
+/// How much of the per-module detail the human rendering prints.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum Verbosity {
+    /// Totals only — per-module lines suppressed (`--quiet`).
+    Quiet,
+    /// Header, one line per module, totals (the default `Display`).
+    #[default]
+    Normal,
+    /// `Normal` plus funnel/solver/knowledge counter lines (`-v`).
+    Verbose,
+}
 
 /// How the driver handled one module.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -177,41 +191,8 @@ impl ModuleReport {
                 // layer attribution shifts with scheduling once the
                 // shared bank is on, and with warm-start state once a
                 // knowledge file is loaded; solver counters likewise
-                let mut funnel = Json::object();
-                funnel.set("by_memo", Json::UInt(r.sat_stats.by_memo as u64));
-                funnel.set(
-                    "memo_carryover",
-                    Json::UInt(r.sat_stats.memo_carryover as u64),
-                );
-                funnel.set(
-                    "memo_invalidated",
-                    Json::UInt(r.sat_stats.memo_invalidated as u64),
-                );
-                funnel.set(
-                    "by_disk_verdict",
-                    Json::UInt(r.sat_stats.by_disk_verdict as u64),
-                );
-                funnel.set(
-                    "verdicts_published",
-                    Json::UInt(r.sat_stats.verdicts_published as u64),
-                );
-                funnel.set("by_cex", Json::UInt(r.sat_stats.by_cex as u64));
-                funnel.set(
-                    "by_shared_cex",
-                    Json::UInt(r.sat_stats.by_shared_cex as u64),
-                );
-                funnel.set("by_prefilter", Json::UInt(r.sat_stats.by_prefilter as u64));
-                funnel.set(
-                    "prefilter_rounds",
-                    Json::UInt(r.sat_stats.prefilter_rounds as u64),
-                );
-                funnel.set("by_sim", Json::UInt(r.sat_stats.by_sim as u64));
-                funnel.set("by_sat", Json::UInt(r.sat_stats.by_sat as u64));
-                funnel.set(
-                    "bank_evictions",
-                    Json::UInt(r.sat_stats.bank_evictions as u64),
-                );
-                sat.set("funnel", funnel);
+                sat.set("funnel", counters_json(&funnel_counters(&r.sat_stats)));
+                sat.set("funnel_hist", funnel_hist_json(&r.sat_stats.profile));
                 sat.set("solver", solver_json(&r.sat_stats));
             }
             obj.set("sat_stats", sat);
@@ -281,6 +262,11 @@ pub struct DesignReport {
     /// match cold ones byte-for-byte). `entries_written` stays 0 until
     /// the caller saves the store and records the result.
     pub kb: Option<KbReport>,
+    /// Merged span trace, present when the run enabled
+    /// [`crate::DriverOptions::trace`]. A separate artifact: it is
+    /// exported via [`crate::trace::chrome_trace_json`], never embedded
+    /// in the report JSON, and never part of [`DesignReport::digest`].
+    pub trace: Option<Trace>,
 }
 
 impl DesignReport {
@@ -298,6 +284,7 @@ impl DesignReport {
             wall,
             knowledge: None,
             kb: None,
+            trace: None,
         }
     }
 
@@ -351,6 +338,21 @@ impl DesignReport {
         } else {
             Some(verdicts.into_iter().all(|v| v))
         }
+    }
+
+    /// Sum of per-module SAT-pass stats over actually optimized modules
+    /// (memo hits share their representative's report and would
+    /// double-count).
+    pub fn sat_totals(&self) -> SatPassStats {
+        let mut total = SatPassStats::default();
+        for m in &self.modules {
+            if matches!(m.outcome, ModuleOutcome::Optimized) {
+                if let Some(r) = &m.report {
+                    total.absorb(&r.sat_stats);
+                }
+            }
+        }
+        total
     }
 
     /// Full machine-readable report, including wall times.
@@ -409,18 +411,93 @@ impl DesignReport {
     }
 }
 
+/// The query-funnel attribution counters as one insertion-ordered
+/// registry: a single registration point defines both the key names and
+/// the key order, and every renderer (module timing JSON, corpus
+/// `query_funnel` block, verbose human output) iterates the same
+/// registry instead of hand-threading field lists.
+pub(crate) fn funnel_counters(s: &SatPassStats) -> Counters {
+    let mut c = Counters::new();
+    c.add("by_memo", s.by_memo as u64)
+        .add("memo_carryover", s.memo_carryover as u64)
+        .add("memo_invalidated", s.memo_invalidated as u64)
+        .add("by_disk_verdict", s.by_disk_verdict as u64)
+        .add("verdicts_published", s.verdicts_published as u64)
+        .add("by_cex", s.by_cex as u64)
+        .add("by_shared_cex", s.by_shared_cex as u64)
+        .add("by_prefilter", s.by_prefilter as u64)
+        .add("prefilter_rounds", s.prefilter_rounds as u64)
+        .add("by_sim", s.by_sim as u64)
+        .add("by_sat", s.by_sat as u64)
+        .add("bank_evictions", s.bank_evictions as u64);
+    c
+}
+
+/// The CDCL solver's flat counters as a registry (the nested
+/// `rephase_kind` breakdown stays structural in [`solver_json`]).
+pub(crate) fn solver_counters(s: &SatPassStats) -> Counters {
+    let mut c = Counters::new();
+    c.add("conflicts", s.solver_conflicts)
+        .add("propagations", s.solver_propagations)
+        .add("learnts", s.solver_learnts)
+        .add("lbd_core", s.solver_lbd_core)
+        .add("reduces", s.solver_reduces)
+        .add("arena_gcs", s.solver_arena_gcs)
+        .add("rephases", s.solver_rephases);
+    c
+}
+
+/// Renders a counter registry as a JSON object in registration order.
+pub(crate) fn counters_json(c: &Counters) -> Json {
+    let mut obj = Json::object();
+    for (name, value) in c.iter() {
+        obj.set(name, Json::UInt(value));
+    }
+    obj
+}
+
+/// Renders one log2-bucketed histogram: total count/sum plus the
+/// non-empty buckets as `[bucket_floor, count]` pairs. Empty histograms
+/// render with an empty bucket list so the key set stays stable.
+pub(crate) fn hist_json(h: &Histogram) -> Json {
+    let mut obj = Json::object();
+    obj.set("count", Json::UInt(h.count()));
+    obj.set("sum", Json::UInt(h.sum()));
+    obj.set(
+        "buckets",
+        Json::Array(
+            h.nonzero_buckets()
+                .into_iter()
+                .map(|(floor, count)| Json::Array(vec![Json::UInt(floor), Json::UInt(count)]))
+                .collect(),
+        ),
+    );
+    obj
+}
+
+/// Renders the always-on latency profile: one latency histogram per
+/// funnel layer (all eight keys present, empty or not, so the timing
+/// schema is stable) plus the per-SAT-call work histograms.
+pub(crate) fn funnel_hist_json(p: &FunnelProfile) -> Json {
+    let mut layers = Json::object();
+    for layer in Layer::ALL {
+        layers.set(layer.name(), hist_json(&p.latency_by_layer[layer.index()]));
+    }
+    let mut sat_call = Json::object();
+    sat_call.set("us", hist_json(&p.sat_call_us));
+    sat_call.set("propagations", hist_json(&p.sat_call_propagations));
+    sat_call.set("conflicts", hist_json(&p.sat_call_conflicts));
+    let mut obj = Json::object();
+    obj.set("latency_us", layers);
+    obj.set("sat_call", sat_call);
+    obj
+}
+
 /// Renders the CDCL solver counter block (timing JSON only: the solver's
 /// work profile shifts with whatever the cache layers absorb, even
 /// though its conclusive verdicts never do).
-pub(crate) fn solver_json(s: &smartly_core::sat_pass::SatPassStats) -> Json {
-    let mut solver = Json::object();
-    solver.set("conflicts", Json::UInt(s.solver_conflicts));
-    solver.set("propagations", Json::UInt(s.solver_propagations));
-    solver.set("learnts", Json::UInt(s.solver_learnts));
-    solver.set("lbd_core", Json::UInt(s.solver_lbd_core));
-    solver.set("reduces", Json::UInt(s.solver_reduces));
-    solver.set("arena_gcs", Json::UInt(s.solver_arena_gcs));
-    solver.set("rephases", Json::UInt(s.solver_rephases));
+pub(crate) fn solver_json(s: &SatPassStats) -> Json {
+    let mut solver = counters_json(&solver_counters(s));
     let mut kinds = Json::object();
     kinds.set("best", Json::UInt(s.solver_rephase_best));
     kinds.set("inverted", Json::UInt(s.solver_rephase_inverted));
@@ -447,47 +524,107 @@ pub(crate) fn kb_json(k: &KbReport) -> Json {
     kb
 }
 
-impl fmt::Display for DesignReport {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+impl DesignReport {
+    /// Human rendering at an explicit verbosity. `Display` delegates
+    /// here with [`Verbosity::Normal`]; `--quiet` drops the per-module
+    /// lines and `-v` appends funnel/solver/knowledge counter lines.
+    pub fn render_human(&self, verbosity: Verbosity) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
         writeln!(
-            f,
+            out,
             "design: {} modules, level {}, {} jobs, {:.1} ms",
             self.modules.len(),
             self.level.name(),
             self.jobs,
             self.wall.as_secs_f64() * 1e3,
-        )?;
-        for m in &self.modules {
-            let verdict = match m.verified_equivalent() {
-                Some(true) => " [equiv]",
-                Some(false) => " [NOT EQUIV]",
-                None => "",
-            };
-            match (&m.outcome, &m.report) {
-                (ModuleOutcome::MemoHit { of }, Some(r)) => writeln!(
-                    f,
-                    "  {:<24} memo({of}): area {} -> {}{verdict}",
-                    m.name, r.area_before, r.area_after
-                )?,
-                (_, Some(r)) => writeln!(
-                    f,
-                    "  {:<24} area {} -> {} ({:.2}%){verdict} in {:.1} ms",
-                    m.name,
-                    r.area_before,
-                    r.area_after,
-                    100.0 * r.reduction(),
-                    m.wall.as_secs_f64() * 1e3,
-                )?,
-                (outcome, None) => writeln!(f, "  {:<24} {}", m.name, outcome.tag())?,
+        )
+        .expect("write");
+        if verbosity != Verbosity::Quiet {
+            for m in &self.modules {
+                let verdict = match m.verified_equivalent() {
+                    Some(true) => " [equiv]",
+                    Some(false) => " [NOT EQUIV]",
+                    None => "",
+                };
+                match (&m.outcome, &m.report) {
+                    (ModuleOutcome::MemoHit { of }, Some(r)) => writeln!(
+                        out,
+                        "  {:<24} memo({of}): area {} -> {}{verdict}",
+                        m.name, r.area_before, r.area_after
+                    ),
+                    (_, Some(r)) => writeln!(
+                        out,
+                        "  {:<24} area {} -> {} ({:.2}%){verdict} in {:.1} ms",
+                        m.name,
+                        r.area_before,
+                        r.area_after,
+                        100.0 * r.reduction(),
+                        m.wall.as_secs_f64() * 1e3,
+                    ),
+                    (outcome, None) => writeln!(out, "  {:<24} {}", m.name, outcome.tag()),
+                }
+                .expect("write");
+            }
+        }
+        if verbosity == Verbosity::Verbose {
+            let totals = self.sat_totals();
+            write!(out, "funnel:").expect("write");
+            for (name, value) in funnel_counters(&totals).iter() {
+                write!(out, " {name}={value}").expect("write");
+            }
+            writeln!(out).expect("write");
+            write!(out, "solver:").expect("write");
+            for (name, value) in solver_counters(&totals).iter() {
+                write!(out, " {name}={value}").expect("write");
+            }
+            writeln!(out).expect("write");
+            if let Some(k) = &self.knowledge {
+                writeln!(
+                    out,
+                    "knowledge: shapes={} published={} hits={} disk_hits={} misses={} evictions={}",
+                    k.shapes, k.published, k.hits, k.disk_hits, k.misses, k.evictions
+                )
+                .expect("write");
+            }
+            if let Some(k) = &self.kb {
+                writeln!(out, "{}", kb_human_line(k)).expect("write");
             }
         }
         write!(
-            f,
+            out,
             "total AIG area {} -> {} ({:.2}% reduction), {} memo hits",
             self.area_before(),
             self.area_after(),
             100.0 * self.reduction(),
             self.memo_hits(),
         )
+        .expect("write");
+        out
+    }
+}
+
+/// One-line human rendering of the persistent-knowledge counters,
+/// shared by `smartly opt -v` and `smartly stats`.
+pub(crate) fn kb_human_line(k: &KbReport) -> String {
+    format!(
+        "kb: loaded={}+{} disk_hits={} entries_written={} stale_rejected={} load_failed={}{}",
+        k.loaded_shapes,
+        k.loaded_verdicts,
+        k.disk_hits,
+        k.entries_written,
+        k.stale_rejected,
+        k.load_failed,
+        if k.detail.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", k.detail)
+        }
+    )
+}
+
+impl fmt::Display for DesignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_human(Verbosity::Normal))
     }
 }

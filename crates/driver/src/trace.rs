@@ -1,0 +1,435 @@
+//! Chrome trace-event export and trace summarization.
+//!
+//! The telemetry crate records spans as raw begin/end event streams, one
+//! per module track. This module turns a merged [`Trace`] into the
+//! Chrome trace-event JSON format (loadable in Perfetto or
+//! `chrome://tracing`), and provides the reverse direction for the
+//! `smartly trace` subcommand: parse an exported file back, validate the
+//! nesting, and aggregate wall/self time per span name.
+//!
+//! Everything here is timing-side only. Trace files are a separate
+//! artifact from the optimization report and never feed the `--digest`
+//! output.
+
+use std::fmt;
+
+use smartly_telemetry::{ArgValue, Phase, Trace};
+
+use crate::json::Json;
+
+/// Renders a merged trace as a Chrome trace-event JSON document.
+///
+/// Layout: one process (`pid` 0) named after the trace, one thread per
+/// module track (`tid` = track index) named by the track label, then the
+/// track's events as `B`/`E` phase pairs with microsecond timestamps.
+/// Track order is the design's module order, so the export is
+/// structurally deterministic even though timestamps are not.
+pub fn chrome_trace_json(trace: &Trace) -> Json {
+    let mut events = Vec::with_capacity(trace.event_count() + trace.tracks.len() + 1);
+    events.push(metadata_event("process_name", 0, &trace.name));
+    for (tid, track) in trace.tracks.iter().enumerate() {
+        events.push(metadata_event("thread_name", tid as u64, &track.label));
+    }
+    for (tid, track) in trace.tracks.iter().enumerate() {
+        for ev in &track.events {
+            let mut obj = Json::object();
+            obj.set("name", Json::Str(ev.name.to_string()));
+            obj.set(
+                "ph",
+                Json::Str(
+                    match ev.phase {
+                        Phase::Begin => "B",
+                        Phase::End => "E",
+                    }
+                    .to_string(),
+                ),
+            );
+            obj.set("ts", Json::UInt(ev.ts_us));
+            obj.set("pid", Json::UInt(0));
+            obj.set("tid", Json::UInt(tid as u64));
+            if !ev.args.is_empty() {
+                let mut args = Json::object();
+                for (k, v) in &ev.args {
+                    let val = match v {
+                        ArgValue::U64(n) => Json::UInt(*n),
+                        ArgValue::Str(s) => Json::Str(s.to_string()),
+                    };
+                    args.set(k, val);
+                }
+                obj.set("args", args);
+            }
+            events.push(obj);
+        }
+    }
+    let mut root = Json::object();
+    root.set("displayTimeUnit", Json::Str("ms".to_string()));
+    root.set("traceEvents", Json::Array(events));
+    root
+}
+
+fn metadata_event(kind: &str, tid: u64, name: &str) -> Json {
+    let mut args = Json::object();
+    args.set("name", Json::Str(name.to_string()));
+    let mut obj = Json::object();
+    obj.set("name", Json::Str(kind.to_string()));
+    obj.set("ph", Json::Str("M".to_string()));
+    obj.set("pid", Json::UInt(0));
+    obj.set("tid", Json::UInt(tid));
+    obj.set("args", args);
+    obj
+}
+
+/// Wall/self-time aggregate for one span name across the whole trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Span name as recorded (`module`, `round`, `pass:sat`, `query`, …).
+    pub name: String,
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Total wall time, children included, in microseconds.
+    pub wall_us: u64,
+    /// Total self time (wall minus direct children), in microseconds.
+    pub self_us: u64,
+}
+
+/// Per-layer attribution extracted from `query` spans' `layer` end-args.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LayerAgg {
+    /// Funnel layer name (`memo`, `simulation`, `sat`, …).
+    pub layer: String,
+    /// Queries decided at this layer.
+    pub count: u64,
+    /// Total wall time of those queries, in microseconds.
+    pub wall_us: u64,
+}
+
+/// Validated aggregate view over an exported trace file.
+///
+/// Construction doubles as the validator used by the CI smoke test:
+/// malformed JSON, mismatched `B`/`E` pairs, and clock-regressing spans
+/// are all reported as errors rather than skewed statistics.
+#[derive(Clone, Debug, Default)]
+pub struct TraceSummary {
+    /// Process name from the trace metadata (the trace's own name).
+    pub name: String,
+    /// `(label, completed spans, wall time of top-level spans)` per
+    /// thread track, in trace order.
+    pub tracks: Vec<(String, u64, u64)>,
+    /// Aggregates per span name, sorted by descending self time.
+    pub spans: Vec<SpanAgg>,
+    /// Query-funnel attribution, sorted by descending wall time.
+    pub funnel: Vec<LayerAgg>,
+    /// Total events consumed, metadata included.
+    pub events: u64,
+}
+
+impl TraceSummary {
+    /// Builds a summary from a parsed trace-event document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first structural defect: missing
+    /// `traceEvents`, unknown phase, `E` without a matching `B`, name
+    /// mismatch between a begin/end pair, an end timestamp before its
+    /// begin, or a track left with unclosed spans.
+    pub fn from_json(doc: &Json) -> Result<TraceSummary, String> {
+        let events = doc
+            .get("traceEvents")
+            .and_then(Json::as_array)
+            .ok_or("missing traceEvents array")?;
+        let mut summary = TraceSummary {
+            events: events.len() as u64,
+            ..TraceSummary::default()
+        };
+        // Per-tid open-span stack: (name, begin ts, child wall so far).
+        let mut stacks: Vec<Vec<(String, u64, u64)>> = Vec::new();
+        let mut track_labels: Vec<String> = Vec::new();
+        let mut track_counts: Vec<(u64, u64)> = Vec::new();
+        let mut spans: Vec<SpanAgg> = Vec::new();
+        let mut funnel: Vec<LayerAgg> = Vec::new();
+
+        for (i, ev) in events.iter().enumerate() {
+            let name = ev
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("event {i}: missing name"))?;
+            let phase = ev
+                .get("ph")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("event {i}: missing ph"))?;
+            let tid = ev.get("tid").and_then(Json::as_u64).unwrap_or(0) as usize;
+            if stacks.len() <= tid {
+                stacks.resize_with(tid + 1, Vec::new);
+                track_labels.resize(tid + 1, String::new());
+                track_counts.resize(tid + 1, (0, 0));
+            }
+            match phase {
+                "M" => {
+                    let meta = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str);
+                    match name {
+                        "process_name" => summary.name = meta.unwrap_or("").to_string(),
+                        "thread_name" => track_labels[tid] = meta.unwrap_or("").to_string(),
+                        _ => {}
+                    }
+                }
+                "B" => {
+                    let ts = ev
+                        .get("ts")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("event {i}: B without ts"))?;
+                    stacks[tid].push((name.to_string(), ts, 0));
+                }
+                "E" => {
+                    let ts = ev
+                        .get("ts")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("event {i}: E without ts"))?;
+                    let (open_name, begin_ts, child_us) = stacks[tid]
+                        .pop()
+                        .ok_or_else(|| format!("event {i}: E '{name}' without open span"))?;
+                    if open_name != name {
+                        return Err(format!("event {i}: E '{name}' closes span '{open_name}'"));
+                    }
+                    let wall = ts
+                        .checked_sub(begin_ts)
+                        .ok_or_else(|| format!("event {i}: span '{name}' ends before it begins"))?;
+                    let agg = match spans.iter_mut().find(|a| a.name == name) {
+                        Some(a) => a,
+                        None => {
+                            spans.push(SpanAgg {
+                                name: name.to_string(),
+                                ..SpanAgg::default()
+                            });
+                            spans.last_mut().expect("just pushed")
+                        }
+                    };
+                    agg.count += 1;
+                    agg.wall_us += wall;
+                    agg.self_us += wall - child_us.min(wall);
+                    track_counts[tid].0 += 1;
+                    if let Some(parent) = stacks[tid].last_mut() {
+                        parent.2 += wall;
+                    } else {
+                        track_counts[tid].1 += wall;
+                    }
+                    if name == "query" {
+                        let layer = ev
+                            .get("args")
+                            .and_then(|a| a.get("layer"))
+                            .and_then(Json::as_str)
+                            .unwrap_or("unknown");
+                        let entry = match funnel.iter_mut().find(|l| l.layer == layer) {
+                            Some(l) => l,
+                            None => {
+                                funnel.push(LayerAgg {
+                                    layer: layer.to_string(),
+                                    ..LayerAgg::default()
+                                });
+                                funnel.last_mut().expect("just pushed")
+                            }
+                        };
+                        entry.count += 1;
+                        entry.wall_us += wall;
+                    }
+                }
+                other => return Err(format!("event {i}: unknown phase '{other}'")),
+            }
+        }
+        for (tid, stack) in stacks.iter().enumerate() {
+            if let Some((name, _, _)) = stack.last() {
+                return Err(format!("track {tid}: span '{name}' never closed"));
+            }
+        }
+        summary.tracks = track_labels
+            .into_iter()
+            .zip(track_counts)
+            .map(|(label, (count, wall))| (label, count, wall))
+            .collect();
+        spans.sort_by(|a, b| b.self_us.cmp(&a.self_us).then(a.name.cmp(&b.name)));
+        funnel.sort_by(|a, b| b.wall_us.cmp(&a.wall_us).then(a.layer.cmp(&b.layer)));
+        summary.spans = spans;
+        summary.funnel = funnel;
+        Ok(summary)
+    }
+
+    /// Parses and summarizes raw trace-file text.
+    ///
+    /// # Errors
+    ///
+    /// Propagates JSON syntax errors and the structural checks of
+    /// [`TraceSummary::from_json`].
+    pub fn from_text(text: &str) -> Result<TraceSummary, String> {
+        let doc = Json::parse(text)?;
+        TraceSummary::from_json(&doc)
+    }
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace '{}': {} events, {} tracks",
+            self.name,
+            self.events,
+            self.tracks.len()
+        )?;
+        writeln!(f, "\nper-module tracks:")?;
+        for (label, count, wall) in &self.tracks {
+            writeln!(f, "  {label:<28} {count:>7} spans  {:>10}", fmt_us(*wall))?;
+        }
+        writeln!(f, "\ntop spans by self time:")?;
+        writeln!(
+            f,
+            "  {:<18} {:>8} {:>12} {:>12}",
+            "span", "count", "wall", "self"
+        )?;
+        for agg in self.spans.iter().take(12) {
+            writeln!(
+                f,
+                "  {:<18} {:>8} {:>12} {:>12}",
+                agg.name,
+                agg.count,
+                fmt_us(agg.wall_us),
+                fmt_us(agg.self_us)
+            )?;
+        }
+        if !self.funnel.is_empty() {
+            writeln!(f, "\nquery-funnel attribution:")?;
+            writeln!(
+                f,
+                "  {:<14} {:>8} {:>12} {:>7}",
+                "layer", "queries", "wall", "share"
+            )?;
+            let total: u64 = self.funnel.iter().map(|l| l.wall_us).sum();
+            for layer in &self.funnel {
+                let share = if total == 0 {
+                    0.0
+                } else {
+                    100.0 * layer.wall_us as f64 / total as f64
+                };
+                writeln!(
+                    f,
+                    "  {:<14} {:>8} {:>12} {share:>6.1}%",
+                    layer.layer,
+                    layer.count,
+                    fmt_us(layer.wall_us)
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use smartly_telemetry::{ArgValue, Trace, TraceBuf, TraceClock};
+
+    use super::{chrome_trace_json, TraceSummary};
+    use crate::json::Json;
+
+    fn sample_trace() -> Trace {
+        let clock = TraceClock::start();
+        let mut buf = TraceBuf::new(clock);
+        buf.begin_with("module", &[("cells", ArgValue::U64(10))]);
+        buf.begin("round");
+        buf.begin("query");
+        buf.end_with(&[("layer", ArgValue::Str("sat"))]);
+        buf.begin("query");
+        buf.end_with(&[("layer", ArgValue::Str("memo"))]);
+        buf.end();
+        buf.end();
+        let mut trace = Trace::new("unit");
+        trace.push_track("top", buf.finish());
+        trace
+    }
+
+    #[test]
+    fn export_is_parseable_and_balanced() {
+        let doc = chrome_trace_json(&sample_trace());
+        let text = doc.render_pretty(1);
+        let summary = TraceSummary::from_text(&text).expect("valid trace");
+        assert_eq!(summary.name, "unit");
+        assert_eq!(summary.tracks.len(), 1);
+        assert_eq!(summary.tracks[0].0, "top");
+        // module + round + 2 queries completed.
+        assert_eq!(summary.tracks[0].1, 4);
+        let module = summary.spans.iter().find(|a| a.name == "module").unwrap();
+        assert_eq!(module.count, 1);
+        assert!(module.wall_us >= module.self_us);
+        let mut layers: Vec<&str> = summary.funnel.iter().map(|l| l.layer.as_str()).collect();
+        layers.sort_unstable();
+        assert_eq!(layers, ["memo", "sat"]);
+    }
+
+    #[test]
+    fn summary_rejects_unbalanced_events() {
+        let mut doc = Json::object();
+        doc.set(
+            "traceEvents",
+            Json::Array(vec![{
+                let mut e = Json::object();
+                e.set("name", Json::Str("x".into()));
+                e.set("ph", Json::Str("E".into()));
+                e.set("ts", Json::UInt(1));
+                e.set("pid", Json::UInt(0));
+                e.set("tid", Json::UInt(0));
+                e
+            }]),
+        );
+        assert!(TraceSummary::from_json(&doc)
+            .unwrap_err()
+            .contains("without open span"));
+    }
+
+    #[test]
+    fn summary_rejects_dangling_begin() {
+        let mut doc = Json::object();
+        doc.set(
+            "traceEvents",
+            Json::Array(vec![{
+                let mut e = Json::object();
+                e.set("name", Json::Str("x".into()));
+                e.set("ph", Json::Str("B".into()));
+                e.set("ts", Json::UInt(1));
+                e.set("pid", Json::UInt(0));
+                e.set("tid", Json::UInt(0));
+                e
+            }]),
+        );
+        assert!(TraceSummary::from_json(&doc)
+            .unwrap_err()
+            .contains("never closed"));
+    }
+
+    #[test]
+    fn summary_rejects_name_mismatch() {
+        let mut b = Json::object();
+        b.set("name", Json::Str("a".into()));
+        b.set("ph", Json::Str("B".into()));
+        b.set("ts", Json::UInt(1));
+        b.set("tid", Json::UInt(0));
+        let mut e = Json::object();
+        e.set("name", Json::Str("b".into()));
+        e.set("ph", Json::Str("E".into()));
+        e.set("ts", Json::UInt(2));
+        e.set("tid", Json::UInt(0));
+        let mut doc = Json::object();
+        doc.set("traceEvents", Json::Array(vec![b, e]));
+        assert!(TraceSummary::from_json(&doc)
+            .unwrap_err()
+            .contains("closes span"));
+    }
+}

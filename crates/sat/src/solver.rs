@@ -93,6 +93,27 @@ impl SolverStats {
         self.reduces += o.reduces;
         self.arena_gcs += o.arena_gcs;
     }
+
+    /// Work done since `base` was snapshotted: the per-call delta the
+    /// telemetry histograms feed on. Saturating on every field so a
+    /// solver reset between the snapshots (which can shrink the
+    /// `learnt_clauses` gauge) never underflows.
+    pub fn since(&self, base: &SolverStats) -> SolverStats {
+        SolverStats {
+            conflicts: self.conflicts.saturating_sub(base.conflicts),
+            decisions: self.decisions.saturating_sub(base.decisions),
+            propagations: self.propagations.saturating_sub(base.propagations),
+            restarts: self.restarts.saturating_sub(base.restarts),
+            learnt_clauses: self.learnt_clauses.saturating_sub(base.learnt_clauses),
+            rephases: self.rephases.saturating_sub(base.rephases),
+            rephase_best: self.rephase_best.saturating_sub(base.rephase_best),
+            rephase_inverted: self.rephase_inverted.saturating_sub(base.rephase_inverted),
+            rephase_original: self.rephase_original.saturating_sub(base.rephase_original),
+            lbd_core: self.lbd_core.saturating_sub(base.lbd_core),
+            reduces: self.reduces.saturating_sub(base.reduces),
+            arena_gcs: self.arena_gcs.saturating_sub(base.arena_gcs),
+        }
+    }
 }
 
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -662,6 +683,11 @@ impl Solver {
         let mut lbd = 0u32;
         for l in lits {
             let lvl = self.level[l.var().index()] as usize;
+            if lvl >= self.lbd_seen.len() {
+                // duplicated assumptions open dummy decision levels, so
+                // the level count can exceed the per-var table size
+                self.lbd_seen.resize(lvl + 1, 0);
+            }
             if self.lbd_seen[lvl] != self.lbd_stamp {
                 self.lbd_seen[lvl] = self.lbd_stamp;
                 lbd += 1;

@@ -1,0 +1,600 @@
+//! Unified telemetry substrate for the smartly workspace.
+//!
+//! Three primitives, all dependency-free (the workspace builds offline):
+//!
+//! * **Hierarchical spans** — [`TraceBuf`] records strictly nested
+//!   begin/end [`SpanEvent`]s against a shared [`TraceClock`]. Each
+//!   worker owns its buffer exclusively (no locks, no atomics on the
+//!   record path); the driver merges the buffers into a [`Trace`] in
+//!   *module order* at run end, so the track layout of an exported trace
+//!   is deterministic even though the timestamps are not.
+//! * **Log2-bucketed [`Histogram`]s** — fixed-size, `Copy`, cheap enough
+//!   to ride inside the per-sweep stats structs (latency distributions
+//!   per query-funnel layer, work distributions per SAT call).
+//! * **A [`Counters`] registry** — an insertion-ordered name→value map
+//!   so a counter block renders (and snapshots) from one registration
+//!   point instead of hand-threaded field-by-field plumbing.
+//!
+//! The standing digest-safety contract applies to everything here: spans,
+//! histograms and counters describe *where time went*, never *what was
+//! decided* — they must only ever surface in trace files and timing JSON,
+//! never in a `--digest` artifact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Number of log2 buckets a [`Histogram`] tracks. Bucket `i` (for
+/// `i >= 1`) counts values in `[2^(i-1), 2^i)`; bucket 0 counts zeros;
+/// the last bucket absorbs everything at or above `2^(BUCKETS-2)`
+/// (~2.1 s when recording microseconds).
+pub const BUCKETS: usize = 32;
+
+/// A log2-bucketed histogram of `u64` samples (latencies in
+/// microseconds, propagation counts, ...).
+///
+/// `Copy` by design: it lives inside stats structs that are absorbed by
+/// value up the report chain.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Index of the bucket that counts `value`.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Smallest value the bucket at `index` counts (0 for bucket 0).
+    pub fn bucket_floor(index: usize) -> u64 {
+        if index == 0 {
+            0
+        } else {
+            1u64 << (index - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Mean sample value, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper-bounds the `q`-quantile (0.0–1.0) by the ceiling of the
+    /// bucket holding it: the value `v` such that at least `q` of the
+    /// samples are `< max(v, floor+1)`. Coarse (log2 resolution) but
+    /// monotone and allocation-free. Returns 0 when empty.
+    pub fn quantile_ceil(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target.max(1) {
+                return if i + 1 < BUCKETS {
+                    Self::bucket_floor(i + 1).saturating_sub(1)
+                } else {
+                    u64::MAX
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Component-wise sum.
+    pub fn absorb(&mut self, o: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(o.buckets.iter()) {
+            *a += b;
+        }
+        self.count += o.count;
+        self.sum = self.sum.saturating_add(o.sum);
+    }
+
+    /// The non-empty buckets as `(floor_value, count)` pairs, in
+    /// ascending value order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_floor(i), n))
+            .collect()
+    }
+}
+
+/// An insertion-ordered `name → u64` counter registry.
+///
+/// The registry is the single registration point for a counter block:
+/// renderers iterate it instead of naming every field, so adding a
+/// counter is one `add` call rather than edits in every output path —
+/// and a schema snapshot test can pin the key *set* wholesale.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl Counters {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Counters::default()
+    }
+
+    /// Adds `delta` onto `name`, registering it (at the end of the
+    /// iteration order) on first use.
+    pub fn add(&mut self, name: &'static str, delta: u64) -> &mut Self {
+        match self.entries.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += delta,
+            None => self.entries.push((name, delta)),
+        }
+        self
+    }
+
+    /// Current value of `name` (0 when never registered).
+    pub fn get(&self, name: &str) -> u64 {
+        self.entries
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Component-wise sum; counters unknown to `self` are appended in
+    /// `other`'s order.
+    pub fn absorb(&mut self, other: &Counters) {
+        for (name, v) in &other.entries {
+            self.add(name, *v);
+        }
+    }
+
+    /// Iterates `(name, value)` in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of registered counters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The epoch all of one run's spans are timed against; `Copy` so every
+/// worker carries the same zero point.
+#[derive(Copy, Clone, Debug)]
+pub struct TraceClock {
+    epoch: Instant,
+}
+
+impl TraceClock {
+    /// Starts the clock: now becomes timestamp 0.
+    pub fn start() -> Self {
+        TraceClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Microseconds elapsed since the epoch.
+    pub fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+/// A span-argument value: unsigned numbers or static strings only, so
+/// recording never allocates per event beyond the args vector itself.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ArgValue {
+    /// An unsigned counter/identifier.
+    U64(u64),
+    /// A static label (layer names, verdict tags).
+    Str(&'static str),
+}
+
+/// Whether a [`SpanEvent`] opens or closes a span.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Span start (carries the opening args).
+    Begin,
+    /// Span end (may carry result args).
+    End,
+}
+
+/// One begin/end event. End events repeat the span's name so a trace
+/// validator can check pairing without reconstructing state.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SpanEvent {
+    /// Opens or closes.
+    pub phase: Phase,
+    /// Span name (static: span kinds are a closed vocabulary; variable
+    /// identity goes in track labels or args).
+    pub name: &'static str,
+    /// Microseconds since the run's [`TraceClock`] epoch.
+    pub ts_us: u64,
+    /// Attached key/value arguments.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// A per-worker span buffer: strictly nested begin/end recording with no
+/// locks — each buffer is owned by exactly one thread for its lifetime
+/// and only the finished event vector crosses threads.
+#[derive(Debug)]
+pub struct TraceBuf {
+    clock: TraceClock,
+    events: Vec<SpanEvent>,
+    /// Indices (into `events`) of currently open Begin events.
+    open: Vec<usize>,
+}
+
+impl TraceBuf {
+    /// An empty buffer against `clock`.
+    pub fn new(clock: TraceClock) -> Self {
+        TraceBuf {
+            clock,
+            events: Vec::new(),
+            open: Vec::new(),
+        }
+    }
+
+    /// Opens a span.
+    pub fn begin(&mut self, name: &'static str) {
+        self.begin_with(name, &[]);
+    }
+
+    /// Opens a span with arguments.
+    pub fn begin_with(&mut self, name: &'static str, args: &[(&'static str, ArgValue)]) {
+        self.open.push(self.events.len());
+        self.events.push(SpanEvent {
+            phase: Phase::Begin,
+            name,
+            ts_us: self.clock.now_us(),
+            args: args.to_vec(),
+        });
+    }
+
+    /// Closes the innermost open span.
+    pub fn end(&mut self) {
+        self.end_with(&[]);
+    }
+
+    /// Closes the innermost open span, attaching result arguments to the
+    /// end event. Unbalanced `end` calls are ignored (recording must
+    /// never panic a worker).
+    pub fn end_with(&mut self, args: &[(&'static str, ArgValue)]) {
+        let Some(b) = self.open.pop() else { return };
+        let name = self.events[b].name;
+        self.events.push(SpanEvent {
+            phase: Phase::End,
+            name,
+            ts_us: self.clock.now_us(),
+            args: args.to_vec(),
+        });
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Closes any spans still open (a worker that bailed early must not
+    /// produce an unbalanced track) and returns the event stream.
+    pub fn finish(mut self) -> Vec<SpanEvent> {
+        while !self.open.is_empty() {
+            self.end();
+        }
+        self.events
+    }
+}
+
+/// A cheap, cloneable recording handle: `None` is a disabled handle whose
+/// every method is a no-op, so instrumentation points pay one branch when
+/// tracing is off. Not thread-safe by design (`Rc`) — one handle tree per
+/// worker; only the finished events cross threads.
+#[derive(Clone, Debug, Default)]
+pub struct TraceHandle(Option<Rc<RefCell<TraceBuf>>>);
+
+impl TraceHandle {
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        TraceHandle(None)
+    }
+
+    /// A live handle recording into a fresh buffer against `clock`.
+    pub fn recording(clock: TraceClock) -> Self {
+        TraceHandle(Some(Rc::new(RefCell::new(TraceBuf::new(clock)))))
+    }
+
+    /// Whether this handle records.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Opens a span.
+    pub fn begin(&self, name: &'static str) {
+        if let Some(buf) = &self.0 {
+            buf.borrow_mut().begin(name);
+        }
+    }
+
+    /// Opens a span with arguments.
+    pub fn begin_with(&self, name: &'static str, args: &[(&'static str, ArgValue)]) {
+        if let Some(buf) = &self.0 {
+            buf.borrow_mut().begin_with(name, args);
+        }
+    }
+
+    /// Closes the innermost open span.
+    pub fn end(&self) {
+        if let Some(buf) = &self.0 {
+            buf.borrow_mut().end();
+        }
+    }
+
+    /// Closes the innermost open span with result arguments.
+    pub fn end_with(&self, args: &[(&'static str, ArgValue)]) {
+        if let Some(buf) = &self.0 {
+            buf.borrow_mut().end_with(args);
+        }
+    }
+
+    /// Opens a span and returns a guard that closes it on drop — safe
+    /// around early returns.
+    pub fn scope(&self, name: &'static str) -> SpanGuard {
+        self.scope_with(name, &[])
+    }
+
+    /// [`TraceHandle::scope`] with opening arguments.
+    pub fn scope_with(&self, name: &'static str, args: &[(&'static str, ArgValue)]) -> SpanGuard {
+        self.begin_with(name, args);
+        SpanGuard {
+            handle: self.clone(),
+        }
+    }
+
+    /// Consumes the handle and returns the recorded events, closing any
+    /// still-open spans. Returns `None` when disabled *or* when clones of
+    /// this handle are still alive (the buffer cannot be taken apart
+    /// while another recorder holds it).
+    pub fn finish(self) -> Option<Vec<SpanEvent>> {
+        let rc = self.0?;
+        Rc::try_unwrap(rc)
+            .ok()
+            .map(|cell| cell.into_inner().finish())
+    }
+}
+
+/// Closes its span when dropped; produced by [`TraceHandle::scope`].
+#[derive(Debug)]
+pub struct SpanGuard {
+    handle: TraceHandle,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.handle.end();
+    }
+}
+
+/// One track of a merged [`Trace`]: a label (module name, `design`) and
+/// its strictly nested event stream.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Track {
+    /// Human-readable track label; becomes the thread name in a Chrome
+    /// trace export.
+    pub label: String,
+    /// The track's events, in record order (nested by construction).
+    pub events: Vec<SpanEvent>,
+}
+
+/// A whole run's merged trace. The caller pushes tracks in a canonical
+/// order (the driver uses design order: root first, then modules), which
+/// makes the exported structure deterministic; only timestamps and
+/// durations vary between runs.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    /// What the trace covers (design name, corpus level).
+    pub name: String,
+    /// Tracks in canonical order.
+    pub tracks: Vec<Track>,
+}
+
+impl Trace {
+    /// An empty trace named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace {
+            name: name.into(),
+            tracks: Vec::new(),
+        }
+    }
+
+    /// Appends a track (skipping empty event streams).
+    pub fn push_track(&mut self, label: impl Into<String>, events: Vec<SpanEvent>) {
+        if !events.is_empty() {
+            self.tracks.push(Track {
+                label: label.into(),
+                events,
+            });
+        }
+    }
+
+    /// Total number of events across all tracks.
+    pub fn event_count(&self) -> usize {
+        self.tracks.iter().map(|t| t.events.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), BUCKETS - 1);
+        assert_eq!(Histogram::bucket_floor(0), 0);
+        assert_eq!(Histogram::bucket_floor(1), 1);
+        assert_eq!(Histogram::bucket_floor(3), 4);
+        // every value lands in the bucket whose floor is <= value
+        for v in [0u64, 1, 2, 5, 63, 64, 1000, 1 << 40] {
+            let b = Histogram::bucket_of(v);
+            assert!(Histogram::bucket_floor(b) <= v);
+            if b + 1 < BUCKETS {
+                assert!(v < Histogram::bucket_floor(b + 1) * 2 || b == 0);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_absorbs() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        h.record(100);
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (2, 2), (64, 1)]);
+        let mut other = Histogram::new();
+        other.record(3);
+        h.absorb(&other);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.get_bucket_count(2), 3);
+        assert!(h.mean() > 0.0);
+        assert!(h.quantile_ceil(0.5) >= 3);
+    }
+
+    impl Histogram {
+        fn get_bucket_count(&self, i: usize) -> u64 {
+            self.buckets[i]
+        }
+    }
+
+    #[test]
+    fn counters_keep_registration_order() {
+        let mut c = Counters::new();
+        c.add("zeta", 1).add("alpha", 2).add("zeta", 3);
+        assert_eq!(
+            c.iter().collect::<Vec<_>>(),
+            vec![("zeta", 4), ("alpha", 2)]
+        );
+        assert_eq!(c.get("alpha"), 2);
+        assert_eq!(c.get("missing"), 0);
+        let mut d = Counters::new();
+        d.add("alpha", 1).add("new", 9);
+        c.absorb(&d);
+        assert_eq!(c.get("alpha"), 3);
+        assert_eq!(c.get("new"), 9);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn spans_nest_and_balance() {
+        let clock = TraceClock::start();
+        let handle = TraceHandle::recording(clock);
+        handle.begin_with("outer", &[("n", ArgValue::U64(1))]);
+        {
+            let _g = handle.scope("inner");
+            handle.begin("leaf");
+            handle.end_with(&[("layer", ArgValue::Str("sat"))]);
+        } // guard closes "inner"
+        handle.end();
+        let events = handle.finish().expect("sole owner");
+        let names: Vec<(&str, Phase)> = events.iter().map(|e| (e.name, e.phase)).collect();
+        assert_eq!(
+            names,
+            vec![
+                ("outer", Phase::Begin),
+                ("inner", Phase::Begin),
+                ("leaf", Phase::Begin),
+                ("leaf", Phase::End),
+                ("inner", Phase::End),
+                ("outer", Phase::End),
+            ]
+        );
+        // timestamps are monotone in record order
+        for w in events.windows(2) {
+            assert!(w[0].ts_us <= w[1].ts_us);
+        }
+    }
+
+    #[test]
+    fn finish_closes_dangling_spans_and_disabled_is_noop() {
+        let handle = TraceHandle::recording(TraceClock::start());
+        handle.begin("left-open");
+        let events = handle.finish().expect("sole owner");
+        assert_eq!(events.len(), 2, "finish closed the dangling span");
+
+        let off = TraceHandle::disabled();
+        off.begin("ignored");
+        off.end();
+        assert!(!off.enabled());
+        assert!(off.finish().is_none());
+    }
+
+    #[test]
+    fn finish_with_live_clone_returns_none() {
+        let handle = TraceHandle::recording(TraceClock::start());
+        let clone = handle.clone();
+        assert!(handle.finish().is_none());
+        assert!(clone.finish().is_some());
+    }
+
+    #[test]
+    fn trace_skips_empty_tracks() {
+        let mut t = Trace::new("design");
+        t.push_track("empty", Vec::new());
+        t.push_track(
+            "m",
+            vec![SpanEvent {
+                phase: Phase::Begin,
+                name: "module",
+                ts_us: 0,
+                args: Vec::new(),
+            }],
+        );
+        assert_eq!(t.tracks.len(), 1);
+        assert_eq!(t.event_count(), 1);
+    }
+}

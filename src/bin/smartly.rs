@@ -4,14 +4,18 @@
 //! smartly opt <file.v> [--level yosys|sat|rebuild|full] [--jobs N]
 //!             [--verify] [--json report.json] [-o out.v]
 //!             [--max-cells N] [--timeout-ms N] [--no-memo]
-//! smartly stats <file.v> [--solver] [--level L]
+//!             [--trace trace.json] [--digest digest.json] [--quiet|-v]
+//! smartly stats <file.v> [--solver] [--level L] [--knowledge-file F]
 //! smartly corpus [--scale tiny|small|paper] [--jobs N] [--verify]
 //!                [--json BENCH_driver.json] [--digest digest.json]
+//!                [--trace-dir DIR] [--quiet]
+//! smartly trace <trace.json>
 //! ```
 
 use smartly_driver::{
-    emit_design, level_from_str, optimize_design, run_public_corpus, scale_from_str, CorpusOptions,
-    DriverOptions, KnowledgeState, StoreKey,
+    chrome_trace_json, emit_design, level_from_str, optimize_design, run_public_corpus,
+    scale_from_str, CorpusOptions, DriverOptions, KnowledgeState, StoreKey, TraceSummary,
+    Verbosity,
 };
 use smartly_netlist::CellStats;
 use std::process::ExitCode;
@@ -50,6 +54,10 @@ USAGE:
                                      arena GCs, rephase histogram)
   smartly corpus [OPTIONS]           run the public workload suite and
                                      print a Table-III-style summary
+  smartly trace <trace.json>         validate an exported span trace and
+                                     print top self-time spans, per-track
+                                     breakdown, and query-funnel
+                                     attribution
 
 OPT OPTIONS:
   --level <yosys|sat|rebuild|full>   optimization level (default: full)
@@ -74,6 +82,19 @@ OPT OPTIONS:
                                      an error
   --no-knowledge-save                read the knowledge file but do not
                                      write it back
+  --trace <path>                     record hierarchical spans (module,
+                                     round, pass, query, SAT call) and
+                                     write a Chrome trace-event JSON
+                                     loadable in Perfetto. Observation
+                                     only: the digest is byte-identical
+                                     with or without it
+  --digest <path>                    write the timing-free report digest
+                                     (byte-identical across runs, --jobs
+                                     settings, tracing on/off, and
+                                     knowledge warm/cold state)
+  --quiet, -q                        suppress per-module lines
+  -v, --verbose                      add funnel/solver/knowledge counter
+                                     lines to the summary
 
 CORPUS OPTIONS:
   --scale <tiny|small|paper>         corpus size (default: tiny)
@@ -81,8 +102,21 @@ CORPUS OPTIONS:
                                      (byte-identical across runs,
                                      --jobs settings, and knowledge-file
                                      warm/cold state; CI diffs it)
+  --trace-dir <dir>                  record spans and write one Chrome
+                                     trace file per level run and bench
+                                     into <dir>
+  --quiet, -q                        suppress the per-circuit table
   --no-knowledge, --knowledge-file <path>, --no-knowledge-save  as above
   --jobs <N>, --verify, --json <path> as above
+
+STATS OPTIONS:
+  --solver                           also optimize a scratch copy and
+                                     print the solver/funnel summary
+  --level <yosys|sat|rebuild|full>   level for the scratch run
+  --knowledge-file <path>            attach the persistent knowledge
+                                     store to the scratch run and report
+                                     its load/hit/save counters
+  --no-knowledge-save                read-only knowledge attach
 ";
 
 fn main() -> ExitCode {
@@ -91,6 +125,7 @@ fn main() -> ExitCode {
         Some("opt") => cmd_opt(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             out!("{USAGE}");
             Ok(())
@@ -127,6 +162,21 @@ fn take_flag(args: &mut Vec<String>, name: &str) -> bool {
         true
     } else {
         false
+    }
+}
+
+/// Pulls `--quiet`/`-q` and `-v`/`--verbose` out of `args`. When both
+/// appear the louder one wins, matching what a user piling on flags
+/// most plausibly wants.
+fn take_verbosity(args: &mut Vec<String>) -> Verbosity {
+    let quiet = take_flag(args, "--quiet") | take_flag(args, "-q");
+    let verbose = take_flag(args, "-v") | take_flag(args, "--verbose");
+    if verbose {
+        Verbosity::Verbose
+    } else if quiet {
+        Verbosity::Quiet
+    } else {
+        Verbosity::Normal
     }
 }
 
@@ -204,6 +254,10 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
     let knowledge_file = take_value(&mut args, &["--knowledge-file"])?;
     let knowledge_save = !take_flag(&mut args, "--no-knowledge-save");
     let json_path = take_value(&mut args, &["--json"])?;
+    let trace_path = take_value(&mut args, &["--trace"])?;
+    opts.trace = trace_path.is_some();
+    let digest_path = take_value(&mut args, &["--digest"])?;
+    let verbosity = take_verbosity(&mut args);
     let out_path = take_value(&mut args, &["--output", "-o"])?;
     let input = positional(args, "input file")?;
 
@@ -230,13 +284,29 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
         }
     }
 
-    outln!("{report}");
+    outln!("{}", report.render_human(verbosity));
     // Write the report before the verification verdict: on failure the
     // JSON is the artifact that says which module/output/bit differed.
     if let Some(path) = json_path {
         std::fs::write(&path, report.to_json().render_pretty(2))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         outln!("report written to {path}");
+    }
+    if let Some(path) = trace_path {
+        let trace = report
+            .trace
+            .as_ref()
+            .ok_or("internal error: tracing enabled but no trace collected")?;
+        std::fs::write(&path, chrome_trace_json(trace).render_pretty(1))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        outln!(
+            "trace written to {path} ({} events; inspect with `smartly trace {path}`)",
+            trace.event_count()
+        );
+    }
+    if let Some(path) = digest_path {
+        std::fs::write(&path, report.digest()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        outln!("digest written to {path}");
     }
     if opts.verify && report.all_equivalent() == Some(false) {
         return Err("verification FAILED for at least one module".to_string());
@@ -253,6 +323,8 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let mut args = args.to_vec();
     let solver = take_flag(&mut args, "--solver");
     let level = take_value(&mut args, &["--level"])?;
+    let knowledge_file = take_value(&mut args, &["--knowledge-file"])?;
+    let knowledge_save = !take_flag(&mut args, "--no-knowledge-save");
     let input = positional(args, "input file")?;
     let design = compile_file(&input)?;
     for (i, is_top, module) in design.iter_with_top() {
@@ -263,7 +335,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
             outln!();
         }
     }
-    if solver || level.is_some() {
+    if solver || level.is_some() || knowledge_file.is_some() {
         // run the pipeline on a scratch copy and surface the per-design
         // solver/funnel summary, so ablations over one design do not
         // need the corpus runner
@@ -272,8 +344,21 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
             opts.level = level_from_str(&level)
                 .ok_or_else(|| format!("unknown level '{level}' (yosys|sat|rebuild|full)"))?;
         }
+        let budget = opts.pipeline.sat.conflict_budget;
+        let store_bound = opts.pipeline.sat.cex_bank_capacity;
+        if let Some(path) = &knowledge_file {
+            opts.knowledge_state = Some(load_knowledge(path, budget, opts.knowledge_capacity));
+        }
         let mut scratch = design;
-        let report = optimize_design(&mut scratch, &opts).map_err(|e| e.to_string())?;
+        let mut report = optimize_design(&mut scratch, &opts).map_err(|e| e.to_string())?;
+        if let (Some(path), Some(state)) = (&knowledge_file, &opts.knowledge_state) {
+            if knowledge_save {
+                let written = save_knowledge(path, state, budget, store_bound)?;
+                if let Some(kb) = report.kb.as_mut() {
+                    kb.entries_written = written;
+                }
+            }
+        }
         let mut sat = smartly_core::sat_pass::SatPassStats::default();
         for m in &report.modules {
             if let Some(r) = &m.report {
@@ -288,6 +373,24 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
             sat.by_sat,
             sat.solver_summary(),
         );
+        // PR 4's persistence counters, surfaced in human output: did the
+        // store load, did the disk layer answer anything, was it saved.
+        if let Some(kb) = &report.kb {
+            let disk_hits = report
+                .knowledge
+                .as_ref()
+                .map_or(kb.disk_hits, |k| k.disk_hits);
+            outln!(
+                "knowledge store: loaded {} shapes + {} verdicts, disk_hits={}, \
+                 entries_written={}, stale_rejected={}, load_failed={}",
+                kb.loaded_shapes,
+                kb.loaded_verdicts,
+                disk_hits,
+                kb.entries_written,
+                kb.stale_rejected,
+                kb.load_failed,
+            );
+        }
     }
     Ok(())
 }
@@ -308,6 +411,9 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
     let knowledge_save = !take_flag(&mut args, "--no-knowledge-save");
     let json_path = take_value(&mut args, &["--json"])?;
     let digest_path = take_value(&mut args, &["--digest"])?;
+    let trace_dir = take_value(&mut args, &["--trace-dir"])?;
+    opts.trace = trace_dir.is_some();
+    let verbosity = take_verbosity(&mut args);
     if let Some(extra) = args.first() {
         return Err(format!("unexpected argument '{extra}'"));
     }
@@ -337,7 +443,7 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
             outln!("knowledge store written to {path} ({written} entries)");
         }
     }
-    outln!("{report}");
+    outln!("{}", report.render_human(verbosity));
     if let Some(path) = json_path {
         std::fs::write(&path, report.to_json().render_pretty(2))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -348,5 +454,28 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         outln!("digest written to {path}");
     }
+    if let Some(dir) = trace_dir {
+        let dir = std::path::Path::new(&dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        for trace in &report.traces {
+            let path = dir.join(format!("{}.json", trace.name));
+            std::fs::write(&path, chrome_trace_json(trace).render_pretty(1))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        outln!(
+            "{} trace files written to {}",
+            report.traces.len(),
+            dir.display()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let input = positional(args.to_vec(), "trace file")?;
+    let text = std::fs::read_to_string(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let summary = TraceSummary::from_text(&text).map_err(|e| format!("{input}: {e}"))?;
+    out!("{summary}");
     Ok(())
 }
