@@ -67,3 +67,4 @@ pub use query_engine::{
 };
 pub use restructure::{restructure, RestructureOptions};
 pub use sat_pass::{sat_redundancy, sat_redundancy_with, SatRedundancyOptions, SweepContext};
+pub use smartly_sat::Deadline;

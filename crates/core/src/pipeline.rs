@@ -6,6 +6,7 @@ use crate::sat_pass::{sat_redundancy_with, SatPassStats, SatRedundancyOptions, S
 use smartly_aig::{aig_area, check_equiv, EquivOptions, EquivResult};
 use smartly_netlist::{Module, NetlistError};
 use smartly_opt::{baseline_optimize, clean_pipeline};
+use smartly_sat::Deadline;
 use smartly_telemetry::{ArgValue, TraceHandle};
 use std::sync::Arc;
 
@@ -195,6 +196,26 @@ impl Pipeline {
         level: OptLevel,
         trace: &TraceHandle,
     ) -> Result<PipelineReport, NetlistError> {
+        self.run_with_deadline(module, level, trace, &Deadline::none())
+    }
+
+    /// [`Pipeline::run_traced`] under a cooperative [`Deadline`]: the
+    /// token is checked at every round boundary and threaded through the
+    /// sweep context into the query engine and the CDCL search loop
+    /// (polled every few conflicts), so an expired wall-clock budget
+    /// stops a stuck SAT call mid-flight instead of waiting for the
+    /// pass to finish. Interrupted queries degrade to budget-limited
+    /// `Unknown` verdicts — missed rewrites, never wrong ones — and are
+    /// never published to a design-level verdict store; the driver
+    /// reverts deadline-hit modules to their input netlist, so partial
+    /// optimization under an expired deadline is never observable.
+    pub fn run_with_deadline(
+        &self,
+        module: &mut Module,
+        level: OptLevel,
+        trace: &TraceHandle,
+        deadline: &Deadline,
+    ) -> Result<PipelineReport, NetlistError> {
         let original = if self.verify {
             Some(module.clone())
         } else {
@@ -217,8 +238,12 @@ impl Pipeline {
         let mut sweep_ctx =
             SweepContext::new(self.shared_bank.clone(), self.shared_verdicts.clone());
         sweep_ctx.trace = trace.clone();
+        sweep_ctx.deadline = deadline.clone();
 
         for round in 0..self.rounds {
+            if deadline.was_tripped() || deadline.expired() {
+                break;
+            }
             let _round_span = trace.scope_with("round", &[("index", ArgValue::U64(round as u64))]);
             let mut changed = false;
             if matches!(level, OptLevel::RebuildOnly | OptLevel::Full) {

@@ -52,7 +52,7 @@ use crate::decide::{
 };
 use crate::subgraph::{query_key, query_key_and_shape, ConeShape, SubGraph};
 use smartly_netlist::{CellId, Module, NetIndex, Port, SigBit, TriVal};
-use smartly_sat::{Lit, SolveResult, SolverStats, TseitinEncoder};
+use smartly_sat::{Deadline, Lit, SolveResult, SolverStats, TseitinEncoder};
 use smartly_sim::{compile_cone, ConeProgram, ConeSim};
 use smartly_telemetry::{ArgValue, Histogram, TraceHandle};
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -439,6 +439,9 @@ pub struct QueryEngine<'m> {
     stats: QueryEngineStats,
     /// span recorder (disabled by default; see [`QueryEngine::set_trace`])
     trace: TraceHandle,
+    /// cooperative cancellation token (never expires by default; see
+    /// [`QueryEngine::set_deadline`])
+    deadline: Deadline,
 }
 
 fn mask(v: bool) -> u64 {
@@ -502,6 +505,7 @@ impl<'m> QueryEngine<'m> {
             solver_base: SolverStats::default(),
             stats: QueryEngineStats::default(),
             trace: TraceHandle::disabled(),
+            deadline: Deadline::none(),
         }
     }
 
@@ -511,6 +515,17 @@ impl<'m> QueryEngine<'m> {
     /// recorder attached.
     pub fn set_trace(&mut self, trace: TraceHandle) {
         self.trace = trace;
+    }
+
+    /// Attaches a cooperative [`Deadline`], threaded into the CDCL
+    /// solver (polled every few conflicts mid-search) and checked before
+    /// each SAT layer entry. Once expired, SAT-bound queries return
+    /// budget-limited `Unknown` verdicts — memoized for the sweep but
+    /// never published to a design-level store, exactly like conflict-
+    /// budget exhaustion, so deadlines can never corrupt a digest or a
+    /// knowledge file.
+    pub fn set_deadline(&mut self, deadline: Deadline) {
+        self.deadline = deadline;
     }
 
     /// Consumes the engine, handing the verdict memo back for the next
@@ -919,6 +934,13 @@ impl<'m> QueryEngine<'m> {
         seen_true: bool,
         seen_false: bool,
     ) -> (Decision, bool) {
+        // An expired deadline makes every further SAT-bound query a
+        // budget-limited Unknown without touching the solver: the sweep
+        // finishes its walk on cached layers only, and nothing
+        // state-dependent is persisted.
+        if self.deadline.expired() {
+            return (Decision::Unknown, true);
+        }
         if self.enc.num_vars() > self.options.reset_vars {
             self.solver_base.absorb(&self.enc.solver().stats());
             self.enc = TseitinEncoder::new();
@@ -943,6 +965,7 @@ impl<'m> QueryEngine<'m> {
         self.enc
             .solver_mut()
             .set_conflict_budget(Some(self.options.decide.conflict_budget));
+        self.enc.solver_mut().set_deadline(self.deadline.clone());
         let query = |polarity: Lit, this: &mut Self| -> SolveResult {
             this.stats.sat_solves += 1;
             let mut a = assumptions.clone();

@@ -15,6 +15,7 @@ use crate::query_engine::{
 };
 use crate::subgraph::{extract_cached, ConeCache, SubgraphStats};
 use smartly_netlist::{CellId, CellKind, Module, NetIndex, Port, SigBit, SigSpec, TriVal};
+use smartly_sat::Deadline;
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
@@ -106,6 +107,10 @@ pub struct SweepContext {
     /// default). `Rc`-based, so a context carrying a live recorder is
     /// deliberately not `Send` — one worker owns one module's sweeps.
     pub trace: smartly_telemetry::TraceHandle,
+    /// Cooperative cancellation token handed to each sweep's query
+    /// engine (and through it the CDCL solver). [`Deadline::none`] — the
+    /// default — costs nothing.
+    pub deadline: Deadline,
     /// Cell fingerprints at the end of the previous round, if any.
     fingerprints: Option<HashMap<CellId, u64>>,
 }
@@ -122,6 +127,7 @@ impl SweepContext {
             shared,
             verdicts,
             trace: smartly_telemetry::TraceHandle::disabled(),
+            deadline: Deadline::none(),
             fingerprints: None,
         }
     }
@@ -216,6 +222,10 @@ pub struct SatPassStats {
     pub solver_rephase_inverted: u64,
     /// Rephasings that restored the original default phases.
     pub solver_rephase_original: u64,
+    /// Cooperative-deadline polls inside the solver's search loop
+    /// (`checks × interval` bounds the conflicts a solve ran past its
+    /// deadline — the interruption latency).
+    pub solver_deadline_checks: u64,
     /// Per-layer latency and per-SAT-call work distributions (timing
     /// JSON only — never digest material).
     pub profile: FunnelProfile,
@@ -279,6 +289,7 @@ impl SatPassStats {
         self.solver_rephase_best += o.solver_rephase_best;
         self.solver_rephase_inverted += o.solver_rephase_inverted;
         self.solver_rephase_original += o.solver_rephase_original;
+        self.solver_deadline_checks += o.solver_deadline_checks;
         self.profile.absorb(&o.profile);
     }
 }
@@ -392,6 +403,7 @@ pub fn sat_redundancy_with(
             ctx.verdicts.clone(),
         );
         eng.set_trace(ctx.trace.clone());
+        eng.set_deadline(ctx.deadline.clone());
         Some(std::cell::RefCell::new(eng))
     } else {
         None
@@ -630,6 +642,7 @@ pub fn sat_redundancy_with(
         stats.solver_rephase_best = es.solver.rephase_best;
         stats.solver_rephase_inverted = es.solver.rephase_inverted;
         stats.solver_rephase_original = es.solver.rephase_original;
+        stats.solver_deadline_checks = es.solver.deadline_checks;
         stats.profile = es.profile;
         ctx.memo = eng.into_memo();
     }

@@ -175,6 +175,10 @@ pub struct CorpusReport {
     /// [`KnowledgeState`] (timing artifact only: every field depends on
     /// warm-start state and warm digests must match cold ones).
     pub kb: Option<KbReport>,
+    /// Modules whose optimization panicked and was isolated, summed over
+    /// every level run and both benches (timing artifact only: non-zero
+    /// exclusively when a fail-point or a genuinely buggy pass fired).
+    pub modules_poisoned: usize,
     /// Span traces collected when [`CorpusOptions::trace`] was on: one
     /// per level run (`corpus-<level>`) plus the two benches. Written to
     /// separate files by `smartly corpus --trace-dir`, never embedded in
@@ -208,6 +212,7 @@ pub fn run_public_corpus(opts: &CorpusOptions) -> Result<CorpusReport, DriverErr
         .collect::<Result<_, _>>()?;
 
     let mut traces: Vec<Trace> = Vec::new();
+    let mut modules_poisoned = 0usize;
     for level in OptLevel::ALL {
         let mut design = Design::from_modules(pristine.clone());
         let driver_opts = DriverOptions {
@@ -222,6 +227,7 @@ pub fn run_public_corpus(opts: &CorpusOptions) -> Result<CorpusReport, DriverErr
             ..Default::default()
         };
         let mut report = optimize_design(&mut design, &driver_opts)?;
+        modules_poisoned += report.poisoned();
         if let Some(mut t) = report.trace.take() {
             t.name = format!("corpus-{}", level.name());
             traces.push(t);
@@ -239,10 +245,12 @@ pub fn run_public_corpus(opts: &CorpusOptions) -> Result<CorpusReport, DriverErr
             }
         }
     }
-    let (knowledge_bench, kb_trace) = run_knowledge_bench(opts)?;
+    let (knowledge_bench, kb_trace, kb_poisoned) = run_knowledge_bench(opts)?;
     traces.extend(kb_trace);
-    let (solver_bench, sb_trace) = run_solver_bench(opts)?;
+    modules_poisoned += kb_poisoned;
+    let (solver_bench, sb_trace, sb_poisoned) = run_solver_bench(opts)?;
     traces.extend(sb_trace);
+    modules_poisoned += sb_poisoned;
     Ok(CorpusReport {
         scale: opts.scale,
         rows,
@@ -250,6 +258,7 @@ pub fn run_public_corpus(opts: &CorpusOptions) -> Result<CorpusReport, DriverErr
         solver_bench: Some(solver_bench),
         // sampled after every level + the benches: cumulative disk hits
         kb: opts.knowledge_state.as_ref().map(|s| s.kb_report()),
+        modules_poisoned,
         traces,
     })
 }
@@ -260,7 +269,7 @@ pub fn run_public_corpus(opts: &CorpusOptions) -> Result<CorpusReport, DriverErr
 /// a sibling module already published it).
 fn run_knowledge_bench(
     opts: &CorpusOptions,
-) -> Result<(KnowledgeBench, Option<Trace>), DriverError> {
+) -> Result<(KnowledgeBench, Option<Trace>, usize), DriverError> {
     let modules = smartly_workloads::knowledge_probes(8, 4, 12);
     let n = modules.len();
     let mut design = Design::from_modules(modules);
@@ -303,6 +312,7 @@ fn run_knowledge_bench(
             wall,
         },
         trace,
+        report.poisoned(),
     ))
 }
 
@@ -311,7 +321,9 @@ fn run_knowledge_bench(
 /// conflict-driven search, so the solver's tier/reduction/GC/rephasing
 /// machinery demonstrably fires on a corpus run (cold state; a warm
 /// knowledge file answers these queries from disk instead).
-fn run_solver_bench(opts: &CorpusOptions) -> Result<(SolverBench, Option<Trace>), DriverError> {
+fn run_solver_bench(
+    opts: &CorpusOptions,
+) -> Result<(SolverBench, Option<Trace>, usize), DriverError> {
     let cones = 4;
     let modules = smartly_workloads::solver_stress(cones, 10);
     let mut design = Design::from_modules(modules);
@@ -346,6 +358,7 @@ fn run_solver_bench(opts: &CorpusOptions) -> Result<(SolverBench, Option<Trace>)
             wall,
         },
         trace,
+        report.poisoned(),
     ))
 }
 
@@ -415,6 +428,7 @@ impl CorpusReport {
             .collect();
         obj.set("circuits", Json::Array(circuits));
         if include_timing {
+            obj.set("modules_poisoned", Json::UInt(self.modules_poisoned as u64));
             if let Some(kb) = &self.knowledge_bench {
                 let mut k = Json::object();
                 k.set("modules", Json::UInt(kb.modules as u64));

@@ -5,7 +5,8 @@
 use crate::knowledge::{DesignVerdictStore, KnowledgeBase};
 use crate::persist::KnowledgeState;
 use crate::report::{DesignReport, ModuleOutcome, ModuleReport};
-use smartly_core::{OptLevel, Pipeline, SharedCexBank, SharedVerdictStore};
+use smartly_core::{Deadline, OptLevel, Pipeline, SharedCexBank, SharedVerdictStore};
+use smartly_failpoint as fail;
 use smartly_netlist::{Design, Module, NetlistError};
 use smartly_telemetry::{ArgValue, SpanEvent, Trace, TraceClock, TraceHandle};
 use std::collections::HashMap;
@@ -30,13 +31,21 @@ pub struct DriverOptions {
     /// Size guard: modules with more live cells than this are passed
     /// through untouched and reported as skipped.
     pub max_cells: Option<usize>,
-    /// Soft time guard: a module whose optimization ran longer than this
-    /// is reverted to its original netlist and reported as timed out.
+    /// Per-module wall-clock budget, enforced **cooperatively**: the
+    /// worker threads a [`smartly_sat::Deadline`] through the pipeline
+    /// into the query engine and the CDCL search loop (polled every few
+    /// conflicts — the `deadline_checks` counter in the timing JSON
+    /// shows the poll count, bounding interruption latency), so an
+    /// expired budget interrupts a stuck SAT call mid-flight instead of
+    /// only being observed at pass boundaries. A module that hit its
+    /// deadline — or whose pipeline returned past the budget — is
+    /// reverted to its original netlist and reported as timed out.
     ///
-    /// The guard is checked *after* the pipeline returns (passes are not
-    /// preemptible), so it bounds damage, not latency — and because it
-    /// depends on wall time, enabling it can make reports differ between
-    /// otherwise identical runs.
+    /// Because expiry depends on wall time, enabling the budget can make
+    /// reports differ between otherwise identical runs. Interrupted
+    /// queries surface as budget-limited `Unknown` verdicts and are
+    /// never published to design-level knowledge stores, so other
+    /// modules' results and warm-start files stay sound.
     pub timeout: Option<Duration>,
     /// Attach one design-level [`KnowledgeBase`] to every module's
     /// pipeline so structurally similar modules seed each other's
@@ -319,6 +328,20 @@ pub fn optimize_design(
     Ok(report)
 }
 
+/// Fail-point site: panics inside the guarded per-module region (arg:
+/// the module name, so an `@filter` can target one module).
+pub const FP_MODULE_PANIC: &str = "driver.module.panic";
+/// Fail-point site: forces a deterministic, already-counting-down
+/// deadline onto a module (arg: the module name), exercising the
+/// cooperative-interruption ladder without real wall-clock pressure.
+pub const FP_MODULE_DEADLINE: &str = "driver.module.deadline";
+
+/// Polls a fail-point-forced deadline survives before expiring: one
+/// round boundary and one SAT-layer entry pass, so the third poll trips
+/// inside whatever the module is doing next — mid-SAT search when the
+/// module has solver work.
+const FORCED_DEADLINE_CHECKS: u64 = 3;
+
 fn run_one(slot: &mut Slot, pipeline: &Pipeline, opts: &DriverOptions, clock: Option<TraceClock>) {
     let cells_before = slot.module.live_cell_count();
     if let Some(limit) = opts.max_cells {
@@ -335,41 +358,86 @@ fn run_one(slot: &mut Slot, pipeline: &Pipeline, opts: &DriverOptions, clock: Op
         }
     }
 
-    // Keep the pristine module: restored on pipeline error (so the
-    // design never silently holds half-optimized netlists) and on a blown
-    // timeout budget. Lives only while this worker runs this module, so
-    // peak overhead is one module per worker, not per design.
+    // Keep the pristine module: restored on pipeline error, on a blown
+    // or tripped deadline, and on a caught panic (so the design never
+    // silently holds half-optimized netlists). Lives only while this
+    // worker runs this module, so peak overhead is one module per
+    // worker, not per design.
     let original = slot.module.clone();
-    let trace = match clock {
-        Some(clock) => TraceHandle::recording(clock),
-        None => TraceHandle::disabled(),
+    let deadline = if fail::check_arg(FP_MODULE_DEADLINE, &slot.module.name) {
+        Deadline::after_checks(FORCED_DEADLINE_CHECKS)
+    } else {
+        match opts.timeout {
+            Some(budget) => Deadline::after(budget),
+            None => Deadline::none(),
+        }
     };
-    trace.begin_with("module", &[("cells", ArgValue::U64(cells_before as u64))]);
     let t0 = Instant::now();
-    let result = pipeline.run_traced(&mut slot.module, opts.level, &trace);
-    trace.end_with(&[(
-        "cells_after",
-        ArgValue::U64(slot.module.live_cell_count() as u64),
-    )]);
-    // By here every pipeline-internal clone of the handle has been
-    // dropped, so `finish` yields the events (or `None` when disabled).
-    slot.trace = trace.finish();
+    // Panic isolation: everything that can execute pass code runs under
+    // the guard. On panic the slot module is restored from `original`
+    // and the trace buffer is discarded, so no state the unwound pass
+    // touched survives (which is what justifies the guard's
+    // AssertUnwindSafe — see `panic_guard`).
+    let guarded = crate::panic_guard::catch(|| {
+        let module = &mut slot.module;
+        if fail::check_arg(FP_MODULE_PANIC, &module.name) {
+            panic!("failpoint: injected panic in module '{}'", module.name);
+        }
+        let trace = match clock {
+            Some(clock) => TraceHandle::recording(clock),
+            None => TraceHandle::disabled(),
+        };
+        trace.begin_with("module", &[("cells", ArgValue::U64(cells_before as u64))]);
+        let result = pipeline.run_with_deadline(module, opts.level, &trace, &deadline);
+        trace.end_with(&[(
+            "cells_after",
+            ArgValue::U64(module.live_cell_count() as u64),
+        )]);
+        // By here every pipeline-internal clone of the handle has been
+        // dropped, so `finish` yields the events (or `None` when
+        // disabled).
+        (result, trace.finish())
+    });
+    let wall = t0.elapsed();
+    let (result, trace_events) = match guarded {
+        Ok(r) => r,
+        Err(panic) => {
+            slot.module = original;
+            slot.trace = None;
+            slot.done = Some(ModuleReport {
+                name: slot.module.name.clone(),
+                cells_before,
+                cells_after: cells_before,
+                outcome: ModuleOutcome::Poisoned {
+                    message: panic.message,
+                    backtrace: panic.backtrace,
+                },
+                report: None,
+                wall,
+            });
+            return;
+        }
+    };
+    slot.trace = trace_events;
     match result {
         Ok(report) => {
-            let wall = t0.elapsed();
-            if let Some(budget) = opts.timeout {
-                if wall > budget {
-                    slot.module = original;
-                    slot.done = Some(ModuleReport {
-                        name: slot.module.name.clone(),
-                        cells_before,
-                        cells_after: cells_before,
-                        outcome: ModuleOutcome::TimedOut { budget },
-                        report: None,
-                        wall,
-                    });
-                    return;
-                }
+            // Revert when the cooperative deadline fired mid-pipeline
+            // *or* the pipeline returned past the wall budget without
+            // ever polling (a module whose time went to non-SAT work).
+            let budget_blown = opts.timeout.is_some_and(|budget| wall > budget);
+            if deadline.was_tripped() || budget_blown {
+                slot.module = original;
+                slot.done = Some(ModuleReport {
+                    name: slot.module.name.clone(),
+                    cells_before,
+                    cells_after: cells_before,
+                    outcome: ModuleOutcome::TimedOut {
+                        budget: opts.timeout.unwrap_or(Duration::ZERO),
+                    },
+                    report: None,
+                    wall,
+                });
+                return;
             }
             slot.done = Some(ModuleReport {
                 name: slot.module.name.clone(),

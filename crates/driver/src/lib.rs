@@ -17,8 +17,21 @@
 //!   *near-miss* modules (same cone shapes, different nets) seed each
 //!   other's SAT-replay vectors instead of starting cold;
 //! * **guards** — [`DriverOptions::max_cells`] skips oversized modules,
-//!   [`DriverOptions::timeout`] reverts modules whose optimization ran
-//!   too long;
+//!   [`DriverOptions::timeout`] arms a cooperative deadline that
+//!   interrupts a module mid-SAT-search and reverts it to its original
+//!   netlist;
+//! * **panic isolation** — each module's optimization runs under
+//!   `catch_unwind`; a panicking pass poisons that one module (original
+//!   netlist restored, panic message and backtrace in the report) while
+//!   the rest of the design keeps optimizing;
+//! * **crash-safe persistence** ([`persist`]) — knowledge saves are
+//!   write-verify-rename with bounded retry, fsync of both the file and
+//!   its parent directory, so a crash mid-save never corrupts an
+//!   existing knowledge file;
+//! * a **deterministic fault-injection harness** (`smartly-failpoint`) —
+//!   named fail-point sites across the save path and the module pool,
+//!   armed via `SMARTLY_FAILPOINTS` or in-process, drive the chaos
+//!   suite that pins the degradation ladder;
 //! * a deterministic [`DesignReport`] — per-module
 //!   [`smartly_core::PipelineReport`]s aggregated in stable module order;
 //!   [`DesignReport::digest`] is byte-identical across `jobs` settings;
@@ -66,6 +79,7 @@ mod corpus;
 mod engine;
 pub mod json;
 pub mod knowledge;
+mod panic_guard;
 pub mod persist;
 mod report;
 pub mod trace;
@@ -74,9 +88,15 @@ pub use corpus::{
     run_public_corpus, scale_from_str, CorpusOptions, CorpusReport, CorpusRow, KnowledgeBench,
     LevelResult, SolverBench,
 };
-pub use engine::{level_from_str, optimize_design, structural_key, DriverOptions};
+pub use engine::{
+    level_from_str, optimize_design, structural_key, DriverOptions, FP_MODULE_DEADLINE,
+    FP_MODULE_PANIC,
+};
 pub use knowledge::{DesignVerdictStore, KnowledgeBase, KnowledgeStats, VerdictStoreStats};
-pub use persist::{load_state, save_state, KbReport, KnowledgeState, SaveReport, StoreKey};
+pub use persist::{
+    load_state, save_state, KbReport, KnowledgeState, SaveReport, StoreKey, FP_SAVE_IO,
+    FP_SAVE_RELOAD, FP_SAVE_RENAME, FP_SAVE_VERIFY,
+};
 pub use report::{DesignReport, ModuleOutcome, ModuleReport, Verbosity};
 pub use trace::{chrome_trace_json, LayerAgg, SpanAgg, TraceSummary};
 

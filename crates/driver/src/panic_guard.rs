@@ -1,0 +1,129 @@
+//! Panic isolation for the module work pool.
+//!
+//! A panicking pass must cost one module, not the process: the worker
+//! wraps each module's optimization in [`catch`], which runs the
+//! closure under [`std::panic::catch_unwind`] and — on panic — hands
+//! back the payload message plus a backtrace captured *at the panic
+//! site* (a process-global panic hook records it into a thread-local;
+//! the hook delegates to the previous hook for panics outside a guarded
+//! region, so ordinary test failures still print normally).
+//!
+//! The `AssertUnwindSafe` is justified by the caller's protocol: the
+//! driver discards everything the closure touched — the module slot is
+//! restored from a pristine clone and the trace buffer is dropped — so
+//! no state mutated by a half-finished pass is ever observed. The
+//! design-level knowledge stores a pass may share are append-only maps
+//! behind their own mutexes whose entries are re-verified on every
+//! replay, so even a publish interrupted mid-flight degrades to a
+//! missed cache hit, never a wrong verdict.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// What a caught panic left behind.
+#[derive(Clone, Debug)]
+pub(crate) struct PanicCapture {
+    /// The panic payload, when it was a string (the overwhelmingly
+    /// common case); a placeholder otherwise.
+    pub message: String,
+    /// Backtrace captured at the panic site by the hook, with the panic
+    /// location header prepended.
+    pub backtrace: String,
+}
+
+thread_local! {
+    /// Non-zero while this thread is inside a [`catch`] region.
+    static GUARD_DEPTH: RefCell<u32> = const { RefCell::new(0) };
+    /// Location + backtrace recorded by the hook for the panic being
+    /// unwound, if any.
+    static LAST_PANIC: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// Installs the capture hook exactly once, chaining to whatever hook was
+/// active before (the default printer, or a test harness's).
+fn install_hook() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let guarded = GUARD_DEPTH.with(|d| *d.borrow() > 0);
+            if guarded {
+                let location = info
+                    .location()
+                    .map(|l| format!("at {}:{}:{}", l.file(), l.line(), l.column()))
+                    .unwrap_or_else(|| "at <unknown location>".to_string());
+                let backtrace = std::backtrace::Backtrace::force_capture();
+                LAST_PANIC.with(|p| {
+                    *p.borrow_mut() = Some(format!("{location}\n{backtrace}"));
+                });
+                // swallow the default stderr printout: the panic is
+                // being converted into a ModuleOutcome, not a crash
+            } else {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Runs `f`, converting a panic into a [`PanicCapture`] instead of
+/// unwinding into the caller. See the module docs for why the blanket
+/// `AssertUnwindSafe` is sound under the driver's restore-on-panic
+/// protocol.
+pub(crate) fn catch<T>(f: impl FnOnce() -> T) -> Result<T, PanicCapture> {
+    install_hook();
+    GUARD_DEPTH.with(|d| *d.borrow_mut() += 1);
+    let result = catch_unwind(AssertUnwindSafe(f));
+    GUARD_DEPTH.with(|d| *d.borrow_mut() -= 1);
+    result.map_err(|payload| {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "<non-string panic payload>".to_string()
+        };
+        let backtrace = LAST_PANIC
+            .with(|p| p.borrow_mut().take())
+            .unwrap_or_else(|| "<no backtrace captured>".to_string());
+        PanicCapture { message, backtrace }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passthrough_returns_the_value() {
+        assert_eq!(catch(|| 41 + 1).unwrap(), 42);
+    }
+
+    #[test]
+    fn str_panic_is_captured_with_location() {
+        let err = catch(|| -> u32 { panic!("boom at the pass") }).unwrap_err();
+        assert_eq!(err.message, "boom at the pass");
+        assert!(
+            err.backtrace.contains("panic_guard.rs"),
+            "backtrace should point at the panic site: {}",
+            err.backtrace
+        );
+    }
+
+    #[test]
+    fn formatted_panic_is_captured() {
+        let module = "case_chain";
+        let err = catch(|| -> u32 { panic!("injected panic in '{module}'") }).unwrap_err();
+        assert_eq!(err.message, "injected panic in 'case_chain'");
+    }
+
+    #[test]
+    fn guard_nests_and_resets() {
+        let outer = catch(|| {
+            let inner = catch(|| -> u32 { panic!("inner") });
+            assert!(inner.is_err());
+            7u32
+        });
+        assert_eq!(outer.unwrap(), 7);
+    }
+}

@@ -38,13 +38,22 @@
 //!
 //! Saves are bounded (`max_entries` per section, hottest shapes and
 //! freshest verdicts first) so the file cannot grow without limit
-//! across runs, and are written via a temp-file rename so readers never
-//! observe a torn store.
+//! across runs, and are **crash-safe**: the store is written to a
+//! pid-suffixed sibling temp file, fsynced, read back and compared
+//! (catching short or torn writes), renamed over the target, and the
+//! parent directory fsynced — with the whole sequence retried under a
+//! bounded exponential backoff on IO failure and the temp file removed
+//! on every error path. The seams of that sequence are
+//! [`smartly_failpoint`] sites (`persist.save.io`,
+//! `persist.save.verify`, `persist.save.rename`, `persist.save.reload`)
+//! so the chaos suite can inject each failure deterministically.
 
 use crate::knowledge::{DesignVerdictStore, KnowledgeBase, ShapeRecord};
 use smartly_core::decide::Decision;
 use smartly_core::subgraph::encoding_fingerprint;
+use smartly_failpoint as fail;
 use smartly_sat::codec::{fnv64, ByteReader, ByteWriter};
+use std::io::Write;
 use std::path::Path;
 use std::sync::Arc;
 
@@ -101,6 +110,9 @@ pub struct SaveReport {
     pub shapes_written: usize,
     /// Verdict records written.
     pub verdicts_written: usize,
+    /// Write-verify-rename attempts that failed before the save
+    /// succeeded (0 on a clean first attempt).
+    pub retries: u64,
 }
 
 impl SaveReport {
@@ -133,6 +145,11 @@ pub struct KbReport {
     pub detail: String,
     /// Records written back on save (0 until a save happens).
     pub entries_written: usize,
+    /// The save was attempted and failed even after retries (the run
+    /// itself still succeeds: persistence degrades, results do not).
+    pub save_failed: bool,
+    /// Failed write-verify-rename attempts absorbed by the retry loop.
+    pub save_retries: u64,
 }
 
 /// The warm-startable knowledge attached to one design run: the shared
@@ -169,6 +186,8 @@ impl KnowledgeState {
             load_failed: self.load.load_failed,
             detail: self.load.detail.clone(),
             entries_written: 0,
+            save_failed: false,
+            save_retries: 0,
         }
     }
 }
@@ -353,16 +372,86 @@ pub fn load_state(path: &Path, expect: &StoreKey, bank_capacity: usize) -> Knowl
     state
 }
 
+/// Fail-point site fired before the temp file is written (simulates a
+/// full disk or a dead mount).
+pub const FP_SAVE_IO: &str = "persist.save.io";
+/// Fail-point site that makes the read-back comparison report a torn
+/// write.
+pub const FP_SAVE_VERIFY: &str = "persist.save.verify";
+/// Fail-point site fired instead of the publishing rename.
+pub const FP_SAVE_RENAME: &str = "persist.save.rename";
+/// Fail-point site that *enables* reload-after-save verification: when
+/// armed, the published file is read back and decoded against the save
+/// key, failing the save if the store does not round-trip.
+pub const FP_SAVE_RELOAD: &str = "persist.save.reload";
+
+/// Write-verify-rename attempts before a save gives up.
+pub const SAVE_ATTEMPTS: u32 = 3;
+/// Base backoff between attempts, doubled per retry.
+const SAVE_BACKOFF_MS: u64 = 5;
+
+/// One crash-safe publication attempt: write the temp file, fsync it,
+/// read it back and compare (a short or torn write must never be
+/// renamed into place), rename over the target, fsync the parent
+/// directory so the rename itself survives a crash.
+fn write_verify_rename(tmp: &Path, path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    if fail::check(FP_SAVE_IO) {
+        return Err(std::io::Error::other("failpoint: injected save IO error"));
+    }
+    let mut f = std::fs::File::create(tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    let back = std::fs::read(tmp)?;
+    if back != bytes || fail::check(FP_SAVE_VERIFY) {
+        return Err(std::io::Error::other(
+            "temp-file read-back mismatch (torn write)",
+        ));
+    }
+    if fail::check(FP_SAVE_RENAME) {
+        return Err(std::io::Error::other("failpoint: injected rename error"));
+    }
+    std::fs::rename(tmp, path)?;
+    sync_parent_dir(path);
+    Ok(())
+}
+
+/// Fsyncs the directory holding `path`, making the rename durable.
+/// Best-effort: a filesystem that cannot sync directories degrades to
+/// the pre-fsync guarantee (complete-or-old file, possibly lost on
+/// power failure), which is never worse than not trying.
+#[cfg(unix)]
+fn sync_parent_dir(path: &Path) {
+    let parent = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    if let Ok(dir) = std::fs::File::open(parent) {
+        let _ = dir.sync_all();
+    }
+}
+
+#[cfg(not(unix))]
+fn sync_parent_dir(_path: &Path) {}
+
 /// Writes the state back to `path`, bounded to `max_entries` shapes and
-/// `max_entries` verdicts (hottest shapes, freshest verdicts). The file
-/// is written to a sibling temp path and renamed, so a concurrent
-/// reader sees either the old store or the new one, never a torn write.
+/// `max_entries` verdicts (hottest shapes, freshest verdicts).
+///
+/// The write is crash-safe: temp file → fsync → read-back verify →
+/// rename → parent-directory fsync, so a concurrent reader (or a reader
+/// after a crash at any point) sees either the old store or the new
+/// one, never a torn write. IO failures are retried up to
+/// [`SAVE_ATTEMPTS`] times under exponential backoff —
+/// [`SaveReport::retries`] counts the absorbed failures — and the
+/// pid-suffixed temp file is removed on every error path.
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors (unlike loading, failing to *save* is
-/// worth surfacing: the user asked to persist knowledge and nothing
-/// was persisted).
+/// Propagates the last filesystem error once retries are exhausted
+/// (unlike loading, failing to *save* is worth surfacing: the user
+/// asked to persist knowledge and nothing was persisted). Callers that
+/// must not die on a failed save — the CLI, a long-lived service —
+/// degrade by reporting [`KbReport::save_failed`] instead of exiting.
 pub fn save_state(
     path: &Path,
     state: &KnowledgeState,
@@ -379,11 +468,40 @@ pub fn save_state(
     // torn interleaving through a shared temp path (within one process
     // the CLI saves once, at exit)
     let tmp = path.with_extension(format!("kb.tmp.{}", std::process::id()));
-    std::fs::write(&tmp, &bytes)?;
-    std::fs::rename(&tmp, path)?;
+    let mut retries = 0u64;
+    let mut attempt = 0u32;
+    let result = loop {
+        attempt += 1;
+        match write_verify_rename(&tmp, path, &bytes) {
+            Ok(()) => break Ok(()),
+            Err(e) => {
+                if attempt >= SAVE_ATTEMPTS {
+                    break Err(e);
+                }
+                retries += 1;
+                std::thread::sleep(std::time::Duration::from_millis(
+                    SAVE_BACKOFF_MS << (attempt - 1),
+                ));
+            }
+        }
+    };
+    if result.is_err() {
+        // never leave the pid-suffixed temp file behind on failure
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result?;
+    if fail::check(FP_SAVE_RELOAD) {
+        let back = std::fs::read(path)?;
+        if decode(&back, key).is_err() {
+            return Err(std::io::Error::other(
+                "reload-after-save verification failed",
+            ));
+        }
+    }
     Ok(SaveReport {
         shapes_written: shapes.len(),
         verdicts_written: verdicts.len(),
+        retries,
     })
 }
 

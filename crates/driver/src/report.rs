@@ -68,6 +68,17 @@ pub enum ModuleOutcome {
         /// The configured budget.
         budget: Duration,
     },
+    /// The pipeline panicked on this module. The panic was caught at the
+    /// module boundary, the original netlist was restored, and the rest
+    /// of the design kept optimizing — a bad pass costs one module, not
+    /// the process.
+    Poisoned {
+        /// The panic payload message.
+        message: String,
+        /// Backtrace captured at the panic site (timing JSON only —
+        /// never part of the digest).
+        backtrace: String,
+    },
     /// No report was produced (worker error); passed through untouched.
     Untouched,
 }
@@ -80,6 +91,7 @@ impl ModuleOutcome {
             ModuleOutcome::MemoHit { .. } => "memo_hit",
             ModuleOutcome::SkippedTooLarge { .. } => "skipped_too_large",
             ModuleOutcome::TimedOut { .. } => "timed_out",
+            ModuleOutcome::Poisoned { .. } => "poisoned",
             ModuleOutcome::Untouched => "untouched",
         }
     }
@@ -161,6 +173,16 @@ impl ModuleReport {
             }
             ModuleOutcome::TimedOut { budget } => {
                 obj.set("budget_ms", Json::UInt(budget.as_millis() as u64));
+            }
+            ModuleOutcome::Poisoned { message, backtrace } => {
+                // The message is deterministic (it only ever appears when
+                // a fail-point or a genuinely buggy pass fired) and rides
+                // in the digest so chaos tests can pin it; the backtrace
+                // carries addresses and stays timing-only.
+                obj.set("panic", Json::Str(message.clone()));
+                if include_timing {
+                    obj.set("panic_backtrace", Json::Str(backtrace.clone()));
+                }
             }
             _ => {}
         }
@@ -324,6 +346,14 @@ impl DesignReport {
             .count()
     }
 
+    /// Number of modules whose optimization panicked and was isolated.
+    pub fn poisoned(&self) -> usize {
+        self.modules
+            .iter()
+            .filter(|m| matches!(m.outcome, ModuleOutcome::Poisoned { .. }))
+            .count()
+    }
+
     /// `Some(true)` when every verified module proved equivalent,
     /// `Some(false)` if any refuted/unknown, `None` when verification
     /// never ran.
@@ -393,6 +423,7 @@ impl DesignReport {
         if include_timing {
             obj.set("jobs", Json::UInt(self.jobs as u64));
             obj.set("wall_us", Json::UInt(self.wall.as_micros() as u64));
+            obj.set("modules_poisoned", Json::UInt(self.poisoned() as u64));
             if let Some(k) = &self.knowledge {
                 let mut kb = Json::object();
                 kb.set("shapes", Json::UInt(k.shapes as u64));
@@ -443,7 +474,8 @@ pub(crate) fn solver_counters(s: &SatPassStats) -> Counters {
         .add("lbd_core", s.solver_lbd_core)
         .add("reduces", s.solver_reduces)
         .add("arena_gcs", s.solver_arena_gcs)
-        .add("rephases", s.solver_rephases);
+        .add("rephases", s.solver_rephases)
+        .add("deadline_checks", s.solver_deadline_checks);
     c
 }
 
@@ -521,6 +553,8 @@ pub(crate) fn kb_json(k: &KbReport) -> Json {
     kb.set("kb_load_failed", Json::Bool(k.load_failed));
     kb.set("kb_load_detail", Json::Str(k.detail.clone()));
     kb.set("kb_entries_written", Json::UInt(k.entries_written as u64));
+    kb.set("kb_save_failed", Json::Bool(k.save_failed));
+    kb.set("kb_save_retries", Json::UInt(k.save_retries));
     kb
 }
 
@@ -548,6 +582,11 @@ impl DesignReport {
                     None => "",
                 };
                 match (&m.outcome, &m.report) {
+                    (ModuleOutcome::Poisoned { message, .. }, _) => writeln!(
+                        out,
+                        "  {:<24} poisoned: {message} (netlist restored)",
+                        m.name
+                    ),
                     (ModuleOutcome::MemoHit { of }, Some(r)) => writeln!(
                         out,
                         "  {:<24} memo({of}): area {} -> {}{verdict}",
@@ -608,13 +647,16 @@ impl DesignReport {
 /// shared by `smartly opt -v` and `smartly stats`.
 pub(crate) fn kb_human_line(k: &KbReport) -> String {
     format!(
-        "kb: loaded={}+{} disk_hits={} entries_written={} stale_rejected={} load_failed={}{}",
+        "kb: loaded={}+{} disk_hits={} entries_written={} stale_rejected={} load_failed={} \
+         save_failed={} save_retries={}{}",
         k.loaded_shapes,
         k.loaded_verdicts,
         k.disk_hits,
         k.entries_written,
         k.stale_rejected,
         k.load_failed,
+        k.save_failed,
+        k.save_retries,
         if k.detail.is_empty() {
             String::new()
         } else {

@@ -189,6 +189,7 @@ fn module_timing_json_schema_snapshot() {
             "reduces",
             "arena_gcs",
             "rephases",
+            "deadline_checks",
             "rephase_kind",
             "resets",
         ]
@@ -246,6 +247,7 @@ fn corpus_bench_json_schema_snapshot() {
             wall: Duration::from_micros(11),
         }),
         kb: None,
+        modules_poisoned: 0,
         traces: Vec::new(),
     };
     let doc = Json::parse(&report.to_json().render()).expect("self-parse");

@@ -1,0 +1,361 @@
+//! A deterministic, dependency-free fail-point registry for chaos
+//! testing.
+//!
+//! Production code marks fault-injection seams with
+//! [`check("site.name")`](check) (or [`check_arg`] when the site wants
+//! to discriminate by a runtime argument such as a module name). A
+//! check is a **zero-cost no-op unless the registry is armed**: the
+//! fast path is a single relaxed atomic load, no lock, no allocation.
+//!
+//! Arming happens either programmatically ([`arm`], [`arm_spec_list`])
+//! or — for release binaries — through the `SMARTLY_FAILPOINTS`
+//! environment variable, parsed once on first use:
+//!
+//! ```text
+//! SMARTLY_FAILPOINTS="persist.save.io=hit:1;driver.module.panic=always@case_chain"
+//! ```
+//!
+//! Triggers fire on **deterministic hit counts**, never on wall time,
+//! so a chaos run armed with the same spec on the same workload fires
+//! the same faults every time:
+//!
+//! | action       | fires…                                             |
+//! |--------------|----------------------------------------------------|
+//! | `off`        | never (site stays registered, hits still counted)  |
+//! | `always`     | on every matching check                            |
+//! | `hit:N`      | exactly on the Nth matching check (1-based)        |
+//! | `after:N`    | on every matching check past the Nth               |
+//! | `every:N`    | on every Nth matching check                        |
+//! | `p:A/B:SEED` | when `splitmix64(SEED ^ hit) % B < A` — a seeded,  |
+//! |              | reproducible pseudo-random rate                    |
+//!
+//! An action may carry an `@FILTER` suffix: the site then only counts
+//! and fires for [`check_arg`] calls whose argument *contains* the
+//! filter substring, which is how a chaos test targets one module of a
+//! multi-module design.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Environment variable consulted on first registry use.
+pub const ENV_VAR: &str = "SMARTLY_FAILPOINTS";
+
+/// How an armed site decides whether a given hit fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Action {
+    Off,
+    Always,
+    Hit(u64),
+    After(u64),
+    Every(u64),
+    Prob { num: u64, den: u64, seed: u64 },
+}
+
+#[derive(Clone, Debug)]
+struct SiteState {
+    action: Action,
+    /// Substring filter on the `check_arg` argument; `None` matches all.
+    filter: Option<String>,
+    /// Matching checks observed so far.
+    hits: u64,
+    /// Matching checks that fired.
+    fired: u64,
+}
+
+struct Registry {
+    /// Fast-path gate: `false` means no site is armed and every check
+    /// returns immediately without touching the lock.
+    any_armed: AtomicBool,
+    sites: Mutex<HashMap<String, SiteState>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let reg = Registry {
+            any_armed: AtomicBool::new(false),
+            sites: Mutex::new(HashMap::new()),
+        };
+        if let Ok(spec) = std::env::var(ENV_VAR) {
+            if let Err(e) = arm_list_into(&reg, &spec) {
+                eprintln!("warning: ignoring malformed {ENV_VAR}: {e}");
+            }
+        }
+        reg
+    })
+}
+
+/// SplitMix64: the deterministic mixer behind `p:` triggers.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn parse_action(spec: &str) -> Result<(Action, Option<String>), String> {
+    let (action, filter) = match spec.split_once('@') {
+        Some((a, f)) => (a, Some(f.to_string())),
+        None => (spec, None),
+    };
+    let parse_n = |s: &str, what: &str| -> Result<u64, String> {
+        s.parse::<u64>()
+            .map_err(|_| format!("bad {what} count in failpoint action '{spec}'"))
+    };
+    let action = match action {
+        "off" => Action::Off,
+        "always" => Action::Always,
+        _ => {
+            if let Some(n) = action.strip_prefix("hit:") {
+                Action::Hit(parse_n(n, "hit")?.max(1))
+            } else if let Some(n) = action.strip_prefix("after:") {
+                Action::After(parse_n(n, "after")?)
+            } else if let Some(n) = action.strip_prefix("every:") {
+                Action::Every(parse_n(n, "every")?.max(1))
+            } else if let Some(rest) = action.strip_prefix("p:") {
+                let (frac, seed) = rest
+                    .rsplit_once(':')
+                    .ok_or_else(|| format!("missing seed in failpoint action '{spec}'"))?;
+                let (num, den) = frac
+                    .split_once('/')
+                    .ok_or_else(|| format!("missing denominator in failpoint action '{spec}'"))?;
+                Action::Prob {
+                    num: parse_n(num, "numerator")?,
+                    den: parse_n(den, "denominator")?.max(1),
+                    seed: parse_n(seed, "seed")?,
+                }
+            } else {
+                return Err(format!("unknown failpoint action '{spec}'"));
+            }
+        }
+    };
+    Ok((action, filter))
+}
+
+fn arm_into(reg: &Registry, site: &str, spec: &str) -> Result<(), String> {
+    let (action, filter) = parse_action(spec)?;
+    let mut sites = reg.sites.lock().expect("failpoint registry poisoned");
+    sites.insert(
+        site.to_string(),
+        SiteState {
+            action,
+            filter,
+            hits: 0,
+            fired: 0,
+        },
+    );
+    reg.any_armed.store(true, Ordering::Release);
+    Ok(())
+}
+
+fn arm_list_into(reg: &Registry, list: &str) -> Result<(), String> {
+    for entry in list.split([';', ',']) {
+        let entry = entry.trim();
+        if entry.is_empty() {
+            continue;
+        }
+        let (site, spec) = entry
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint entry '{entry}' is missing '='"))?;
+        arm_into(reg, site.trim(), spec.trim())?;
+    }
+    Ok(())
+}
+
+/// Arms `site` with an action spec (`"always"`, `"hit:3"`,
+/// `"after:2@mod_a"`, …). Replaces any previous arming of the site and
+/// resets its hit counter.
+pub fn arm(site: &str, spec: &str) -> Result<(), String> {
+    arm_into(registry(), site, spec)
+}
+
+/// Arms a whole `site=action` list, `;`- or `,`-separated — the same
+/// grammar as the `SMARTLY_FAILPOINTS` environment variable.
+pub fn arm_spec_list(list: &str) -> Result<(), String> {
+    arm_list_into(registry(), list)
+}
+
+/// Disarms one site (its hit history is discarded).
+pub fn disarm(site: &str) {
+    let reg = registry();
+    let mut sites = reg.sites.lock().expect("failpoint registry poisoned");
+    sites.remove(site);
+    if sites.is_empty() {
+        reg.any_armed.store(false, Ordering::Release);
+    }
+}
+
+/// Disarms every site and restores the zero-cost fast path.
+pub fn disarm_all() {
+    let reg = registry();
+    let mut sites = reg.sites.lock().expect("failpoint registry poisoned");
+    sites.clear();
+    reg.any_armed.store(false, Ordering::Release);
+}
+
+/// Whether any site is currently armed (the fast-path gate).
+pub fn armed() -> bool {
+    registry().any_armed.load(Ordering::Acquire)
+}
+
+/// Matching checks a site has observed since arming. Zero for unarmed
+/// sites.
+pub fn hit_count(site: &str) -> u64 {
+    let sites = registry()
+        .sites
+        .lock()
+        .expect("failpoint registry poisoned");
+    sites.get(site).map_or(0, |s| s.hits)
+}
+
+/// Matching checks that fired since arming. Zero for unarmed sites.
+pub fn fired_count(site: &str) -> u64 {
+    let sites = registry()
+        .sites
+        .lock()
+        .expect("failpoint registry poisoned");
+    sites.get(site).map_or(0, |s| s.fired)
+}
+
+/// A fail-point check with no argument: returns `true` when the armed
+/// trigger for `site` says this hit fires. Equivalent to
+/// `check_arg(site, "")`.
+#[inline]
+pub fn check(site: &str) -> bool {
+    check_arg(site, "")
+}
+
+/// A fail-point check discriminated by `arg` (e.g. a module name).
+/// Returns `false` immediately — one relaxed atomic load — unless the
+/// registry is armed.
+#[inline]
+pub fn check_arg(site: &str, arg: &str) -> bool {
+    let reg = registry();
+    if !reg.any_armed.load(Ordering::Relaxed) {
+        return false;
+    }
+    check_slow(reg, site, arg)
+}
+
+#[cold]
+fn check_slow(reg: &Registry, site: &str, arg: &str) -> bool {
+    let mut sites = reg.sites.lock().expect("failpoint registry poisoned");
+    let Some(state) = sites.get_mut(site) else {
+        return false;
+    };
+    if let Some(filter) = &state.filter {
+        if !arg.contains(filter.as_str()) {
+            return false;
+        }
+    }
+    state.hits += 1;
+    let fire = match state.action {
+        Action::Off => false,
+        Action::Always => true,
+        Action::Hit(n) => state.hits == n,
+        Action::After(n) => state.hits > n,
+        Action::Every(n) => state.hits.is_multiple_of(n),
+        Action::Prob { num, den, seed } => splitmix64(seed ^ state.hits) % den < num,
+    };
+    if fire {
+        state.fired += 1;
+    }
+    fire
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex as TestMutex;
+
+    /// The registry is process-global; serialize tests that arm it.
+    static TEST_LOCK: TestMutex<()> = TestMutex::new(());
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        let g = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        disarm_all();
+        g
+    }
+
+    #[test]
+    fn unarmed_checks_are_false_and_uncounted() {
+        let _g = guard();
+        assert!(!check("never.armed"));
+        assert!(!armed());
+        assert_eq!(hit_count("never.armed"), 0);
+    }
+
+    #[test]
+    fn hit_trigger_fires_exactly_once_on_the_nth_check() {
+        let _g = guard();
+        arm("s.hit", "hit:3").unwrap();
+        let fires: Vec<bool> = (0..5).map(|_| check("s.hit")).collect();
+        assert_eq!(fires, vec![false, false, true, false, false]);
+        assert_eq!(hit_count("s.hit"), 5);
+        assert_eq!(fired_count("s.hit"), 1);
+    }
+
+    #[test]
+    fn always_after_and_every_triggers() {
+        let _g = guard();
+        arm("s.always", "always").unwrap();
+        assert!(check("s.always") && check("s.always"));
+        arm("s.after", "after:2").unwrap();
+        let fires: Vec<bool> = (0..4).map(|_| check("s.after")).collect();
+        assert_eq!(fires, vec![false, false, true, true]);
+        arm("s.every", "every:2").unwrap();
+        let fires: Vec<bool> = (0..4).map(|_| check("s.every")).collect();
+        assert_eq!(fires, vec![false, true, false, true]);
+    }
+
+    #[test]
+    fn arg_filter_gates_counting_and_firing() {
+        let _g = guard();
+        arm("s.filt", "hit:1@target").unwrap();
+        assert!(!check_arg("s.filt", "other_module"));
+        assert_eq!(hit_count("s.filt"), 0);
+        assert!(check_arg("s.filt", "my_target_module"));
+        assert!(!check_arg("s.filt", "my_target_module"));
+        assert_eq!(hit_count("s.filt"), 2);
+    }
+
+    #[test]
+    fn seeded_probabilistic_trigger_is_reproducible() {
+        let _g = guard();
+        arm("s.prob", "p:1/4:42").unwrap();
+        let a: Vec<bool> = (0..64).map(|_| check("s.prob")).collect();
+        arm("s.prob", "p:1/4:42").unwrap();
+        let b: Vec<bool> = (0..64).map(|_| check("s.prob")).collect();
+        assert_eq!(a, b);
+        let fired = a.iter().filter(|&&f| f).count();
+        assert!(fired > 0 && fired < 64, "rate trigger degenerate: {fired}");
+    }
+
+    #[test]
+    fn spec_list_parses_and_off_counts_without_firing() {
+        let _g = guard();
+        arm_spec_list("a.one = hit:1 ; b.two = off,").unwrap();
+        assert!(check("a.one"));
+        assert!(!check("b.two"));
+        assert_eq!(hit_count("b.two"), 1);
+        disarm("a.one");
+        assert!(armed());
+        disarm("b.two");
+        assert!(!armed());
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let _g = guard();
+        assert!(arm("s", "hit:x").is_err());
+        assert!(arm("s", "bogus").is_err());
+        assert!(arm("s", "p:1/2").is_err());
+        assert!(arm_spec_list("missing-equals").is_err());
+        assert!(!armed());
+    }
+}

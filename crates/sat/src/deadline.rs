@@ -1,0 +1,156 @@
+//! Cooperative cancellation for long-running solves.
+//!
+//! A [`Deadline`] is a cheap, cloneable token threaded from the driver's
+//! wall-clock budget down into [`Solver::search`](crate::Solver)'s
+//! conflict loop, where it is polled every few conflicts alongside the
+//! conflict budget. Expiry surfaces exactly like budget exhaustion
+//! ([`SolveResult::Unknown`](crate::SolveResult)): the caller's
+//! budget-limited degradation path handles both, so a stuck SAT call is
+//! interrupted mid-flight without inventing a new failure mode.
+//!
+//! Two expiry sources exist:
+//!
+//! * [`Deadline::after`] — a wall-clock instant, the production path;
+//! * [`Deadline::after_checks`] — a countdown of `expired()` polls,
+//!   which makes deadline expiry *deterministic* for tests and chaos
+//!   harnesses (no dependence on machine speed).
+//!
+//! Expiry latches: once a clone of the token has observed expiry, every
+//! clone reports expired forever after, so one interrupted solve cannot
+//! be followed by a sibling that sneaks past the same deadline.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+#[derive(Debug)]
+enum Mode {
+    /// Expires when `Instant::now()` reaches the instant.
+    Wall(Instant),
+    /// Expires after N `expired()` polls (deterministic test mode).
+    Checks(AtomicU64),
+}
+
+#[derive(Debug)]
+struct Inner {
+    mode: Mode,
+    /// Latched once expiry is first observed by any clone.
+    tripped: AtomicBool,
+}
+
+/// A shared cancellation token; see the [module docs](self).
+///
+/// `Deadline::none()` (the `Default`) carries no allocation and its
+/// checks are free — callers can thread a `Deadline` unconditionally.
+#[derive(Clone, Debug, Default)]
+pub struct Deadline(Option<Arc<Inner>>);
+
+impl Deadline {
+    /// A deadline that never expires.
+    pub fn none() -> Deadline {
+        Deadline(None)
+    }
+
+    /// A deadline `budget` of wall-clock time from now.
+    pub fn after(budget: Duration) -> Deadline {
+        Deadline::at(Instant::now() + budget)
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(instant: Instant) -> Deadline {
+        Deadline(Some(Arc::new(Inner {
+            mode: Mode::Wall(instant),
+            tripped: AtomicBool::new(false),
+        })))
+    }
+
+    /// A deterministic deadline that expires on the `checks`-th call to
+    /// [`expired`](Deadline::expired) (counted across all clones).
+    pub fn after_checks(checks: u64) -> Deadline {
+        Deadline(Some(Arc::new(Inner {
+            mode: Mode::Checks(AtomicU64::new(checks)),
+            tripped: AtomicBool::new(false),
+        })))
+    }
+
+    /// Whether this token can ever expire.
+    pub fn is_none(&self) -> bool {
+        self.0.is_none()
+    }
+
+    /// Polls the deadline. Latches: once `true`, always `true`.
+    pub fn expired(&self) -> bool {
+        let Some(inner) = &self.0 else {
+            return false;
+        };
+        if inner.tripped.load(Ordering::Relaxed) {
+            return true;
+        }
+        let hit = match &inner.mode {
+            Mode::Wall(at) => Instant::now() >= *at,
+            Mode::Checks(remaining) => {
+                // Saturating countdown: every poll consumes one check.
+                remaining
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |r| {
+                        Some(r.saturating_sub(1))
+                    })
+                    .unwrap_or(0)
+                    <= 1
+            }
+        };
+        if hit {
+            inner.tripped.store(true, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Whether any clone of this token has already observed expiry —
+    /// without consuming a poll. This is how the driver distinguishes
+    /// "pipeline finished" from "pipeline was interrupted mid-flight".
+    pub fn was_tripped(&self) -> bool {
+        self.0
+            .as_ref()
+            .is_some_and(|i| i.tripped.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_expires() {
+        let d = Deadline::none();
+        assert!(d.is_none());
+        assert!(!d.expired());
+        assert!(!d.was_tripped());
+    }
+
+    #[test]
+    fn check_countdown_expires_deterministically_and_latches() {
+        let d = Deadline::after_checks(3);
+        assert!(!d.expired());
+        assert!(!d.expired());
+        assert!(d.expired());
+        assert!(d.expired(), "expiry must latch");
+        assert!(d.was_tripped());
+    }
+
+    #[test]
+    fn clones_share_the_countdown_and_the_latch() {
+        let d = Deadline::after_checks(2);
+        let c = d.clone();
+        assert!(!c.expired());
+        assert!(d.expired());
+        assert!(c.was_tripped());
+        assert!(c.expired());
+    }
+
+    #[test]
+    fn elapsed_wall_deadline_expires() {
+        let d = Deadline::after(Duration::ZERO);
+        assert!(!d.is_none());
+        assert!(d.expired());
+        assert!(d.was_tripped());
+    }
+}

@@ -20,7 +20,12 @@
 //!   best/inverted/original schedule at restarts), Luby restarts,
 //! * solving under assumptions and an optional conflict budget (the paper
 //!   bounds SAT effort with a threshold; [`Solver::set_conflict_budget`]
-//!   is the hook for that).
+//!   is the hook for that),
+//! * a **cooperative deadline** ([`Solver::set_deadline`]): a cloneable
+//!   cancellation token polled every few conflicts alongside the budget,
+//!   so a wall-clock limit interrupts a stuck solve mid-search; expiry
+//!   surfaces as [`SolveResult::Unknown`], exactly like budget
+//!   exhaustion.
 //!
 //! [`tseitin::TseitinEncoder`] layers gate-consistency encoding on top, so
 //! circuit cones can be asserted directly.
@@ -46,14 +51,16 @@
 #![warn(missing_docs)]
 
 pub mod codec;
+pub mod deadline;
 pub mod dimacs;
 mod heap;
 mod solver;
 pub mod tseitin;
 
 pub use codec::{fnv64, ByteReader, ByteWriter, CodecError};
+pub use deadline::Deadline;
 pub use dimacs::{parse_dimacs, write_dimacs, DimacsProblem, ParseDimacsError};
-pub use solver::{SolveResult, Solver, SolverStats};
+pub use solver::{SolveResult, Solver, SolverStats, DEADLINE_CHECK_INTERVAL};
 pub use tseitin::TseitinEncoder;
 
 use std::fmt;

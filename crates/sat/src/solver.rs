@@ -30,6 +30,7 @@
 //! periodically explores the complement of its best basin instead of
 //! re-descending it forever.
 
+use crate::deadline::Deadline;
 use crate::heap::ActivityHeap;
 use crate::{Lit, Var};
 
@@ -71,6 +72,11 @@ pub struct SolverStats {
     pub reduces: u64,
     /// Compacting arena garbage collections performed.
     pub arena_gcs: u64,
+    /// Cooperative-deadline polls performed inside `search` (one per
+    /// [`DEADLINE_CHECK_INTERVAL`] conflicts while a deadline is set);
+    /// `checks × interval` bounds how many conflicts a stuck solve ran
+    /// past its deadline — the interruption latency.
+    pub deadline_checks: u64,
 }
 
 /// Adds the other stats' monotone counters onto this one (used to carry
@@ -92,6 +98,7 @@ impl SolverStats {
         self.lbd_core += o.lbd_core;
         self.reduces += o.reduces;
         self.arena_gcs += o.arena_gcs;
+        self.deadline_checks += o.deadline_checks;
     }
 
     /// Work done since `base` was snapshotted: the per-call delta the
@@ -112,6 +119,7 @@ impl SolverStats {
             lbd_core: self.lbd_core.saturating_sub(base.lbd_core),
             reduces: self.reduces.saturating_sub(base.reduces),
             arena_gcs: self.arena_gcs.saturating_sub(base.arena_gcs),
+            deadline_checks: self.deadline_checks.saturating_sub(base.deadline_checks),
         }
     }
 }
@@ -227,6 +235,7 @@ pub struct Solver {
     model: Vec<bool>,
     stats: SolverStats,
     conflict_budget: Option<u64>,
+    deadline: Deadline,
     /// Live original (problem) clauses in the arena.
     num_originals: usize,
     /// Live non-core learnt clauses (the reducible population).
@@ -239,6 +248,11 @@ pub struct Solver {
 const VAR_DECAY: f64 = 1.0 / 0.95;
 const CLA_DECAY: f64 = 1.0 / 0.999;
 const RESTART_FIRST: u64 = 100;
+/// Conflicts between cooperative [`Deadline`] polls inside `search`.
+/// Small enough that interruption latency is a handful of conflicts,
+/// large enough that an `Instant::now()` every interval is noise next to
+/// the propagations those conflicts cost.
+pub const DEADLINE_CHECK_INTERVAL: u64 = 16;
 /// The aspiration-rephasing schedule walked at restarts (CaDiCaL-style:
 /// best phases dominate, with periodic excursions to their inversion and
 /// the original defaults).
@@ -294,6 +308,7 @@ impl Solver {
             model: Vec::new(),
             stats: SolverStats::default(),
             conflict_budget: None,
+            deadline: Deadline::none(),
             num_originals: 0,
             num_learnts: 0,
             num_core: 0,
@@ -335,6 +350,15 @@ impl Solver {
     /// [`SolveResult::Unknown`].
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
         self.conflict_budget = budget;
+    }
+
+    /// Installs a cooperative [`Deadline`], polled every
+    /// [`DEADLINE_CHECK_INTERVAL`] conflicts inside `search` alongside
+    /// the conflict budget. Expiry makes `solve` return
+    /// [`SolveResult::Unknown`] — the same degradation path as budget
+    /// exhaustion. [`Deadline::none`] removes the deadline.
+    pub fn set_deadline(&mut self, deadline: Deadline) {
+        self.deadline = deadline;
     }
 
     fn value_var(&self, v: Var) -> LBool {
@@ -1065,6 +1089,19 @@ impl Solver {
                         return SearchOutcome::BudgetExhausted;
                     }
                 }
+                // Cooperative deadline: polled every few conflicts so a
+                // wall-clock budget interrupts a stuck solve mid-flight
+                // instead of waiting for the pass boundary. Expiry rides
+                // the budget-exhaustion path (`SolveResult::Unknown`).
+                if !self.deadline.is_none()
+                    && conflicts_here.is_multiple_of(DEADLINE_CHECK_INTERVAL)
+                {
+                    self.stats.deadline_checks += 1;
+                    if self.deadline.expired() {
+                        self.cancel_until(0);
+                        return SearchOutcome::BudgetExhausted;
+                    }
+                }
                 if conflicts_here >= conflict_limit {
                     self.cancel_until(0);
                     return SearchOutcome::Restart;
@@ -1378,6 +1415,7 @@ mod tests {
             lbd_core: 7,
             reduces: 8,
             arena_gcs: 9,
+            deadline_checks: 10,
         };
         a.absorb(&a.clone());
         assert_eq!(a.conflicts, 2);
@@ -1389,6 +1427,33 @@ mod tests {
         assert_eq!(a.lbd_core, 14);
         assert_eq!(a.reduces, 16);
         assert_eq!(a.arena_gcs, 18);
+        assert_eq!(a.deadline_checks, 20);
+    }
+
+    #[test]
+    fn deadline_interrupts_search_mid_flight() {
+        // php(7,6) costs thousands of conflicts; a deterministic
+        // one-check deadline must interrupt the search long before the
+        // proof completes, surfacing exactly like budget exhaustion.
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 7, 6);
+        s.set_deadline(Deadline::after_checks(1));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        let st = s.stats();
+        assert!(st.deadline_checks > 0, "deadline was never polled: {st:?}");
+        assert!(st.conflicts < 500, "interruption latency too high: {st:?}");
+        // clearing the deadline restores the full search
+        s.set_deadline(Deadline::none());
+        assert_eq!(s.solve(), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn elapsed_wall_deadline_interrupts_search() {
+        let mut s = Solver::new();
+        pigeonhole(&mut s, 7, 6);
+        s.set_deadline(Deadline::after(std::time::Duration::ZERO));
+        assert_eq!(s.solve(), SolveResult::Unknown);
+        assert!(s.stats().deadline_checks > 0);
     }
 
     #[test]

@@ -68,8 +68,10 @@ OPT OPTIONS:
   -o, --output <path>                write optimized Verilog (default:
                                      stdout summary only)
   --max-cells <N>                    skip modules larger than N cells
-  --timeout-ms <N>                   revert modules that optimized longer
-                                     than N ms
+  --timeout-ms <N>                   per-module budget: a cooperative
+                                     deadline interrupts SAT search and
+                                     the module reverts to its original
+                                     netlist (reported as timed_out)
   --no-memo                          disable the structural memo cache
   --no-knowledge                     disable the design-level shared
                                      counterexample bank (ablation;
@@ -117,6 +119,15 @@ STATS OPTIONS:
                                      store to the scratch run and report
                                      its load/hit/save counters
   --no-knowledge-save                read-only knowledge attach
+
+FAULT INJECTION:
+  SMARTLY_FAILPOINTS=\"site=action[@filter];...\"  arm deterministic
+                                     fail points for chaos testing, e.g.
+                                     persist.save.io=hit:1 or
+                                     driver.module.panic=always@adder.
+                                     Actions: always, hit:N, after:N,
+                                     every:N, p:A/B:SEED. Unset = zero
+                                     overhead. See README \"Fault model\".
 ";
 
 fn main() -> ExitCode {
@@ -213,18 +224,56 @@ fn load_knowledge(path: &str, budget: u64, bank_capacity: usize) -> Arc<Knowledg
     Arc::new(state)
 }
 
-/// Writes the (bounded) knowledge store back to `path`; returns the
-/// entry count for the report.
+/// What writing the knowledge store back accomplished: a failed save
+/// degrades to a warning (`failed = true`) instead of failing the run —
+/// the optimization results are already in hand and losing warm-start
+/// state for the *next* run must not discard them.
+struct KnowledgeSave {
+    written: usize,
+    retries: u64,
+    failed: bool,
+}
+
+impl KnowledgeSave {
+    /// Folds this save's outcome into the run report's kb counters.
+    fn record(&self, kb: Option<&mut smartly_driver::KbReport>) {
+        if let Some(kb) = kb {
+            kb.entries_written = self.written;
+            kb.save_retries = self.retries;
+            kb.save_failed = self.failed;
+        }
+    }
+}
+
+/// Writes the (bounded) knowledge store back to `path`. Never errors:
+/// persistence is an accelerator, so a save failure is reported on
+/// stderr and in the kb counters while the run still exits 0.
 fn save_knowledge(
     path: &str,
     state: &KnowledgeState,
     budget: u64,
     max_entries: usize,
-) -> Result<usize, String> {
+) -> KnowledgeSave {
     let key = StoreKey::current(budget);
-    let report = smartly_driver::save_state(std::path::Path::new(path), state, &key, max_entries)
-        .map_err(|e| format!("cannot write knowledge file {path}: {e}"))?;
-    Ok(report.entries_written())
+    match smartly_driver::save_state(std::path::Path::new(path), state, &key, max_entries) {
+        Ok(report) => KnowledgeSave {
+            written: report.entries_written(),
+            retries: report.retries,
+            failed: false,
+        },
+        Err(e) => {
+            eprintln!(
+                "smartly: warning: cannot write knowledge file {path}: {e}; \
+                 this run's results are unaffected, the next run starts cold"
+            );
+            KnowledgeSave {
+                written: 0,
+                // a total failure exhausted every attempt
+                retries: u64::from(smartly_driver::persist::SAVE_ATTEMPTS) - 1,
+                failed: true,
+            }
+        }
+    }
 }
 
 fn compile_file(path: &str) -> Result<smartly_netlist::Design, String> {
@@ -276,11 +325,14 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
 
     if let (Some(path), Some(state)) = (&knowledge_file, &opts.knowledge_state) {
         if knowledge_save {
-            let written = save_knowledge(path, state, budget, store_bound)?;
-            if let Some(kb) = report.kb.as_mut() {
-                kb.entries_written = written;
+            let save = save_knowledge(path, state, budget, store_bound);
+            save.record(report.kb.as_mut());
+            if !save.failed {
+                outln!(
+                    "knowledge store written to {path} ({} entries)",
+                    save.written
+                );
             }
-            outln!("knowledge store written to {path} ({written} entries)");
         }
     }
 
@@ -353,10 +405,8 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         let mut report = optimize_design(&mut scratch, &opts).map_err(|e| e.to_string())?;
         if let (Some(path), Some(state)) = (&knowledge_file, &opts.knowledge_state) {
             if knowledge_save {
-                let written = save_knowledge(path, state, budget, store_bound)?;
-                if let Some(kb) = report.kb.as_mut() {
-                    kb.entries_written = written;
-                }
+                let save = save_knowledge(path, state, budget, store_bound);
+                save.record(report.kb.as_mut());
             }
         }
         let mut sat = smartly_core::sat_pass::SatPassStats::default();
@@ -373,8 +423,16 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
             sat.by_sat,
             sat.solver_summary(),
         );
-        // PR 4's persistence counters, surfaced in human output: did the
-        // store load, did the disk layer answer anything, was it saved.
+        // fault-tolerance counters: how many modules were isolated after
+        // a panic, how often the cooperative deadline was polled
+        outln!(
+            "faults: modules_poisoned={} deadline_checks={}",
+            report.poisoned(),
+            sat.solver_deadline_checks,
+        );
+        // persistence counters, surfaced in human output: did the store
+        // load, did the disk layer answer anything, was it saved (and at
+        // what retry cost).
         if let Some(kb) = &report.kb {
             let disk_hits = report
                 .knowledge
@@ -382,13 +440,16 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
                 .map_or(kb.disk_hits, |k| k.disk_hits);
             outln!(
                 "knowledge store: loaded {} shapes + {} verdicts, disk_hits={}, \
-                 entries_written={}, stale_rejected={}, load_failed={}",
+                 entries_written={}, stale_rejected={}, load_failed={}, \
+                 save_failed={}, save_retries={}",
                 kb.loaded_shapes,
                 kb.loaded_verdicts,
                 disk_hits,
                 kb.entries_written,
                 kb.stale_rejected,
                 kb.load_failed,
+                kb.save_failed,
+                kb.save_retries,
             );
         }
     }
@@ -436,11 +497,14 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
     let mut report = run_public_corpus(&opts).map_err(|e| e.to_string())?;
     if let (Some(path), Some(state)) = (&knowledge_file, &opts.knowledge_state) {
         if knowledge_save {
-            let written = save_knowledge(path, state, budget, store_bound)?;
-            if let Some(kb) = report.kb.as_mut() {
-                kb.entries_written = written;
+            let save = save_knowledge(path, state, budget, store_bound);
+            save.record(report.kb.as_mut());
+            if !save.failed {
+                outln!(
+                    "knowledge store written to {path} ({} entries)",
+                    save.written
+                );
             }
-            outln!("knowledge store written to {path} ({written} entries)");
         }
     }
     outln!("{}", report.render_human(verbosity));
