@@ -47,6 +47,16 @@ pub struct DriverOptions {
     /// never published to design-level knowledge stores, so other
     /// modules' results and warm-start files stay sound.
     pub timeout: Option<Duration>,
+    /// An externally owned cancellation token threaded into every
+    /// module's pipeline instead of a per-module [`Deadline`] derived
+    /// from [`timeout`](DriverOptions::timeout). This is the `smartly
+    /// serve` seam: the daemon arms one trip-able deadline per *job* so
+    /// its watchdog and drain ladder can interrupt a running
+    /// optimization cooperatively (modules interrupted mid-flight
+    /// revert and report as timed out, exactly as with `timeout`).
+    /// Takes precedence over `timeout` when both are set. `None` (the
+    /// default) keeps the CLI behaviour.
+    pub external_deadline: Option<Deadline>,
     /// Attach one design-level [`KnowledgeBase`] to every module's
     /// pipeline so structurally similar modules seed each other's
     /// counterexample-replay vectors (see [`crate::knowledge`]). Off is
@@ -84,6 +94,7 @@ impl Default for DriverOptions {
             memoize: true,
             max_cells: None,
             timeout: None,
+            external_deadline: None,
             share_knowledge: true,
             knowledge_capacity: crate::knowledge::DEFAULT_KNOWLEDGE_CAPACITY,
             knowledge_state: None,
@@ -367,9 +378,12 @@ fn run_one(slot: &mut Slot, pipeline: &Pipeline, opts: &DriverOptions, clock: Op
     let deadline = if fail::check_arg(FP_MODULE_DEADLINE, &slot.module.name) {
         Deadline::after_checks(FORCED_DEADLINE_CHECKS)
     } else {
-        match opts.timeout {
-            Some(budget) => Deadline::after(budget),
-            None => Deadline::none(),
+        match (&opts.external_deadline, opts.timeout) {
+            // the job-level token (smartly serve) outranks the
+            // per-module budget: one deadline spans the whole design
+            (Some(job), _) => job.clone(),
+            (None, Some(budget)) => Deadline::after(budget),
+            (None, None) => Deadline::none(),
         }
     };
     let t0 = Instant::now();

@@ -1,0 +1,83 @@
+//! The job-execution seam: one entry point from Verilog source to an
+//! optimized design, its report, and its digest.
+//!
+//! Both front doors of the system — the one-shot `smartly opt` command
+//! and the long-lived `smartly serve` daemon — run jobs through
+//! [`optimize_source`]. That is the whole digest-parity argument: a job
+//! submitted over the daemon's socket executes byte-for-byte the same
+//! compile → [`optimize_design`] → digest path as the CLI, so the
+//! service cannot drift from the batch tool. The acceptance gate
+//! (`tests/serve_e2e.rs` and the CI serve-smoke step) compares the two
+//! digests with `cmp`; this module is why that comparison is a
+//! tautology rather than a hope.
+
+use crate::engine::{optimize_design, DriverOptions};
+use crate::report::DesignReport;
+use crate::{emit_design, DriverError};
+
+/// Everything one optimization job produces.
+#[derive(Debug)]
+pub struct JobOutput {
+    /// The aggregate report (timing JSON, counters, trace if enabled).
+    pub report: DesignReport,
+    /// The optimized design rendered back to structural Verilog.
+    pub verilog: String,
+    /// The timing-free digest — [`DesignReport::digest`], the artifact
+    /// the determinism gates `cmp`. Captured here so callers holding
+    /// only a `JobOutput` (the daemon's journal) persist exactly the
+    /// string the CLI would have written.
+    pub digest: String,
+}
+
+/// Compiles `source` and optimizes every module of the design under
+/// `opts`, returning the report, the emitted Verilog, and the digest.
+///
+/// # Errors
+///
+/// Frontend failures surface as [`DriverError::Verilog`], pipeline
+/// failures as [`DriverError::Netlist`] — in both cases nothing
+/// half-optimized escapes (the design never leaves this function).
+pub fn optimize_source(source: &str, opts: &DriverOptions) -> Result<JobOutput, DriverError> {
+    let mut design = smartly_verilog::compile(source)?;
+    let report = optimize_design(&mut design, opts)?;
+    let verilog = emit_design(&design);
+    let digest = report.digest();
+    Ok(JobOutput {
+        report,
+        verilog,
+        digest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "module seam (input wire s, input wire [3:0] a,\n\
+                       input wire [3:0] b, output reg [3:0] y);\n\
+                       always @(*) begin\n\
+                       if (s) begin if (s) y = a; else y = b; end else y = b;\n\
+                       end\nendmodule\n";
+
+    #[test]
+    fn source_seam_matches_the_manual_path() {
+        let opts = DriverOptions {
+            jobs: 1,
+            ..Default::default()
+        };
+        let job = optimize_source(SRC, &opts).expect("job runs");
+
+        let mut design = smartly_verilog::compile(SRC).expect("compiles");
+        let report = optimize_design(&mut design, &opts).expect("driver");
+        assert_eq!(job.digest, report.digest(), "digest parity by construction");
+        assert_eq!(job.verilog, emit_design(&design));
+        assert_eq!(job.report.modules.len(), 1);
+    }
+
+    #[test]
+    fn frontend_errors_surface_as_verilog_errors() {
+        let err = optimize_source("module broken(", &DriverOptions::default())
+            .expect_err("parse failure");
+        assert!(matches!(err, DriverError::Verilog(_)));
+    }
+}

@@ -77,6 +77,7 @@
 
 mod corpus;
 mod engine;
+pub mod job;
 pub mod json;
 pub mod knowledge;
 mod panic_guard;
@@ -92,10 +93,11 @@ pub use engine::{
     level_from_str, optimize_design, structural_key, DriverOptions, FP_MODULE_DEADLINE,
     FP_MODULE_PANIC,
 };
+pub use job::{optimize_source, JobOutput};
 pub use knowledge::{DesignVerdictStore, KnowledgeBase, KnowledgeStats, VerdictStoreStats};
 pub use persist::{
-    load_state, save_state, KbReport, KnowledgeState, SaveReport, StoreKey, FP_SAVE_IO,
-    FP_SAVE_RELOAD, FP_SAVE_RENAME, FP_SAVE_VERIFY,
+    load_state, save_state, KbReport, KnowledgeState, SaveReport, StoreKey, FP_SAVE_BACKOFF,
+    FP_SAVE_IO, FP_SAVE_RELOAD, FP_SAVE_RENAME, FP_SAVE_VERIFY,
 };
 pub use report::{DesignReport, ModuleOutcome, ModuleReport, Verbosity};
 pub use trace::{chrome_trace_json, LayerAgg, SpanAgg, TraceSummary};

@@ -384,6 +384,13 @@ pub const FP_SAVE_RENAME: &str = "persist.save.rename";
 /// armed, the published file is read back and decoded against the save
 /// key, failing the save if the store does not round-trip.
 pub const FP_SAVE_RELOAD: &str = "persist.save.reload";
+/// Fail-point site that makes the retry backoff injectable: checked
+/// once per absorbed failure, and when it fires the exponential sleep
+/// for that retry is skipped. Chaos tests arm it `always` so walking
+/// the full [`SAVE_ATTEMPTS`] ladder costs zero wall-clock — the site's
+/// hit count then *is* the number of backoffs the ladder scheduled,
+/// which the pinning test asserts.
+pub const FP_SAVE_BACKOFF: &str = "persist.save.backoff";
 
 /// Write-verify-rename attempts before a save gives up.
 pub const SAVE_ATTEMPTS: u32 = 3;
@@ -479,9 +486,13 @@ pub fn save_state(
                     break Err(e);
                 }
                 retries += 1;
-                std::thread::sleep(std::time::Duration::from_millis(
-                    SAVE_BACKOFF_MS << (attempt - 1),
-                ));
+                // injectable backoff: the armed fail point swallows the
+                // sleep so chaos tests walk the ladder in microseconds
+                if !fail::check(FP_SAVE_BACKOFF) {
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        SAVE_BACKOFF_MS << (attempt - 1),
+                    ));
+                }
             }
         }
     };

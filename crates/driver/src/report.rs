@@ -639,6 +639,14 @@ impl DesignReport {
             self.memo_hits(),
         )
         .expect("write");
+        // fault visibility in the default human output, not just the
+        // timing JSON: a run that isolated panics must say so even
+        // under --quiet, where the per-module "poisoned:" lines are
+        // suppressed
+        let poisoned = self.poisoned();
+        if poisoned > 0 {
+            write!(out, ", {poisoned} poisoned").expect("write");
+        }
         out
     }
 }

@@ -14,10 +14,11 @@
 //! * with every fail point disarmed, digests are byte-identical to a
 //!   fault-free run (the fault layer is invisible when dormant).
 
-use smartly_driver::persist::{load_state, save_state, StoreKey, SAVE_ATTEMPTS};
+use smartly_core::SharedCexBank;
+use smartly_driver::persist::{load_state, save_state, KnowledgeState, StoreKey, SAVE_ATTEMPTS};
 use smartly_driver::{
     emit_design, optimize_design, DriverOptions, ModuleOutcome, FP_MODULE_DEADLINE,
-    FP_MODULE_PANIC, FP_SAVE_IO, FP_SAVE_RELOAD, FP_SAVE_RENAME,
+    FP_MODULE_PANIC, FP_SAVE_BACKOFF, FP_SAVE_IO, FP_SAVE_RELOAD, FP_SAVE_RENAME,
 };
 use smartly_failpoint as fail;
 use smartly_netlist::Design;
@@ -210,6 +211,9 @@ fn persist_failpoints_exercise_the_save_ladder() {
     std::fs::create_dir_all(&dir).expect("mkdir");
     let path = dir.join("store.kb");
     let key = StoreKey::current(DriverOptions::default().pipeline.sat.conflict_budget);
+    // the ladder below absorbs transient faults; skip its real
+    // exponential sleeps so the suite exercises retries in microseconds
+    fail::arm(FP_SAVE_BACKOFF, "always").expect("arm");
 
     // populate a state with real knowledge
     let state = std::sync::Arc::new(load_state(&path, &key, 8_192));
@@ -262,6 +266,46 @@ fn persist_failpoints_exercise_the_save_ladder() {
     assert!(!reloaded.load.load_failed && !reloaded.load.stale_rejected);
     assert!(reloaded.load.loaded_shapes + reloaded.load.loaded_verdicts > 0);
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The retry backoff is injectable: with `persist.save.backoff` armed,
+/// walking the whole 3-attempt ladder schedules its backoffs (the site
+/// counts them) but sleeps for none of them, so chaos tests exercising
+/// exhausted ladders spend no real wall-clock waiting.
+#[test]
+fn save_backoff_is_injectable_through_the_failpoint() {
+    let _g = armed_guard();
+    let _d = DisarmOnDrop;
+    let path = std::env::temp_dir().join(format!("smartly_backoff_{}.kb", std::process::id()));
+    let key = StoreKey::current(DriverOptions::default().pipeline.sat.conflict_budget);
+    let state = KnowledgeState::cold(16);
+    state.bank.publish(0xF00D, &[true, false]);
+
+    fail::arm(FP_SAVE_IO, "always").expect("arm");
+    fail::arm(FP_SAVE_BACKOFF, "always").expect("arm");
+    save_state(&path, &state, &key, 64).expect_err("every attempt faulted");
+    // the ladder scheduled exactly SAVE_ATTEMPTS - 1 backoffs...
+    assert_eq!(
+        fail::hit_count(FP_SAVE_BACKOFF),
+        u64::from(SAVE_ATTEMPTS) - 1,
+        "one backoff per absorbed failure"
+    );
+    // ...and the armed site swallowed every one of them (the sleep
+    // branch was skipped each time)
+    assert_eq!(
+        fail::fired_count(FP_SAVE_BACKOFF),
+        u64::from(SAVE_ATTEMPTS) - 1,
+        "no injected backoff may fall through to a real sleep"
+    );
+    fail::disarm_all();
+
+    // disarmed, the same ladder still works end to end (and the retry
+    // count reporting is unchanged by the injection seam)
+    fail::arm(FP_SAVE_IO, "hit:1").expect("arm");
+    fail::arm(FP_SAVE_BACKOFF, "always").expect("arm");
+    let report = save_state(&path, &state, &key, 64).expect("transient fault absorbed");
+    assert_eq!(report.retries, 1);
+    let _ = std::fs::remove_file(&path);
 }
 
 /// The budget-exhaustion ladder (no fail points involved): a conflict

@@ -33,6 +33,19 @@
 //! and fires for [`check_arg`] calls whose argument *contains* the
 //! filter substring, which is how a chaos test targets one module of a
 //! multi-module design.
+//!
+//! Site families currently wired into the tree:
+//!
+//! * `persist.save.*` — knowledge-store save path (`persist.save.io`,
+//!   `persist.save.rename`, `persist.save.backoff` injecting IO
+//!   errors, rename failures, and retry-backoff observation);
+//! * `driver.module.*` — per-module driver seams
+//!   (`driver.module.panic`, `driver.module.deadline`);
+//! * `server.journal.*` — the `smartly serve` job journal
+//!   (`server.journal.append`, `server.journal.fsync` — a fired
+//!   accept-path append rejects the submit as non-durable);
+//! * `server.accept` — admission control (injects `overloaded`
+//!   rejections to drill client retry handling).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

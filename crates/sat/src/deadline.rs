@@ -112,6 +112,19 @@ impl Deadline {
             .as_ref()
             .is_some_and(|i| i.tripped.load(Ordering::Relaxed))
     }
+
+    /// Trips the deadline now, regardless of its mode: every clone
+    /// observes expiry from its next poll on. This is the external
+    /// cancellation edge — a draining server trips the tokens of
+    /// in-flight jobs so a solve that still has hours of wall budget
+    /// left unwinds through the ordinary budget-limited path instead of
+    /// holding up shutdown. A `Deadline::none()` token has no shared
+    /// state and cannot be tripped (it stays infallible by design).
+    pub fn trip(&self) {
+        if let Some(inner) = &self.0 {
+            inner.tripped.store(true, Ordering::Relaxed);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +165,51 @@ mod tests {
         assert!(!d.is_none());
         assert!(d.expired());
         assert!(d.was_tripped());
+    }
+
+    #[test]
+    fn distant_wall_deadline_does_not_expire_or_trip() {
+        let d = Deadline::after(Duration::from_secs(3600));
+        assert!(!d.is_none());
+        assert!(!d.expired());
+        assert!(!d.expired(), "wall polls consume no countdown");
+        assert!(!d.was_tripped());
+    }
+
+    #[test]
+    fn wall_trip_latch_is_set_by_polling_not_by_time() {
+        // the instant is already past, but no clone has polled yet:
+        // was_tripped must stay false until expiry is *observed*
+        let d = Deadline::at(Instant::now());
+        let c = d.clone();
+        assert!(!d.was_tripped());
+        assert!(!c.was_tripped());
+        // first poll observes expiry and latches it for every clone
+        assert!(d.expired());
+        assert!(c.was_tripped(), "latch is shared across clones");
+        assert!(c.expired());
+    }
+
+    #[test]
+    fn trip_cancels_wall_and_check_deadlines_everywhere() {
+        // a wall deadline hours away: tripping expires it immediately
+        let d = Deadline::after(Duration::from_secs(3600));
+        let c = d.clone();
+        c.trip();
+        assert!(d.was_tripped());
+        assert!(d.expired());
+        assert!(c.expired());
+
+        // same for a check-countdown deadline with polls to spare
+        let d = Deadline::after_checks(1_000);
+        d.trip();
+        assert!(d.expired());
+        assert!(d.was_tripped());
+
+        // a none token has nothing to trip and stays infallible
+        let none = Deadline::none();
+        none.trip();
+        assert!(!none.expired());
+        assert!(!none.was_tripped());
     }
 }

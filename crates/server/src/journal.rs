@@ -1,0 +1,575 @@
+//! Crash-recoverable job journal: an append-only write-ahead log.
+//!
+//! Every job the daemon *accepts* is journaled before the submitter
+//! sees `{"ok":true}`, and every job that reaches a terminal state is
+//! journaled again with its outcome. On startup the daemon replays the
+//! journal: completed jobs come back queryable with their digests,
+//! accepted-but-unfinished jobs re-enter the queue and re-run — and
+//! because the optimizer's digest is deterministic (timing-free,
+//! byte-identical across `--jobs` and warm/cold knowledge), a re-run
+//! after a crash converges on exactly the digest the lost run would
+//! have produced.
+//!
+//! # On-disk format
+//!
+//! Everything little-endian via [`smartly_sat::codec`]:
+//!
+//! ```text
+//! header:  magic "SMJL" (4 bytes), version u32 = 1
+//! record:  payload_len u32, checksum u64 = fnv64(payload), payload
+//! payload: kind u8, then kind-specific fields
+//!   kind 1 = Accepted:  id u64, verify u8, timeout_ms u64,
+//!                       level (u32 len + utf8), source (u32 len + utf8)
+//!   kind 2 = Completed: id u64, status u8 (0 done / 1 failed / 2 poisoned),
+//!                       digest, error, verilog (each u32 len + utf8),
+//!                       modules_poisoned u64
+//! ```
+//!
+//! # Replay fault model
+//!
+//! * **Torn tail** — the process died mid-append, so the final frame is
+//!   incomplete. Replay keeps every record before it, truncates the
+//!   file back to the last good offset (so the next append starts on a
+//!   clean frame boundary), and reports the truncated byte count.
+//! * **Checksum flip** — the frame is complete but `fnv64(payload)`
+//!   disagrees with the stored checksum (bit rot). The record is
+//!   skipped, counted in [`Replay::corrupt_records`], and replay
+//!   continues with the next frame — one rotten record does not orphan
+//!   the rest of the log.
+//! * **Missing or empty file** — a cold start: no jobs, no error.
+//! * **Foreign header** — the file exists but is not a journal; replay
+//!   refuses rather than destroying someone else's data.
+//!
+//! Fail points: `server.journal.append` faults the record write and
+//! `server.journal.fsync` faults the durability barrier, so the chaos
+//! suite can pin the accept-path contract (an unjournalable job is
+//! rejected, never silently accepted).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use smartly_failpoint as fail;
+use smartly_sat::codec::{fnv64, ByteReader, ByteWriter};
+
+/// Fail point on the journal's record write (`write_all`).
+pub const FP_JOURNAL_APPEND: &str = "server.journal.append";
+/// Fail point on the journal's fsync barrier after a record write.
+pub const FP_JOURNAL_FSYNC: &str = "server.journal.fsync";
+
+const MAGIC: &[u8; 4] = b"SMJL";
+const VERSION: u32 = 1;
+const HEADER_LEN: u64 = 8;
+/// Frame prefix: payload_len u32 + checksum u64.
+const FRAME_PREFIX: usize = 12;
+/// Upper bound on one record's payload; anything larger during replay
+/// is treated as a torn/garbage frame, not an allocation request.
+const MAX_PAYLOAD: u32 = 64 << 20;
+
+const KIND_ACCEPTED: u8 = 1;
+const KIND_COMPLETED: u8 = 2;
+
+/// How a journaled job ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobStatus {
+    /// The optimizer ran to completion (possibly with degraded
+    /// modules — see `modules_poisoned`).
+    Done,
+    /// The job failed outright (frontend or pipeline error).
+    Failed,
+    /// The server poisoned the job: the worker panicked, wedged past
+    /// its watchdog grace, or was cancelled by drain.
+    Poisoned,
+}
+
+impl JobStatus {
+    fn to_u8(self) -> u8 {
+        match self {
+            JobStatus::Done => 0,
+            JobStatus::Failed => 1,
+            JobStatus::Poisoned => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<JobStatus> {
+        match v {
+            0 => Some(JobStatus::Done),
+            1 => Some(JobStatus::Failed),
+            2 => Some(JobStatus::Poisoned),
+            _ => None,
+        }
+    }
+
+    /// Wire name, as the `status` field of protocol responses.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Done => "done",
+            JobStatus::Failed => "failed",
+            JobStatus::Poisoned => "poisoned",
+        }
+    }
+}
+
+/// One journal record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Record {
+    /// A job was admitted: enough to re-run it after a crash.
+    Accepted {
+        /// Server-assigned job id.
+        id: u64,
+        /// The Verilog source to optimize.
+        source: String,
+        /// Optimization level name (`"full"`, `"light"`, ...).
+        level: String,
+        /// Per-job wall-clock budget; 0 = no deadline.
+        timeout_ms: u64,
+        /// Whether SAT-based equivalence verification was requested.
+        verify: bool,
+    },
+    /// A job reached a terminal state.
+    Completed {
+        /// Server-assigned job id.
+        id: u64,
+        /// Terminal status.
+        status: JobStatus,
+        /// The timing-free digest (empty unless `Done`).
+        digest: String,
+        /// Error text (empty unless `Failed` / `Poisoned`).
+        error: String,
+        /// Optimized Verilog (empty unless `Done`).
+        verilog: String,
+        /// Modules the driver poisoned *within* a `Done` run.
+        modules_poisoned: u64,
+    },
+}
+
+impl Record {
+    fn id(&self) -> u64 {
+        match self {
+            Record::Accepted { id, .. } | Record::Completed { id, .. } => *id,
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        match self {
+            Record::Accepted {
+                id,
+                source,
+                level,
+                timeout_ms,
+                verify,
+            } => {
+                w.put_u8(KIND_ACCEPTED);
+                w.put_u64(*id);
+                w.put_u8(u8::from(*verify));
+                w.put_u64(*timeout_ms);
+                put_str(&mut w, level);
+                put_str(&mut w, source);
+            }
+            Record::Completed {
+                id,
+                status,
+                digest,
+                error,
+                verilog,
+                modules_poisoned,
+            } => {
+                w.put_u8(KIND_COMPLETED);
+                w.put_u64(*id);
+                w.put_u8(status.to_u8());
+                put_str(&mut w, digest);
+                put_str(&mut w, error);
+                put_str(&mut w, verilog);
+                w.put_u64(*modules_poisoned);
+            }
+        }
+        w.into_bytes()
+    }
+
+    fn decode(payload: &[u8]) -> Option<Record> {
+        let mut r = ByteReader::new(payload);
+        let record = match r.u8().ok()? {
+            KIND_ACCEPTED => {
+                let id = r.u64().ok()?;
+                let verify = r.u8().ok()? != 0;
+                let timeout_ms = r.u64().ok()?;
+                let level = get_str(&mut r)?;
+                let source = get_str(&mut r)?;
+                Record::Accepted {
+                    id,
+                    source,
+                    level,
+                    timeout_ms,
+                    verify,
+                }
+            }
+            KIND_COMPLETED => {
+                let id = r.u64().ok()?;
+                let status = JobStatus::from_u8(r.u8().ok()?)?;
+                let digest = get_str(&mut r)?;
+                let error = get_str(&mut r)?;
+                let verilog = get_str(&mut r)?;
+                let modules_poisoned = r.u64().ok()?;
+                Record::Completed {
+                    id,
+                    status,
+                    digest,
+                    error,
+                    verilog,
+                    modules_poisoned,
+                }
+            }
+            _ => return None,
+        };
+        // a trailing-garbage payload is corrupt, not "close enough"
+        (r.remaining() == 0).then_some(record)
+    }
+}
+
+fn put_str(w: &mut ByteWriter, s: &str) {
+    w.put_u32(u32::try_from(s.len()).expect("string under 4 GiB"));
+    w.put_bytes(s.as_bytes());
+}
+
+fn get_str(r: &mut ByteReader<'_>) -> Option<String> {
+    let len = r.u32().ok()? as usize;
+    let bytes = r.bytes(len).ok()?;
+    String::from_utf8(bytes.to_vec()).ok()
+}
+
+/// What a journal replay recovered.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Every intact record, in append order.
+    pub records: Vec<Record>,
+    /// Complete frames whose checksum did not match — skipped.
+    pub corrupt_records: u64,
+    /// Bytes of torn tail truncated off the file.
+    pub truncated_bytes: u64,
+    /// Highest job id seen (0 on a cold start); the server resumes its
+    /// id counter above this so replayed and new jobs never collide.
+    pub max_id: u64,
+}
+
+/// Journal I/O failure, tagged with the operation that failed.
+#[derive(Debug)]
+pub struct JournalError {
+    /// What the journal was doing (`"open"`, `"append"`, `"fsync"`, ...).
+    pub op: &'static str,
+    /// The underlying description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "journal {}: {}", self.op, self.message)
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+fn jerr(op: &'static str, e: impl std::fmt::Display) -> JournalError {
+    JournalError {
+        op,
+        message: e.to_string(),
+    }
+}
+
+/// An open, append-only job journal.
+#[derive(Debug)]
+pub struct Journal {
+    file: File,
+    path: PathBuf,
+}
+
+impl Journal {
+    /// Opens (or creates) the journal at `path` and replays it.
+    ///
+    /// A missing or empty file is a cold start. A torn tail is
+    /// truncated so subsequent appends land on a frame boundary. A file
+    /// that exists but does not start with the journal magic is refused.
+    pub fn open(path: &Path) -> Result<(Journal, Replay), JournalError> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)
+            .map_err(|e| jerr("open", format!("{}: {e}", path.display())))?;
+
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes).map_err(|e| jerr("read", e))?;
+
+        let mut replay = Replay::default();
+        let good_end;
+        if bytes.is_empty() {
+            // cold start: stamp a fresh header
+            let mut w = ByteWriter::new();
+            w.put_bytes(MAGIC);
+            w.put_u32(VERSION);
+            file.write_all(&w.into_bytes())
+                .map_err(|e| jerr("append", e))?;
+            file.sync_data().map_err(|e| jerr("fsync", e))?;
+            good_end = HEADER_LEN;
+        } else {
+            if bytes.len() < HEADER_LEN as usize || &bytes[..4] != MAGIC {
+                return Err(jerr(
+                    "open",
+                    format!("{}: not a smartly job journal", path.display()),
+                ));
+            }
+            let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+            if version != VERSION {
+                return Err(jerr(
+                    "open",
+                    format!("{}: unsupported journal version {version}", path.display()),
+                ));
+            }
+            good_end = scan(&bytes, &mut replay);
+            let torn = bytes.len() as u64 - good_end;
+            if torn > 0 {
+                replay.truncated_bytes = torn;
+                file.set_len(good_end).map_err(|e| jerr("truncate", e))?;
+                file.sync_data().map_err(|e| jerr("fsync", e))?;
+            }
+        }
+
+        // position the write cursor at the recovered end
+        use std::io::Seek;
+        file.seek(std::io::SeekFrom::Start(good_end))
+            .map_err(|e| jerr("seek", e))?;
+
+        replay.max_id = replay.records.iter().map(Record::id).max().unwrap_or(0);
+        Ok((
+            Journal {
+                file,
+                path: path.to_path_buf(),
+            },
+            replay,
+        ))
+    }
+
+    /// The journal's path (for operator-facing messages).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and fsyncs it. On return the record is
+    /// durable: a crash on the next instruction replays it.
+    pub fn append(&mut self, record: &Record) -> Result<(), JournalError> {
+        let payload = record.encode();
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::try_from(payload.len()).expect("payload under 4 GiB"));
+        w.put_u64(fnv64(&payload));
+        w.put_bytes(&payload);
+
+        if fail::check(FP_JOURNAL_APPEND) {
+            return Err(jerr("append", "injected fault (server.journal.append)"));
+        }
+        self.file
+            .write_all(&w.into_bytes())
+            .map_err(|e| jerr("append", e))?;
+
+        if fail::check(FP_JOURNAL_FSYNC) {
+            return Err(jerr("fsync", "injected fault (server.journal.fsync)"));
+        }
+        self.file.sync_data().map_err(|e| jerr("fsync", e))
+    }
+}
+
+/// Walks frames from the header onwards; returns the offset just past
+/// the last *complete* frame (intact or checksum-corrupt — only an
+/// incomplete frame marks the torn tail).
+fn scan(bytes: &[u8], replay: &mut Replay) -> u64 {
+    let mut pos = HEADER_LEN as usize;
+    while pos < bytes.len() {
+        if bytes.len() - pos < FRAME_PREFIX {
+            break; // torn mid-prefix
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD {
+            break; // garbage length: treat the rest as torn
+        }
+        let checksum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+        let body_start = pos + FRAME_PREFIX;
+        let body_end = body_start + len as usize;
+        if body_end > bytes.len() {
+            break; // torn mid-payload
+        }
+        let payload = &bytes[body_start..body_end];
+        if fnv64(payload) != checksum {
+            replay.corrupt_records += 1;
+        } else {
+            match Record::decode(payload) {
+                Some(record) => replay.records.push(record),
+                None => replay.corrupt_records += 1,
+            }
+        }
+        pos = body_end;
+    }
+    pos as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    // the fail-point registry is process-global, so every test that
+    // appends serializes with the one test that arms a journal site
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "smartly_journal_{tag}_{}_{:?}.wal",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn accepted(id: u64) -> Record {
+        Record::Accepted {
+            id,
+            source: format!("module m{id}; endmodule\n"),
+            level: "full".into(),
+            timeout_ms: 250,
+            verify: id.is_multiple_of(2),
+        }
+    }
+
+    fn completed(id: u64) -> Record {
+        Record::Completed {
+            id,
+            status: JobStatus::Done,
+            digest: format!("{{\"digest\":{id}}}"),
+            error: String::new(),
+            verilog: "module m; endmodule\n".into(),
+            modules_poisoned: 0,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_through_the_codec() {
+        for record in [
+            accepted(7),
+            completed(7),
+            Record::Completed {
+                id: 9,
+                status: JobStatus::Poisoned,
+                digest: String::new(),
+                error: "watchdog: exceeded budget".into(),
+                verilog: String::new(),
+                modules_poisoned: 3,
+            },
+        ] {
+            assert_eq!(Record::decode(&record.encode()), Some(record));
+        }
+        assert_eq!(Record::decode(&[]), None);
+        assert_eq!(Record::decode(&[99]), None, "unknown kind");
+        let mut long = accepted(1).encode();
+        long.push(0); // trailing garbage
+        assert_eq!(Record::decode(&long), None);
+    }
+
+    #[test]
+    fn clean_restart_replays_everything_in_order() {
+        let _g = locked();
+        let path = tmp("clean");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, replay) = Journal::open(&path).expect("cold open");
+            assert!(replay.records.is_empty());
+            assert_eq!(replay.max_id, 0);
+            j.append(&accepted(1)).expect("append");
+            j.append(&accepted(2)).expect("append");
+            j.append(&completed(1)).expect("append");
+        }
+        let (_, replay) = Journal::open(&path).expect("warm open");
+        assert_eq!(replay.records, vec![accepted(1), accepted(2), completed(1)]);
+        assert_eq!(replay.corrupt_records, 0);
+        assert_eq!(replay.truncated_bytes, 0);
+        assert_eq!(replay.max_id, 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_the_prefix_survives() {
+        let _g = locked();
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut j, _) = Journal::open(&path).expect("cold open");
+            j.append(&accepted(1)).expect("append");
+            j.append(&accepted(2)).expect("append");
+        }
+        let full = std::fs::read(&path).expect("read");
+        // tear the final record in half
+        let torn_len = full.len() - 9;
+        std::fs::write(&path, &full[..torn_len]).expect("tear");
+
+        let (mut j, replay) = Journal::open(&path).expect("recovering open");
+        assert_eq!(replay.records, vec![accepted(1)]);
+        assert!(replay.truncated_bytes > 0, "tail was measured");
+        assert_eq!(replay.corrupt_records, 0);
+
+        // the truncated file accepts appends on a clean boundary
+        j.append(&accepted(3)).expect("append after recovery");
+        drop(j);
+        let (_, replay) = Journal::open(&path).expect("reopen");
+        assert_eq!(replay.records, vec![accepted(1), accepted(3)]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checksum_flip_skips_one_record_and_keeps_the_rest() {
+        let _g = locked();
+        let path = tmp("flip");
+        let _ = std::fs::remove_file(&path);
+        let second_start;
+        {
+            let (mut j, _) = Journal::open(&path).expect("cold open");
+            j.append(&accepted(1)).expect("append");
+            second_start = std::fs::metadata(&path).expect("meta").len() as usize;
+            j.append(&accepted(2)).expect("append");
+            j.append(&completed(2)).expect("append");
+        }
+        let mut bytes = std::fs::read(&path).expect("read");
+        // flip one payload byte of record 2, leaving its framing intact
+        bytes[second_start + FRAME_PREFIX + 3] ^= 0x40;
+        std::fs::write(&path, &bytes).expect("corrupt");
+
+        let (_, replay) = Journal::open(&path).expect("open");
+        assert_eq!(replay.records, vec![accepted(1), completed(2)]);
+        assert_eq!(replay.corrupt_records, 1);
+        assert_eq!(replay.truncated_bytes, 0, "framing intact, nothing torn");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn foreign_files_are_refused() {
+        let path = tmp("foreign");
+        std::fs::write(&path, b"definitely not a journal").expect("write");
+        let err = Journal::open(&path).expect_err("refused");
+        assert_eq!(err.op, "open");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn append_failpoints_surface_as_errors() {
+        let _g = locked();
+        let path = tmp("failpoint");
+        let _ = std::fs::remove_file(&path);
+        let (mut j, _) = Journal::open(&path).expect("cold open");
+        fail::arm(FP_JOURNAL_APPEND, "hit:1").expect("arm");
+        let err = j.append(&accepted(1)).expect_err("injected");
+        assert_eq!(err.op, "append");
+        j.append(&accepted(1)).expect("next append is clean");
+        fail::disarm(FP_JOURNAL_APPEND);
+        let _ = std::fs::remove_file(&path);
+    }
+}

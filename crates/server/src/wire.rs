@@ -1,0 +1,422 @@
+//! Minimal JSON for the line-delimited socket protocol.
+//!
+//! The daemon speaks one JSON object per line in both directions. This
+//! module is the whole wire vocabulary: a small value type, a strict
+//! recursive-descent parser, and a canonical renderer (object keys keep
+//! insertion order, strings escape control characters), so the crate
+//! stays dependency-free. It is *not* the report renderer — reports and
+//! digests are produced by the driver's own JSON layer and travel
+//! through this protocol as opaque strings.
+//!
+//! Scope is deliberately narrow: integers only (`u64` — the protocol
+//! carries ids, counters, and millisecond budgets, never measurements),
+//! no floats, no `NaN` family. A malformed request line becomes a
+//! protocol error response, never a panic.
+
+use std::fmt::Write as _;
+
+/// A JSON value as the protocol uses it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer (the only number the protocol carries).
+    UInt(u64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object; insertion-ordered, first write of a key wins on read.
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// An empty object.
+    pub fn object() -> Value {
+        Value::Obj(Vec::new())
+    }
+
+    /// Sets `key` on an object (appends; callers do not re-set keys).
+    pub fn set(&mut self, key: &str, value: Value) -> &mut Value {
+        if let Value::Obj(entries) = self {
+            entries.push((key.to_string(), value));
+        }
+        self
+    }
+
+    /// Looks `key` up on an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is an integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Renders on one line (the protocol is line-delimited, so the
+    /// rendering never contains a raw newline: strings escape them).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::UInt(n) => {
+                write!(out, "{n}").expect("write to String");
+            }
+            Value::Str(s) => render_string(s, out),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one JSON value; the whole input must be consumed (modulo
+/// whitespace), which is exactly the one-value-per-line contract.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing input at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", char::from(b), self.pos))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("malformed literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'n') => self.eat_keyword("null", Value::Null),
+            Some(b't') => self.eat_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'0'..=b'9') => self.number(),
+            Some(b'-') => Err(format!(
+                "negative number at byte {} (protocol carries unsigned integers only)",
+                self.pos
+            )),
+            Some(other) => Err(format!(
+                "unexpected byte 0x{other:02x} at offset {}",
+                self.pos
+            )),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+            return Err(format!(
+                "non-integer number at byte {start} (protocol carries integers only)"
+            ));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are utf8");
+        text.parse::<u64>()
+            .map(Value::UInt)
+            .map_err(|_| format!("integer out of range at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000C}'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // surrogate pair: require the low half
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err("invalid low surrogate".to_string());
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp).ok_or("invalid surrogate pair")?
+                            } else {
+                                char::from_u32(hi).ok_or("lone surrogate escape")?
+                            };
+                            out.push(c);
+                        }
+                        other => return Err(format!("unknown escape '\\{}'", char::from(other))),
+                    }
+                }
+                Some(b) if b < 0x20 => {
+                    return Err("raw control character in string".to_string());
+                }
+                Some(_) => {
+                    // consume one full UTF-8 scalar
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| "bad utf8")?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err("truncated \\u escape".to_string());
+        }
+        let text = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| "bad \\u escape")?;
+        let v = u32::from_str_radix(text, 16).map_err(|_| "bad \\u escape")?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(entries));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_the_protocol_shapes() {
+        let mut req = Value::object();
+        req.set("cmd", Value::Str("submit".into()));
+        req.set("source", Value::Str("module m;\nendmodule\n".into()));
+        req.set("timeout_ms", Value::UInt(250));
+        req.set("verify", Value::Bool(false));
+        req.set("tags", Value::Arr(vec![Value::Null, Value::UInt(7)]));
+        let line = req.render();
+        assert!(!line.contains('\n'), "line protocol: newlines escaped");
+        let back = parse(&line).expect("parses");
+        assert_eq!(back, req);
+        assert_eq!(back.get("timeout_ms").and_then(Value::as_u64), Some(250));
+        assert_eq!(
+            back.get("source").and_then(Value::as_str),
+            Some("module m;\nendmodule\n")
+        );
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        for s in [
+            "plain",
+            "quote\" slash\\ newline\n tab\t cr\r",
+            "control\u{0001}char",
+            "unicode: µ → 💡",
+        ] {
+            let v = Value::Str(s.to_string());
+            assert_eq!(parse(&v.render()).expect("parses"), v, "{s:?}");
+        }
+        // explicit \u escapes, including a surrogate pair
+        assert_eq!(
+            parse(r#""µ 💡""#).expect("parses"),
+            Value::Str("µ 💡".into())
+        );
+    }
+
+    #[test]
+    fn malformed_input_errors_instead_of_panicking() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "nul",
+            "{\"a\" 1}",
+            "\"unterminated",
+            "1.5",
+            "-3",
+            "1e9",
+            "18446744073709551616", // u64::MAX + 1
+            "{\"a\":1} trailing",
+            "\"bad \\q escape\"",
+            "\"lone \\ud800 surrogate\"",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn object_lookup_is_first_write_wins() {
+        let v = parse(r#"{"a":1,"a":2}"#).expect("parses");
+        assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
+        assert_eq!(v.get("missing"), None);
+    }
+}

@@ -1,0 +1,225 @@
+//! The journal-replay matrix, exercised through `Server::bind` so what
+//! is pinned is the daemon's observable recovery behaviour, not just
+//! the codec:
+//!
+//! * clean restart — completed jobs come back queryable, nothing re-runs;
+//! * torn final record — the prefix survives, the tail is truncated
+//!   and counted;
+//! * checksum flip — the rotten record is skipped and counted, the
+//!   records around it survive;
+//! * empty or missing journal — a cold start, not an error.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use smartly_sat::Deadline;
+use smartly_server::journal::{Journal, Record};
+use smartly_server::{wire, JobRunner, JobSpec, RunOutcome, Server, ServerConfig};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("smartly_replay_{tag}_{}", std::process::id()))
+}
+
+struct InstantRunner;
+
+impl JobRunner for InstantRunner {
+    fn run(&self, spec: &JobSpec, _deadline: &Deadline) -> RunOutcome {
+        RunOutcome::Done {
+            digest: format!("digest:{:016x}", smartly_sat::fnv64(spec.source.as_bytes())),
+            verilog: String::new(),
+            modules_poisoned: 0,
+        }
+    }
+}
+
+fn rpc(socket: &Path, line: &str) -> wire::Value {
+    let stream = UnixStream::connect(socket).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    writer
+        .write_all(format!("{line}\n").as_bytes())
+        .expect("send");
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("recv");
+    wire::parse(&response).expect("response parses")
+}
+
+fn str_of<'v>(v: &'v wire::Value, key: &str) -> &'v str {
+    v.get(key).and_then(wire::Value::as_str).unwrap_or("")
+}
+
+/// Boots a daemon on `journal`, returns (socket, join, handle).
+fn boot(
+    tag: &str,
+    journal: &Path,
+) -> (
+    PathBuf,
+    std::thread::JoinHandle<smartly_server::DrainReport>,
+    smartly_server::ServerHandle,
+) {
+    let mut config = ServerConfig::new(tmp(&format!("{tag}.sock")));
+    config.journal = Some(journal.to_path_buf());
+    let socket = config.socket.clone();
+    let server = Server::bind(config, Arc::new(InstantRunner)).expect("bind");
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while UnixStream::connect(&socket).is_err() {
+        assert!(Instant::now() < deadline, "daemon never came up");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    (socket, thread, handle)
+}
+
+fn accepted(id: u64, source: &str) -> Record {
+    Record::Accepted {
+        id,
+        source: source.to_string(),
+        level: "full".into(),
+        timeout_ms: 0,
+        verify: false,
+    }
+}
+
+#[test]
+fn clean_restart_serves_old_results_without_rerunning() {
+    let _g = locked();
+    let journal = tmp("clean.wal");
+    let _ = std::fs::remove_file(&journal);
+
+    let (socket, thread, handle) = boot("clean1", &journal);
+    let first = rpc(
+        &socket,
+        "{\"cmd\":\"submit\",\"source\":\"module a; endmodule\"}",
+    );
+    let id = first.get("id").and_then(wire::Value::as_u64).expect("id");
+    let done = rpc(&socket, &format!("{{\"cmd\":\"result\",\"id\":{id}}}"));
+    let digest = str_of(&done, "digest").to_string();
+    assert!(!digest.is_empty());
+    handle.shutdown();
+    thread.join().expect("join");
+
+    let (socket, thread, handle) = boot("clean2", &journal);
+    let counters = handle.counters();
+    assert_eq!(counters.replayed_completed, 1);
+    assert_eq!(counters.replayed_requeued, 0);
+    assert_eq!(counters.journal_corrupt_records, 0);
+    assert_eq!(counters.journal_truncated_bytes, 0);
+    let replayed = rpc(&socket, &format!("{{\"cmd\":\"result\",\"id\":{id}}}"));
+    assert_eq!(str_of(&replayed, "status"), "done");
+    assert_eq!(
+        str_of(&replayed, "digest"),
+        digest,
+        "digest survives restart"
+    );
+    handle.shutdown();
+    thread.join().expect("join");
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn torn_final_record_recovers_the_prefix_and_reruns_it() {
+    let _g = locked();
+    let journal = tmp("torn.wal");
+    let _ = std::fs::remove_file(&journal);
+    {
+        let (mut j, _) = Journal::open(&journal).expect("open");
+        j.append(&accepted(1, "module torn_a; endmodule"))
+            .expect("append");
+        j.append(&accepted(2, "module torn_b; endmodule"))
+            .expect("append");
+    }
+    // the crash tore the second record mid-frame
+    let bytes = std::fs::read(&journal).expect("read");
+    std::fs::write(&journal, &bytes[..bytes.len() - 7]).expect("tear");
+
+    let (socket, thread, handle) = boot("torn", &journal);
+    let counters = handle.counters();
+    assert_eq!(counters.replayed_requeued, 1, "only the intact record");
+    assert!(counters.journal_truncated_bytes > 0);
+    assert_eq!(counters.journal_corrupt_records, 0);
+    let result = rpc(&socket, "{\"cmd\":\"result\",\"id\":1}");
+    assert_eq!(str_of(&result, "status"), "done", "replayed job re-ran");
+    // job 2's accept never became durable, so it simply does not exist
+    let missing = rpc(&socket, "{\"cmd\":\"status\",\"id\":2}");
+    assert_eq!(missing.get("ok"), Some(&wire::Value::Bool(false)));
+    handle.shutdown();
+    thread.join().expect("join");
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn checksum_flip_skips_the_record_and_counts_it() {
+    let _g = locked();
+    let journal = tmp("flip.wal");
+    let _ = std::fs::remove_file(&journal);
+    let second_start;
+    {
+        let (mut j, _) = Journal::open(&journal).expect("open");
+        j.append(&accepted(1, "module flip_a; endmodule"))
+            .expect("append");
+        second_start = std::fs::metadata(&journal).expect("meta").len() as usize;
+        j.append(&accepted(2, "module flip_b; endmodule"))
+            .expect("append");
+        j.append(&accepted(3, "module flip_c; endmodule"))
+            .expect("append");
+    }
+    let mut bytes = std::fs::read(&journal).expect("read");
+    // flip one payload byte of record 2; framing stays intact
+    bytes[second_start + 12 + 5] ^= 0x20;
+    std::fs::write(&journal, &bytes).expect("corrupt");
+
+    let (socket, thread, handle) = boot("flip", &journal);
+    let counters = handle.counters();
+    assert_eq!(counters.journal_corrupt_records, 1);
+    assert_eq!(counters.journal_truncated_bytes, 0);
+    assert_eq!(counters.replayed_requeued, 2, "records 1 and 3 survive");
+    for id in [1u64, 3] {
+        let result = rpc(&socket, &format!("{{\"cmd\":\"result\",\"id\":{id}}}"));
+        assert_eq!(str_of(&result, "status"), "done");
+    }
+    let missing = rpc(&socket, "{\"cmd\":\"status\",\"id\":2}");
+    assert_eq!(missing.get("ok"), Some(&wire::Value::Bool(false)));
+    handle.shutdown();
+    thread.join().expect("join");
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn missing_and_empty_journals_are_cold_starts() {
+    let _g = locked();
+    for (tag, prepare) in [("missing", false), ("empty", true)] {
+        let journal = tmp(&format!("{tag}.wal"));
+        let _ = std::fs::remove_file(&journal);
+        if prepare {
+            std::fs::write(&journal, b"").expect("touch");
+        }
+        let (socket, thread, handle) = boot(tag, &journal);
+        let counters = handle.counters();
+        assert_eq!(counters.replayed_completed, 0);
+        assert_eq!(counters.replayed_requeued, 0);
+        assert_eq!(counters.journal_corrupt_records, 0);
+        // the cold daemon is fully functional
+        let sub = rpc(
+            &socket,
+            "{\"cmd\":\"submit\",\"source\":\"module cold; endmodule\"}",
+        );
+        assert_eq!(sub.get("ok"), Some(&wire::Value::Bool(true)));
+        let id = sub.get("id").and_then(wire::Value::as_u64).expect("id");
+        assert_eq!(id, 1, "{tag}: id counter starts fresh");
+        let result = rpc(&socket, &format!("{{\"cmd\":\"result\",\"id\":{id}}}"));
+        assert_eq!(str_of(&result, "status"), "done");
+        handle.shutdown();
+        thread.join().expect("join");
+        let _ = std::fs::remove_file(&journal);
+    }
+}

@@ -10,10 +10,13 @@
 //!                [--json BENCH_driver.json] [--digest digest.json]
 //!                [--trace-dir DIR] [--quiet]
 //! smartly trace <trace.json>
+//! smartly serve [--socket F] [--journal F] [--queue N] [--workers N]
+//!               [--jobs N] [--timeout-ms N] [--drain-grace-ms N]
+//!               [--knowledge-file F] [--no-knowledge-save]
 //! ```
 
 use smartly_driver::{
-    chrome_trace_json, emit_design, level_from_str, optimize_design, run_public_corpus,
+    chrome_trace_json, level_from_str, optimize_design, optimize_source, run_public_corpus,
     scale_from_str, CorpusOptions, DriverOptions, KnowledgeState, StoreKey, TraceSummary,
     Verbosity,
 };
@@ -58,6 +61,12 @@ USAGE:
                                      print top self-time spans, per-track
                                      breakdown, and query-funnel
                                      attribution
+  smartly serve [OPTIONS]            long-lived optimization daemon: a
+                                     Unix socket speaking one JSON object
+                                     per line (submit/status/result/
+                                     health/drain), a crash-recoverable
+                                     job journal, bounded admission, and
+                                     graceful drain on SIGTERM
 
 OPT OPTIONS:
   --level <yosys|sat|rebuild|full>   optimization level (default: full)
@@ -120,14 +129,47 @@ STATS OPTIONS:
                                      its load/hit/save counters
   --no-knowledge-save                read-only knowledge attach
 
+SERVE OPTIONS:
+  --socket <path>                    Unix socket to listen on (default:
+                                     smartly.sock)
+  --journal <path>                   append-only job journal: accepted
+                                     jobs are fsync'd before the client
+                                     sees ok, so a SIGKILL loses no
+                                     accepted work — restart replays the
+                                     journal (completed jobs stay
+                                     queryable, unfinished jobs re-run to
+                                     the same digest). Omit to disable
+                                     crash recovery
+  --queue <N>                        bounded queue depth; beyond it
+                                     submits get {\"rejected\":
+                                     \"overloaded\"} (default: 64)
+  --workers <N>                      concurrent jobs (default: 1; each
+                                     job is internally parallel)
+  --jobs <N>                         driver threads per job (default:
+                                     all CPUs)
+  --timeout-ms <N>                   default per-job budget applied when
+                                     a submit carries none; the watchdog
+                                     poisons jobs wedged past budget +
+                                     grace instead of wedging a worker
+  --drain-grace-ms <N>               how long drain waits for running
+                                     jobs, twice: once to finish, once
+                                     after tripping their deadlines
+                                     (default: 2000)
+  --knowledge-file <path>            resident persistent knowledge store
+                                     shared by every job; written back
+                                     crash-safely at drain
+  --no-knowledge-save                read-only knowledge attach
+
 FAULT INJECTION:
   SMARTLY_FAILPOINTS=\"site=action[@filter];...\"  arm deterministic
                                      fail points for chaos testing, e.g.
                                      persist.save.io=hit:1 or
                                      driver.module.panic=always@adder.
                                      Actions: always, hit:N, after:N,
-                                     every:N, p:A/B:SEED. Unset = zero
-                                     overhead. See README \"Fault model\".
+                                     every:N, p:A/B:SEED. Server sites:
+                                     server.accept, server.journal.*.
+                                     Unset = zero overhead. See README
+                                     \"Fault model\".
 ";
 
 fn main() -> ExitCode {
@@ -137,6 +179,7 @@ fn main() -> ExitCode {
         Some("stats") => cmd_stats(&args[1..]),
         Some("corpus") => cmd_corpus(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             out!("{USAGE}");
             Ok(())
@@ -320,8 +363,14 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let mut design = compile_file(&input)?;
-    let mut report = optimize_design(&mut design, &opts).map_err(|e| e.to_string())?;
+    // The same job seam `smartly serve` runs submissions through:
+    // compile → optimize → emit → digest in one call, so the daemon and
+    // the one-shot CLI cannot produce different artifacts for the same
+    // input (the digest-parity gate both CI smoke steps `cmp`).
+    let source =
+        std::fs::read_to_string(&input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let job = optimize_source(&source, &opts).map_err(|e| format!("{input}: {e}"))?;
+    let mut report = job.report;
 
     if let (Some(path), Some(state)) = (&knowledge_file, &opts.knowledge_state) {
         if knowledge_save {
@@ -357,15 +406,14 @@ fn cmd_opt(args: &[String]) -> Result<(), String> {
         );
     }
     if let Some(path) = digest_path {
-        std::fs::write(&path, report.digest()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::write(&path, &job.digest).map_err(|e| format!("cannot write {path}: {e}"))?;
         outln!("digest written to {path}");
     }
     if opts.verify && report.all_equivalent() == Some(false) {
         return Err("verification FAILED for at least one module".to_string());
     }
     if let Some(path) = out_path {
-        std::fs::write(&path, emit_design(&design))
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        std::fs::write(&path, &job.verilog).map_err(|e| format!("cannot write {path}: {e}"))?;
         outln!("optimized Verilog written to {path}");
     }
     Ok(())
@@ -532,6 +580,146 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
             report.traces.len(),
             dir.display()
         );
+    }
+    Ok(())
+}
+
+/// The daemon's execution seam: every submitted job runs through the
+/// same [`optimize_source`] call as `smartly opt`, against one resident
+/// [`KnowledgeState`] shared across jobs (warm starts for similar
+/// designs; digest-safe by the PR 4 invariant that knowledge state
+/// never perturbs digests).
+struct DriverRunner {
+    /// Driver threads per job (`DriverOptions::jobs`).
+    jobs: usize,
+    /// The resident knowledge state, saved crash-safely at drain.
+    knowledge: Arc<KnowledgeState>,
+}
+
+impl smartly_server::JobRunner for DriverRunner {
+    fn run(
+        &self,
+        spec: &smartly_server::JobSpec,
+        deadline: &smartly_core::Deadline,
+    ) -> smartly_server::RunOutcome {
+        let Some(level) = level_from_str(&spec.level) else {
+            return smartly_server::RunOutcome::Failed {
+                error: format!("unknown level '{}' (yosys|sat|rebuild|full)", spec.level),
+            };
+        };
+        let opts = DriverOptions {
+            level,
+            jobs: self.jobs,
+            verify: spec.verify,
+            knowledge_state: Some(Arc::clone(&self.knowledge)),
+            // the server owns the job's budget (spec.timeout_ms is
+            // already folded into this token) and trips it on drain
+            external_deadline: Some(deadline.clone()),
+            ..DriverOptions::default()
+        };
+        match optimize_source(&spec.source, &opts) {
+            Ok(job) => smartly_server::RunOutcome::Done {
+                modules_poisoned: job.report.poisoned() as u64,
+                digest: job.digest,
+                verilog: job.verilog,
+            },
+            Err(e) => smartly_server::RunOutcome::Failed {
+                error: e.to_string(),
+            },
+        }
+    }
+
+    fn health(&self) -> Vec<(String, u64)> {
+        let bank = self.knowledge.bank.stats();
+        let verdicts = self.knowledge.verdicts.stats();
+        [
+            ("kb_shapes", bank.shapes as u64),
+            ("kb_published", bank.published),
+            ("kb_hits", bank.hits),
+            ("kb_disk_hits", bank.disk_hits),
+            ("kb_misses", bank.misses),
+            ("kb_evictions", bank.evictions),
+            ("verdict_disk_entries", verdicts.disk_entries as u64),
+            ("verdict_disk_hits", verdicts.disk_hits),
+            ("verdict_published", verdicts.published),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect()
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut args = args.to_vec();
+    let socket =
+        take_value(&mut args, &["--socket"])?.unwrap_or_else(|| "smartly.sock".to_string());
+    let mut config = smartly_server::ServerConfig::new(&socket);
+    config.handle_signals = true;
+    config.journal = take_value(&mut args, &["--journal"])?.map(std::path::PathBuf::from);
+    if let Some(n) = take_value(&mut args, &["--queue"])? {
+        config.queue_capacity = (parse_number(&n, "--queue")? as usize).max(1);
+    }
+    if let Some(n) = take_value(&mut args, &["--workers"])? {
+        config.workers = (parse_number(&n, "--workers")? as usize).max(1);
+    }
+    if let Some(ms) = take_value(&mut args, &["--timeout-ms"])? {
+        config.default_timeout_ms = parse_number(&ms, "--timeout-ms")?;
+    }
+    if let Some(ms) = take_value(&mut args, &["--drain-grace-ms"])? {
+        config.drain_grace = Duration::from_millis(parse_number(&ms, "--drain-grace-ms")?);
+    }
+    let jobs = match take_value(&mut args, &["--jobs", "-j"])? {
+        Some(n) => parse_number(&n, "--jobs")? as usize,
+        None => 0,
+    };
+    let knowledge_file = take_value(&mut args, &["--knowledge-file"])?;
+    let knowledge_save = !take_flag(&mut args, "--no-knowledge-save");
+    if let Some(extra) = args.first() {
+        return Err(format!("unexpected argument '{extra}'"));
+    }
+
+    let defaults = DriverOptions::default();
+    let budget = defaults.pipeline.sat.conflict_budget;
+    let store_bound = defaults.pipeline.sat.cex_bank_capacity;
+    let knowledge = match &knowledge_file {
+        Some(path) => load_knowledge(path, budget, defaults.knowledge_capacity),
+        None => Arc::new(KnowledgeState::cold(defaults.knowledge_capacity)),
+    };
+
+    let runner = Arc::new(DriverRunner {
+        jobs,
+        knowledge: Arc::clone(&knowledge),
+    });
+    let server = smartly_server::Server::bind(config, runner).map_err(|e| e.to_string())?;
+    if !server.replayed_jobs().is_empty() {
+        outln!(
+            "smartly serve: journal replay re-queued {} unfinished job(s)",
+            server.replayed_jobs().len()
+        );
+    }
+    outln!("smartly serve: listening on {socket}");
+
+    // run() returns only after the drain ladder: admissions stopped,
+    // running jobs finished / deadline-tripped / force-poisoned
+    let report = server.run();
+    outln!(
+        "smartly serve: drained — {} done, {} failed, {} poisoned, {} queued for next start{}",
+        report.completed,
+        report.failed,
+        report.poisoned,
+        report.queued_for_restart,
+        if report.clean { "" } else { " (forced)" },
+    );
+
+    // final crash-safe knowledge save, after the last job finished
+    if let (Some(path), true) = (&knowledge_file, knowledge_save) {
+        let save = save_knowledge(path, &knowledge, budget, store_bound);
+        if !save.failed {
+            outln!(
+                "knowledge store written to {path} ({} entries)",
+                save.written
+            );
+        }
     }
     Ok(())
 }

@@ -1,0 +1,220 @@
+//! The daemon's acceptance gate, with the *real* optimizer behind it:
+//!
+//! 1. **Digest parity** — a design optimized through an in-process
+//!    `smartly-server` daemon (driver-backed runner, resident
+//!    knowledge state) produces a digest byte-identical to the direct
+//!    `optimize_source` path `smartly opt` uses.
+//! 2. **Crash replay** — a journal holding an accepted-but-unfinished
+//!    job (what a SIGKILL mid-run leaves behind) is replayed on boot
+//!    and re-runs to that same digest.
+//!
+//! The CI "Serve smoke" step repeats the same two checks across real
+//! processes and a real SIGTERM; this test pins them hermetically.
+
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use smartly_driver::{optimize_source, DriverOptions, KnowledgeState};
+use smartly_server::journal::{Journal, Record};
+use smartly_server::{wire, JobRunner, JobSpec, RunOutcome, Server, ServerConfig, ServerHandle};
+
+/// A multi-module design with a memo-duplicate and real SAT work, so
+/// the digest covers the interesting driver paths.
+const DESIGN: &str = r#"
+module mux_redundant (input wire s, input wire [3:0] a, input wire [3:0] b,
+                      output reg [3:0] y);
+  always @(*) begin
+    if (s) begin if (s) y = a; else y = b; end else y = b;
+  end
+endmodule
+module mux_copy (input wire s, input wire [3:0] a, input wire [3:0] b,
+                 output reg [3:0] y);
+  always @(*) begin
+    if (s) begin if (s) y = a; else y = b; end else y = b;
+  end
+endmodule
+module add_pair (input wire [3:0] p, input wire [3:0] q,
+                 output wire [4:0] sum);
+  assign sum = p + q;
+endmodule
+"#;
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("smartly_e2e_{tag}_{}", std::process::id()))
+}
+
+/// The same runner shape `smartly serve` wires in: every job goes
+/// through `optimize_source` against one resident knowledge state.
+struct DriverRunner {
+    knowledge: Arc<KnowledgeState>,
+}
+
+impl JobRunner for DriverRunner {
+    fn run(&self, spec: &JobSpec, deadline: &smartly_core::Deadline) -> RunOutcome {
+        let opts = DriverOptions {
+            jobs: 1,
+            knowledge_state: Some(Arc::clone(&self.knowledge)),
+            external_deadline: Some(deadline.clone()),
+            ..DriverOptions::default()
+        };
+        match optimize_source(&spec.source, &opts) {
+            Ok(job) => RunOutcome::Done {
+                modules_poisoned: job.report.poisoned() as u64,
+                digest: job.digest,
+                verilog: job.verilog,
+            },
+            Err(e) => RunOutcome::Failed {
+                error: e.to_string(),
+            },
+        }
+    }
+}
+
+fn boot(
+    socket: &Path,
+    journal: Option<&Path>,
+) -> (
+    std::thread::JoinHandle<smartly_server::DrainReport>,
+    ServerHandle,
+) {
+    let mut config = ServerConfig::new(socket);
+    config.journal = journal.map(Path::to_path_buf);
+    let runner = Arc::new(DriverRunner {
+        knowledge: Arc::new(KnowledgeState::cold(
+            DriverOptions::default().knowledge_capacity,
+        )),
+    });
+    let server = Server::bind(config, runner).expect("bind");
+    let handle = server.handle();
+    let thread = std::thread::spawn(move || server.run());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while UnixStream::connect(socket).is_err() {
+        assert!(Instant::now() < deadline, "daemon never came up");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    (thread, handle)
+}
+
+fn rpc(socket: &Path, request: &wire::Value) -> wire::Value {
+    let stream = UnixStream::connect(socket).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    writer
+        .write_all(format!("{}\n", request.render()).as_bytes())
+        .expect("send");
+    let mut reader = BufReader::new(stream);
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("recv");
+    wire::parse(&response).expect("response parses")
+}
+
+fn submit(socket: &Path, source: &str) -> u64 {
+    let mut req = wire::Value::object();
+    req.set("cmd", wire::Value::Str("submit".into()));
+    req.set("source", wire::Value::Str(source.into()));
+    let resp = rpc(socket, &req);
+    assert_eq!(
+        resp.get("ok"),
+        Some(&wire::Value::Bool(true)),
+        "submit accepted: {resp:?}"
+    );
+    resp.get("id").and_then(wire::Value::as_u64).expect("id")
+}
+
+fn fetch(socket: &Path, id: u64, want_verilog: bool) -> wire::Value {
+    let mut req = wire::Value::object();
+    req.set("cmd", wire::Value::Str("result".into()));
+    req.set("id", wire::Value::UInt(id));
+    req.set("verilog", wire::Value::Bool(want_verilog));
+    rpc(socket, &req)
+}
+
+fn str_of<'v>(v: &'v wire::Value, key: &str) -> &'v str {
+    v.get(key).and_then(wire::Value::as_str).unwrap_or("")
+}
+
+/// The reference artifacts: exactly what `smartly opt` produces.
+fn reference() -> (String, String) {
+    let job = optimize_source(DESIGN, &DriverOptions::default()).expect("reference run");
+    (job.digest, job.verilog)
+}
+
+#[test]
+fn served_digest_is_byte_identical_to_the_cli_path() {
+    let socket = tmp("parity.sock");
+    let (thread, handle) = boot(&socket, None);
+
+    let id = submit(&socket, DESIGN);
+    let result = fetch(&socket, id, true);
+    assert_eq!(str_of(&result, "status"), "done", "{result:?}");
+
+    let (ref_digest, ref_verilog) = reference();
+    assert_eq!(
+        str_of(&result, "digest"),
+        ref_digest,
+        "daemon and CLI digests must be byte-identical"
+    );
+    assert_eq!(
+        str_of(&result, "verilog"),
+        ref_verilog,
+        "emitted Verilog matches too"
+    );
+    assert_eq!(result.get("modules_poisoned"), Some(&wire::Value::UInt(0)));
+
+    handle.shutdown();
+    let report = thread.join().expect("join");
+    assert_eq!(report.completed, 1);
+    assert!(report.clean);
+    let _ = std::fs::remove_file(&socket);
+}
+
+#[test]
+fn crash_replay_reruns_to_the_same_digest() {
+    let socket = tmp("replay.sock");
+    let journal = tmp("replay.wal");
+    let _ = std::fs::remove_file(&journal);
+
+    // simulate the SIGKILL moment: the journal holds an accepted job
+    // whose completion record never made it to disk
+    {
+        let (mut j, _) = Journal::open(&journal).expect("open");
+        j.append(&Record::Accepted {
+            id: 1,
+            source: DESIGN.to_string(),
+            level: "full".into(),
+            timeout_ms: 0,
+            verify: false,
+        })
+        .expect("append");
+    }
+
+    let (thread, handle) = boot(&socket, Some(&journal));
+    assert_eq!(handle.counters().replayed_requeued, 1);
+    let result = fetch(&socket, 1, false);
+    assert_eq!(str_of(&result, "status"), "done", "{result:?}");
+    let (ref_digest, _) = reference();
+    assert_eq!(
+        str_of(&result, "digest"),
+        ref_digest,
+        "the re-run after a crash converges on the digest the lost run \
+         would have produced"
+    );
+    handle.shutdown();
+    thread.join().expect("join");
+
+    // and a *second* restart now replays the completion record instead
+    // of running anything: same digest, served from the journal
+    let socket2 = tmp("replay2.sock");
+    let (thread, handle) = boot(&socket2, Some(&journal));
+    assert_eq!(handle.counters().replayed_completed, 1);
+    assert_eq!(handle.counters().replayed_requeued, 0);
+    let result = fetch(&socket2, 1, false);
+    assert_eq!(str_of(&result, "digest"), ref_digest);
+    handle.shutdown();
+    thread.join().expect("join");
+    let _ = std::fs::remove_file(&journal);
+    let _ = std::fs::remove_file(&socket);
+    let _ = std::fs::remove_file(&socket2);
+}
