@@ -20,13 +20,14 @@ use smartly_core::{OptLevel, Pipeline, PipelineReport};
 use smartly_netlist::Module;
 use smartly_workloads::{BenchCase, Scale};
 
-/// Parses the common `tiny|small|paper` CLI argument (default `paper`).
+/// Parses the common `tiny|small|paper|medium|large` CLI argument
+/// (default `paper`).
 pub fn scale_from_args() -> Scale {
-    match std::env::args().nth(1).as_deref() {
-        Some("tiny") => Scale::Tiny,
-        Some("small") => Scale::Small,
-        _ => Scale::Paper,
-    }
+    std::env::args()
+        .nth(1)
+        .as_deref()
+        .and_then(Scale::from_name)
+        .unwrap_or(Scale::Paper)
 }
 
 /// One case optimized at one level.

@@ -30,6 +30,7 @@ fn spec(seed: u64, dep_cones: usize, case_blocks: usize) -> DesignSpec {
         redundancy_ops: 6,
         datapath_ops: 4,
         register_banks: 2,
+        arith_cones: 0,
     }
 }
 

@@ -19,8 +19,14 @@ use std::time::Duration;
 /// Configuration for [`run_public_corpus`].
 #[derive(Clone, Debug)]
 pub struct CorpusOptions {
-    /// Corpus size (`tiny` for CI, `paper` for full runs).
+    /// Corpus size (`tiny` for CI, `paper` for full runs, `medium` /
+    /// `large` for the conflict-bearing scales).
     pub scale: Scale,
+    /// Run only the first `n` circuits of the corpus (`None` = all 10).
+    /// CI's Medium smoke uses this to bound wall time; the bound is
+    /// stamped into the artifact (digest included) so a bounded digest
+    /// never compares equal to a full one by accident.
+    pub cases: Option<usize>,
     /// Worker threads (0 = one per CPU); circuits are optimized in
     /// parallel within each level.
     pub jobs: usize,
@@ -45,6 +51,7 @@ impl Default for CorpusOptions {
     fn default() -> Self {
         CorpusOptions {
             scale: Scale::Tiny,
+            cases: None,
             jobs: 0,
             verify: false,
             share_knowledge: true,
@@ -54,22 +61,13 @@ impl Default for CorpusOptions {
     }
 }
 
-/// Parses a CLI-style scale name.
+/// Parses a CLI-style scale name (`tiny|small|paper|medium|large`).
 pub fn scale_from_str(s: &str) -> Option<Scale> {
-    match s {
-        "tiny" => Some(Scale::Tiny),
-        "small" => Some(Scale::Small),
-        "paper" => Some(Scale::Paper),
-        _ => None,
-    }
+    Scale::from_name(s)
 }
 
 fn scale_name(s: Scale) -> &'static str {
-    match s {
-        Scale::Tiny => "tiny",
-        Scale::Small => "small",
-        Scale::Paper => "paper",
-    }
+    s.name()
 }
 
 /// One circuit × level measurement.
@@ -163,6 +161,8 @@ pub struct SolverBench {
 pub struct CorpusReport {
     /// Scale the suite ran at.
     pub scale: Scale,
+    /// Circuit bound the run was truncated to, when one was set.
+    pub cases: Option<usize>,
     /// Per-circuit rows, in corpus order.
     pub rows: Vec<CorpusRow>,
     /// The multi-module shared-bank exercise (timing artifact only; its
@@ -194,7 +194,10 @@ pub struct CorpusReport {
 /// Returns [`DriverError`] when a generated circuit fails to compile
 /// (a workloads bug) or a pipeline hits a netlist error.
 pub fn run_public_corpus(opts: &CorpusOptions) -> Result<CorpusReport, DriverError> {
-    let cases = public_corpus(opts.scale);
+    let mut cases = public_corpus(opts.scale);
+    if let Some(n) = opts.cases {
+        cases.truncate(n);
+    }
     let mut rows: Vec<CorpusRow> = cases
         .iter()
         .map(|c| CorpusRow {
@@ -253,6 +256,7 @@ pub fn run_public_corpus(opts: &CorpusOptions) -> Result<CorpusReport, DriverErr
     modules_poisoned += sb_poisoned;
     Ok(CorpusReport {
         scale: opts.scale,
+        cases: opts.cases,
         rows,
         knowledge_bench: Some(knowledge_bench),
         solver_bench: Some(solver_bench),
@@ -382,6 +386,11 @@ impl CorpusReport {
         let mut obj = Json::object();
         obj.set("bench", Json::Str("smartly corpus".into()));
         obj.set("scale", Json::Str(scale_name(self.scale).into()));
+        if let Some(n) = self.cases {
+            // a bounded run is a different benchmark: stamp the bound
+            // into the digest so it never diffs clean against a full run
+            obj.set("cases", Json::UInt(n as u64));
+        }
         let circuits = self
             .rows
             .iter()

@@ -1,0 +1,213 @@
+//! The scaling-curve runner (`smartly corpus --curve`).
+//!
+//! Answers the question the single-scale BENCH artifacts cannot: *how
+//! does wall time — and where it goes — move as designs grow and as
+//! workers are added?* For every requested [`Scale`] it optimizes the
+//! public corpus at `Full` across a doubling jobs ladder (1, 2, 4, …,
+//! N) and records, per `(scale, jobs)` point, the total AIG area
+//! before/after, the wall time, the query-funnel attribution, and the
+//! solver counters.
+//!
+//! The artifact is **timing-only** by construction: a curve exists to
+//! show wall-clock scaling, which is inherently machine- and
+//! scheduling-dependent, so there is no digest variant and no
+//! determinism gate on its bytes. The cache-invariant counters it
+//! carries (queries, areas) still agree with the digest-gated
+//! `BENCH_*.json` blocks for the same scale — the curve adds timing
+//! context, it does not relax the digest contract.
+
+use crate::engine::{optimize_design, DriverOptions};
+use crate::json::Json;
+use crate::report::funnel_counters;
+use crate::DriverError;
+use smartly_core::sat_pass::SatPassStats;
+use smartly_core::OptLevel;
+use smartly_netlist::Design;
+use smartly_workloads::{public_corpus, Scale};
+use std::fmt;
+use std::time::Duration;
+
+/// Configuration for [`run_scaling_curve`].
+#[derive(Clone, Debug)]
+pub struct CurveOptions {
+    /// Scales to sweep, in the order the points should appear.
+    pub scales: Vec<Scale>,
+    /// Top of the jobs ladder (0 = one per CPU). The ladder is the
+    /// powers of two up to this value, with the value itself appended
+    /// when it is not a power of two.
+    pub max_jobs: usize,
+    /// Run only the first `n` circuits per scale (`None` = all 10);
+    /// the CI smoke uses this to bound wall time.
+    pub cases: Option<usize>,
+}
+
+impl Default for CurveOptions {
+    fn default() -> Self {
+        CurveOptions {
+            scales: vec![Scale::Tiny, Scale::Small, Scale::Paper, Scale::Medium],
+            max_jobs: 0,
+            cases: None,
+        }
+    }
+}
+
+/// The doubling jobs ladder: `1, 2, 4, …` up to `max` (0 = one per
+/// CPU), with `max` itself appended when it is not a power of two.
+pub fn jobs_ladder(max_jobs: usize) -> Vec<usize> {
+    let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let max = if max_jobs == 0 { hw } else { max_jobs }.max(1);
+    let mut ladder = Vec::new();
+    let mut j = 1;
+    while j <= max {
+        ladder.push(j);
+        j *= 2;
+    }
+    if *ladder.last().expect("ladder starts at 1") != max {
+        ladder.push(max);
+    }
+    ladder
+}
+
+/// One `(scale, jobs)` measurement on the curve.
+#[derive(Clone, Debug)]
+pub struct CurvePoint {
+    /// Corpus scale of this point.
+    pub scale: Scale,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Circuits optimized (10, unless `cases` bounded the run).
+    pub circuits: usize,
+    /// Total AIG area before optimization — the x-axis of the curve.
+    pub cells_before: usize,
+    /// Total AIG area after the `Full` pipeline.
+    pub cells_after: usize,
+    /// Wall time for the whole `Full` run at this point.
+    pub wall: Duration,
+    /// Aggregated SAT-pass telemetry (funnel attribution + solver
+    /// counters) across all circuits.
+    pub sat: SatPassStats,
+}
+
+/// The whole sweep: one [`CurvePoint`] per `(scale, jobs)` pair.
+#[derive(Clone, Debug)]
+pub struct CurveReport {
+    /// Points in sweep order (scales outer, jobs ladder inner).
+    pub points: Vec<CurvePoint>,
+}
+
+/// Runs the `Full` pipeline over the public corpus for every
+/// `(scale, jobs)` pair in `opts` and collects the curve.
+///
+/// Every point starts from a fresh clone of the pristine modules and a
+/// fresh in-process knowledge state, so points are independent cold
+/// runs — adding workers or growing the scale is the only variable.
+///
+/// # Errors
+///
+/// Returns [`DriverError`] when a generated circuit fails to compile
+/// (a workloads bug) or a pipeline hits a netlist error.
+pub fn run_scaling_curve(opts: &CurveOptions) -> Result<CurveReport, DriverError> {
+    let mut points = Vec::new();
+    for &scale in &opts.scales {
+        let mut cases = public_corpus(scale);
+        if let Some(n) = opts.cases {
+            cases.truncate(n);
+        }
+        let pristine: Vec<smartly_netlist::Module> = cases
+            .iter()
+            .map(|c| c.compile())
+            .collect::<Result<_, _>>()?;
+        for jobs in jobs_ladder(opts.max_jobs) {
+            let mut design = Design::from_modules(pristine.clone());
+            let driver_opts = DriverOptions {
+                level: OptLevel::Full,
+                jobs,
+                // circuits are all distinct; skip the hashing pass
+                memoize: false,
+                ..Default::default()
+            };
+            let started = std::time::Instant::now();
+            let report = optimize_design(&mut design, &driver_opts)?;
+            let wall = started.elapsed();
+            let mut sat = SatPassStats::default();
+            let (mut before, mut after) = (0usize, 0usize);
+            for m in &report.modules {
+                if let Some(r) = &m.report {
+                    before += r.area_before;
+                    after += r.area_after;
+                    sat.absorb(&r.sat_stats);
+                }
+            }
+            points.push(CurvePoint {
+                scale,
+                jobs,
+                circuits: cases.len(),
+                cells_before: before,
+                cells_after: after,
+                wall,
+                sat,
+            });
+        }
+    }
+    Ok(CurveReport { points })
+}
+
+impl CurveReport {
+    /// Machine-readable artifact (`smartly corpus --curve <path>`).
+    ///
+    /// Timing-only — there is deliberately no digest variant (see the
+    /// module docs); wall times differ run to run by design.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        obj.set("bench", Json::Str("smartly corpus --curve".into()));
+        let points = self
+            .points
+            .iter()
+            .map(|p| {
+                let mut o = Json::object();
+                o.set("scale", Json::Str(p.scale.name().into()));
+                o.set("jobs", Json::UInt(p.jobs as u64));
+                o.set("circuits", Json::UInt(p.circuits as u64));
+                o.set("cells_before", Json::UInt(p.cells_before as u64));
+                o.set("cells_after", Json::UInt(p.cells_after as u64));
+                o.set("wall_us", Json::UInt(p.wall.as_micros() as u64));
+                let mut q = Json::object();
+                q.set("queries", Json::UInt(p.sat.queries as u64));
+                q.set("by_inference", Json::UInt(p.sat.by_inference as u64));
+                for (name, value) in funnel_counters(&p.sat).iter() {
+                    q.set(name, Json::UInt(value));
+                }
+                o.set("query_funnel", q);
+                o.set("solver", crate::report::solver_json(&p.sat));
+                o
+            })
+            .collect();
+        obj.set("points", Json::Array(points));
+        obj
+    }
+}
+
+impl fmt::Display for CurveReport {
+    /// Human-readable curve: one row per `(scale, jobs)` point.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<8} {:>5} {:>9} {:>10} {:>10} {:>10} {:>10}",
+            "scale", "jobs", "circuits", "cells", "wall_ms", "queries", "conflicts"
+        )?;
+        for p in &self.points {
+            writeln!(
+                f,
+                "{:<8} {:>5} {:>9} {:>10} {:>10.1} {:>10} {:>10}",
+                p.scale.name(),
+                p.jobs,
+                p.circuits,
+                p.cells_before,
+                p.wall.as_secs_f64() * 1e3,
+                p.sat.queries,
+                p.sat.solver_conflicts,
+            )?;
+        }
+        write!(f, "{} points", self.points.len())
+    }
+}

@@ -15,6 +15,13 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+/// Worker-thread stack reservation. Netlist traversals (elaboration,
+/// AIG folds, emission) recurse with cone depth, and the Medium/Large
+/// corpus scales produce chains deep enough to blow the 2 MiB platform
+/// default under debug frame sizes. Virtual reservation only — pages
+/// commit as touched.
+const WORKER_STACK_BYTES: usize = 64 * 1024 * 1024;
+
 /// Configuration for [`optimize_design`].
 #[derive(Clone, Debug)]
 pub struct DriverOptions {
@@ -261,13 +268,21 @@ pub fn optimize_design(
     let clock = opts.trace.then(TraceClock::start);
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..jobs {
-            scope.spawn(|| loop {
-                let w = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(&idx) = work.get(w) else { break };
-                let mut slot = slots[idx].lock().expect("slot poisoned");
-                run_one(&mut slot, &pipeline, opts, clock);
-            });
+        for i in 0..jobs {
+            // explicit stack: netlist traversals recurse with cone depth,
+            // and Medium/Large circuits exceed the 2 MiB platform default
+            // in debug builds (the reservation is virtual; pages commit
+            // only as touched)
+            std::thread::Builder::new()
+                .name(format!("smartly-worker-{i}"))
+                .stack_size(WORKER_STACK_BYTES)
+                .spawn_scoped(scope, || loop {
+                    let w = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&idx) = work.get(w) else { break };
+                    let mut slot = slots[idx].lock().expect("slot poisoned");
+                    run_one(&mut slot, &pipeline, opts, clock);
+                })
+                .expect("spawn worker");
         }
     });
 

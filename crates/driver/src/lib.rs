@@ -76,6 +76,7 @@
 #![warn(missing_docs)]
 
 mod corpus;
+mod curve;
 mod engine;
 pub mod job;
 pub mod json;
@@ -89,6 +90,7 @@ pub use corpus::{
     run_public_corpus, scale_from_str, CorpusOptions, CorpusReport, CorpusRow, KnowledgeBench,
     LevelResult, SolverBench,
 };
+pub use curve::{jobs_ladder, run_scaling_curve, CurveOptions, CurvePoint, CurveReport};
 pub use engine::{
     level_from_str, optimize_design, structural_key, DriverOptions, FP_MODULE_DEADLINE,
     FP_MODULE_PANIC,

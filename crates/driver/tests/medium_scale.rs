@@ -1,0 +1,159 @@
+//! Medium-scale determinism and conflict-regime tests.
+//!
+//! `Scale::Medium` is the smallest conflict-bearing corpus scale: its
+//! adder-identity miter cones force real CDCL search, so solver-behavior
+//! assertions stop depending on the `solver_stress` side channel alone.
+//! These tests pin the contracts the scale ships with — reproducible
+//! generation, `conflicts > 0`, and digest byte-identity across `--jobs`
+//! and warm/cold knowledge — on a compact Medium block so the suite
+//! stays debug-priced; the full-corpus CLI ladder runs in CI's Medium
+//! smoke against the release binary.
+
+use smartly_driver::persist::{load_state, save_state, KnowledgeState, StoreKey};
+use smartly_driver::{emit_design, optimize_design, DriverOptions};
+use smartly_netlist::Design;
+use smartly_workloads::{public_corpus, DesignSpec, Scale};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A unique temp path per test (the suite runs tests concurrently).
+fn temp_kb(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("smartly_{tag}_{}.kb", std::process::id()))
+}
+
+/// A compact conflict-bearing block: the same structural recipe as the
+/// public corpus, shrunk to debug-build test price. At `Scale::Medium`
+/// the two `arith_cones` become adder-identity miters whose UNSAT
+/// proofs force real conflict-driven search.
+fn medium_block() -> DesignSpec {
+    DesignSpec {
+        name: "medium_block".into(),
+        description: "compact Medium-scale conflict-bearing block".into(),
+        seed: 0x3ED1,
+        data_width: 8,
+        case_blocks: 4,
+        case_sel_width: (2, 4),
+        case_arm_fill: 0.7,
+        case_leaf_sharing: 0.4,
+        casez_fraction: 0.25,
+        case_structure: 0.4,
+        dep_cones: 4,
+        dep_implied_fraction: 0.7,
+        same_sig_cones: 2,
+        same_sig_depth: (2, 4),
+        redundancy_ops: 3,
+        datapath_ops: 3,
+        register_banks: 1,
+        arith_cones: 2,
+    }
+}
+
+fn medium_design() -> Design {
+    let m = medium_block()
+        .generate(Scale::Medium)
+        .compile()
+        .expect("medium block compiles");
+    m.validate().expect("medium block validates");
+    Design::from_modules(vec![m])
+}
+
+fn run_with(
+    state: Option<Arc<KnowledgeState>>,
+    jobs: usize,
+) -> (smartly_driver::DesignReport, String) {
+    let mut design = medium_design();
+    let opts = DriverOptions {
+        jobs,
+        knowledge_state: state,
+        ..Default::default()
+    };
+    let report = optimize_design(&mut design, &opts).expect("driver");
+    let emitted = emit_design(&design);
+    (report, emitted)
+}
+
+/// Seeded generation at `Medium` is reproducible: two independent
+/// corpus constructions yield byte-identical Verilog for every case,
+/// and every case carries the conflict-driving miter cones.
+#[test]
+fn medium_generation_is_reproducible() {
+    let a = public_corpus(Scale::Medium);
+    let b = public_corpus(Scale::Medium);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.name, y.name);
+        assert_eq!(x.source, y.source, "{} must regenerate identically", x.name);
+        assert!(
+            x.source.contains("wire mc_"),
+            "{} must carry arith miter cones at Medium",
+            x.name
+        );
+    }
+}
+
+/// A Medium-scale block drives real CDCL conflicts — the property that
+/// distinguishes it from Tiny/Small/Paper, where the funnel settles
+/// everything above the solver.
+#[test]
+fn medium_drives_conflicts() {
+    let (report, _) = run_with(None, 1);
+    let mut queries = 0usize;
+    let mut conflicts = 0u64;
+    for m in &report.modules {
+        if let Some(r) = &m.report {
+            queries += r.sat_stats.queries;
+            conflicts += r.sat_stats.solver_conflicts;
+        }
+    }
+    assert!(queries > 0, "medium block must raise queries");
+    assert!(
+        conflicts > 0,
+        "medium must force conflict-driven search (got {conflicts} conflicts over {queries} queries)",
+    );
+}
+
+/// The digest and the emitted netlist are byte-identical at one and
+/// four workers: every digest counter is scheduling-invariant.
+#[test]
+fn medium_digest_identical_across_jobs() {
+    let (one_report, one_verilog) = run_with(None, 1);
+    let (four_report, four_verilog) = run_with(None, 4);
+    assert_eq!(
+        one_report.digest(),
+        four_report.digest(),
+        "medium digest must not depend on --jobs"
+    );
+    assert_eq!(one_verilog, four_verilog, "netlists must match across jobs");
+}
+
+/// Warm-start knowledge answers Medium queries from disk without
+/// perturbing the digest: cold and warm digests (and netlists) are
+/// byte-identical and the warm state reports `disk_hits > 0`.
+#[test]
+fn medium_digest_identical_warm_and_cold() {
+    let path = temp_kb("medium_warm");
+    let key = StoreKey::current(DriverOptions::default().pipeline.sat.conflict_budget);
+
+    let cold_state = Arc::new(load_state(&path, &key, 8_192));
+    let (cold_report, cold_verilog) = run_with(Some(cold_state.clone()), 1);
+    let saved = save_state(&path, &cold_state, &key, 4_096).expect("save");
+    assert!(saved.entries_written() > 0, "medium run produced knowledge");
+
+    let warm_state = Arc::new(load_state(&path, &key, 8_192));
+    assert!(
+        warm_state.load.loaded_shapes + warm_state.load.loaded_verdicts > 0,
+        "store must load warm"
+    );
+    let (warm_report, warm_verilog) = run_with(Some(warm_state.clone()), 4);
+    assert!(
+        warm_state.kb_report().disk_hits > 0,
+        "warm run must answer from disk"
+    );
+    assert_eq!(
+        cold_report.digest(),
+        warm_report.digest(),
+        "warm knowledge must not perturb the medium digest"
+    );
+    assert_eq!(cold_verilog, warm_verilog, "netlists must match warm/cold");
+    let _ = std::fs::remove_file(&path);
+}

@@ -218,6 +218,7 @@ fn module_timing_json_schema_snapshot() {
 fn corpus_bench_json_schema_snapshot() {
     let report = CorpusReport {
         scale: smartly_workloads::Scale::Tiny,
+        cases: None,
         rows: vec![CorpusRow {
             name: "c0".into(),
             area_original: 10,

@@ -12,45 +12,225 @@
 //! * **same-signal cones** — nested `if`s reusing the *same* condition:
 //!   food for the Yosys baseline (this is what gives Yosys its large
 //!   first-cut reduction in the paper);
+//! * **arith cones** — muxes whose select is an adder-identity miter
+//!   (`(a + b) == (b + a)` and add/sub round trips) at operand widths
+//!   above the exhaustive-simulation threshold: constant-true, but only
+//!   provably so by conflict-driven SAT search, so these blocks are what
+//!   make the [`Scale::Medium`]/[`Scale::Large`] corpora drive real
+//!   solver conflicts (enabled only at those scales);
 //! * **datapath ops** and **register banks** — arithmetic and sequential
 //!   filler that no muxtree pass can remove, anchoring the realistic
 //!   "little headroom" cases.
 //!
+//! # Determinism
+//!
 //! All randomness is drawn from a seeded [`rand::rngs::StdRng`]; equal
-//! specs generate byte-identical sources.
+//! `(spec, scale)` pairs generate byte-identical sources, on every
+//! machine. The per-scale structural features are arranged so that the
+//! legacy scales (`Tiny`/`Small`/`Paper`) consume exactly the RNG stream
+//! they always did: enabling a feature at `Medium`/`Large` never shifts
+//! a draw at a smaller scale, so historical corpus digests stay valid.
+//!
+//! # Example
+//!
+//! ```
+//! use smartly_workloads::{DesignSpec, Scale};
+//!
+//! let spec = DesignSpec {
+//!     name: "example".into(),
+//!     description: "doc example".into(),
+//!     seed: 7,
+//!     data_width: 8,
+//!     case_blocks: 2,
+//!     case_sel_width: (2, 3),
+//!     case_arm_fill: 0.7,
+//!     case_leaf_sharing: 0.4,
+//!     casez_fraction: 0.25,
+//!     dep_cones: 2,
+//!     dep_implied_fraction: 0.75,
+//!     same_sig_cones: 2,
+//!     same_sig_depth: (2, 4),
+//!     case_structure: 0.3,
+//!     redundancy_ops: 2,
+//!     datapath_ops: 2,
+//!     register_banks: 1,
+//!     arith_cones: 1,
+//! };
+//! // equal (spec, scale) pairs are byte-identical...
+//! assert_eq!(
+//!     spec.generate(Scale::Medium).source,
+//!     spec.generate(Scale::Medium).source,
+//! );
+//! // ...and the conflict-driving arith cones exist only at Medium/Large
+//! assert!(spec.generate(Scale::Medium).source.contains("wire mc_"));
+//! assert!(!spec.generate(Scale::Paper).source.contains("wire mc_"));
+//! ```
 
 use crate::BenchCase;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
 
-/// Corpus size multiplier.
+/// Corpus size class.
+///
+/// The first three variants are fractions of the paper-reproduction
+/// target; `Medium` and `Large` grow past it toward the size class of
+/// the paper's evaluation set (the 10 largest IWLS-2005 / RISC-V
+/// circuits) *and* switch on the structural-depth features — wider
+/// `case` selects, deeper same-signal nesting, and the conflict-driving
+/// arith cones — that make the SAT machinery measurable. A corpus at
+/// `Tiny` drives ~0 solver conflicts; `Medium` and `Large` provably
+/// drive thousands (CI asserts this).
+///
+/// Size ladder: `Tiny < Small < Paper < Medium < Large` (total live
+/// cells, every public-corpus circuit).
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// ~1/12 of paper scale: unit-test sized (hundreds of cells).
     Tiny,
     /// ~1/3 of paper scale: integration-test sized.
     Small,
-    /// Full reproduction scale (thousands to tens of thousands of cells).
+    /// Full reproduction scale (thousands to tens of thousands of
+    /// cells); structurally identical shape to `Tiny`/`Small`.
     Paper,
+    /// 1.5x paper-scale block counts plus the structural-depth
+    /// features: wider `case` selects (+1 bit), deeper same-signal
+    /// nesting (+2 levels), and one arith cone per spec unit — the
+    /// smallest scale with a non-trivial SAT conflict regime.
+    Medium,
+    /// 3x paper-scale block counts with the depth features turned up
+    /// (+2-bit selects, +3 nesting levels, doubled arith cones at wider
+    /// operands): the IWLS-large stand-in for scaling-curve runs.
+    Large,
+}
+
+/// Per-scale structural knobs; the legacy scales keep every feature at
+/// zero so their generated sources (and therefore historical digests)
+/// are bit-for-bit unchanged.
+struct ScaleProfile {
+    /// Block-count multiplier, as `n * num / den`.
+    num: usize,
+    den: usize,
+    /// Multiplier on [`DesignSpec::arith_cones`] (0 disables the block).
+    arith_mult: usize,
+    /// Operand width range for arith-cone miters. Kept strictly above
+    /// the engine's exhaustive-simulation threshold (10 free leaves)
+    /// so every miter routes to real CDCL search.
+    arith_width: (u32, u32),
+    /// Extra nesting levels for same-signal cones.
+    depth_bonus: usize,
+    /// Extra `case` select bits (wider mux trees after lowering).
+    sel_width_bonus: u32,
 }
 
 impl Scale {
+    /// Every scale, in size order — drives CLI parsing, docs tables and
+    /// the scaling-curve runner.
+    pub const ALL: [Scale; 5] = [
+        Scale::Tiny,
+        Scale::Small,
+        Scale::Paper,
+        Scale::Medium,
+        Scale::Large,
+    ];
+
+    /// The CLI / artifact name of this scale (`"tiny"`, `"medium"`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Paper => "paper",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+        }
+    }
+
+    /// Parses a CLI-style scale name (the inverse of [`Scale::name`]).
+    pub fn from_name(name: &str) -> Option<Scale> {
+        Scale::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    /// Whether this scale enables the conflict-driving arith cones (and
+    /// the other structural-depth features): true for `Medium`/`Large`.
+    pub fn conflict_bearing(self) -> bool {
+        self.profile().arith_mult > 0
+    }
+
+    fn profile(self) -> ScaleProfile {
+        match self {
+            Scale::Tiny => ScaleProfile {
+                num: 1,
+                den: 12,
+                arith_mult: 0,
+                arith_width: (0, 0),
+                depth_bonus: 0,
+                sel_width_bonus: 0,
+            },
+            Scale::Small => ScaleProfile {
+                num: 1,
+                den: 3,
+                arith_mult: 0,
+                arith_width: (0, 0),
+                depth_bonus: 0,
+                sel_width_bonus: 0,
+            },
+            Scale::Paper => ScaleProfile {
+                num: 1,
+                den: 1,
+                arith_mult: 0,
+                arith_width: (0, 0),
+                depth_bonus: 0,
+                sel_width_bonus: 0,
+            },
+            Scale::Medium => ScaleProfile {
+                num: 3,
+                den: 2,
+                arith_mult: 1,
+                arith_width: (11, 13),
+                depth_bonus: 2,
+                sel_width_bonus: 1,
+            },
+            Scale::Large => ScaleProfile {
+                num: 3,
+                den: 1,
+                arith_mult: 2,
+                arith_width: (12, 14),
+                depth_bonus: 3,
+                sel_width_bonus: 2,
+            },
+        }
+    }
+
     fn apply(self, n: usize) -> usize {
-        let scaled = match self {
-            Scale::Tiny => n / 12,
-            Scale::Small => n / 3,
-            Scale::Paper => n,
-        };
+        let p = self.profile();
+        let scaled = n * p.num / p.den;
         if n > 0 {
             scaled.max(1)
         } else {
             0
         }
     }
+
+    /// Arith cones scale by their own multiplier, not the block-count
+    /// ratio: the legacy scales must generate exactly zero of them.
+    fn apply_arith(self, n: usize) -> usize {
+        n * self.profile().arith_mult
+    }
 }
 
 /// A generation recipe; see the crate docs for the block kinds.
+///
+/// # Invariants
+///
+/// * Generation is a pure function of `(spec, scale)`: every random draw
+///   comes from one [`StdRng`] seeded with [`DesignSpec::seed`], so
+///   equal inputs produce byte-identical Verilog on any machine.
+/// * Block counts are *reference-scale* values; [`Scale`] multiplies
+///   them (and gates the arith cones), so one spec describes the whole
+///   size ladder.
+/// * `data_width` must be ≥ 2 (the generator slices `data_width / 2`
+///   bits) and `case_sel_width.1 + 2 ≤ 15` so the widest `Large`-scale
+///   select still fits the 16-bit `sel` port.
 #[derive(Clone, Debug)]
 pub struct DesignSpec {
     /// Module / case name.
@@ -93,6 +273,11 @@ pub struct DesignSpec {
     pub datapath_ops: usize,
     /// Number of registered (posedge) banks.
     pub register_banks: usize,
+    /// Number of arith cones *per unit of the scale's arith multiplier*:
+    /// adder-identity miter selects that force real CDCL search. Only
+    /// generated at [`Scale::Medium`] (×1) and [`Scale::Large`] (×2);
+    /// the legacy scales emit none, keeping their sources unchanged.
+    pub arith_cones: usize,
 }
 
 impl DesignSpec {
@@ -119,6 +304,8 @@ struct Gen<'s> {
     cond_pool: Vec<String>,
     /// register output names (kept live via a dedicated output)
     reg_pool: Vec<String>,
+    /// extra input ports (name, width) appended by arith cones
+    extra_ports: Vec<(String, u32)>,
     counter: usize,
 }
 
@@ -132,6 +319,7 @@ impl<'s> Gen<'s> {
             data_pool: Vec::new(),
             cond_pool: Vec::new(),
             reg_pool: Vec::new(),
+            extra_ports: Vec::new(),
             counter: 0,
         }
     }
@@ -191,6 +379,13 @@ impl<'s> Gen<'s> {
                 self.scale.apply(self.spec.register_banks),
                 BlockKind::Register,
             ),
+            // keep the conflict-bearing blocks last in the plan: a zero
+            // count draws nothing from the RNG, so Tiny/Small/Paper
+            // streams — and their historical digests — are untouched
+            (
+                self.scale.apply_arith(self.spec.arith_cones),
+                BlockKind::Arith,
+            ),
         ]
         .into_iter()
         .collect();
@@ -210,6 +405,7 @@ impl<'s> Gen<'s> {
                         BlockKind::DepCone => self.dep_cone(),
                         BlockKind::Case => self.case_block(),
                         BlockKind::Register => self.register_bank(),
+                        BlockKind::Arith => self.arith_cone(),
                     }
                 }
             }
@@ -330,7 +526,8 @@ impl<'s> Gen<'s> {
         let name = self.fresh("ss");
         let w = self.spec.data_width;
         let (dmin, dmax) = self.spec.same_sig_depth;
-        let depth = self.rng.gen_range(dmin..=dmax.max(dmin));
+        let dmax = dmax.max(dmin) + self.scale.profile().depth_bonus;
+        let depth = self.rng.gen_range(dmin..=dmax);
         writeln!(self.body, "  reg [{}:0] {name};", w - 1).expect("write");
         writeln!(self.body, "  always @(*) begin").expect("write");
         // build `depth` nested ifs on alternating branches, all testing c
@@ -422,10 +619,47 @@ impl<'s> Gen<'s> {
         self.data_pool.push(name);
     }
 
+    /// A mux whose select is an adder-identity miter — constant-true,
+    /// but only provably so by conflict-driven search. The operand
+    /// widths (≥ 11 bits, two free operands) put the cone's free-leaf
+    /// count far above the engine's exhaustive-simulation threshold, so
+    /// the query routes to the incremental CDCL solver; the random
+    /// prefilter witnesses the true polarity instantly and never the
+    /// false one, and the UNSAT proof of "can the select be false?"
+    /// walks a carry-chain refutation generating hundreds of conflicts
+    /// per distinct cone. This is the [`crate::solver_stress`] shape,
+    /// embedded in realistic corpus circuits.
+    fn arith_cone(&mut self) {
+        let (wmin, wmax) = self.scale.profile().arith_width;
+        let aw = self.rng.gen_range(wmin..=wmax);
+        let ax = self.fresh("ax");
+        let ay = self.fresh("ay");
+        self.extra_ports.push((ax.clone(), aw));
+        self.extra_ports.push((ay.clone(), aw));
+        let sel = self.fresh("mc");
+        // three identity families so cones are not all isomorphic even
+        // at equal widths: commutativity, and both sub/add round trips
+        let defn = match self.rng.gen_range(0..3) {
+            0 => format!("({ax} + {ay}) == ({ay} + {ax})"),
+            1 => format!("(({ax} - {ay}) + {ay}) == {ax}"),
+            _ => format!("(({ax} + {ay}) - {ay}) == {ax}"),
+        };
+        writeln!(self.body, "  wire {sel} = {defn};").expect("write");
+        let t = self.pick_data();
+        let e = self.pick_data();
+        let name = self.fresh("ac");
+        let w = self.spec.data_width;
+        writeln!(self.body, "  reg [{}:0] {name};", w - 1).expect("write");
+        writeln!(self.body, "  always @(*) begin").expect("write");
+        writeln!(self.body, "    if ({sel}) {name} = {t}; else {name} = {e};").expect("write");
+        writeln!(self.body, "  end").expect("write");
+        self.data_pool.push(name);
+    }
+
     /// A `case`/`casez` block: chain of eq+mux after elaboration.
     fn case_block(&mut self) {
         let (wmin, wmax) = self.spec.case_sel_width;
-        let selw = self.rng.gen_range(wmin..=wmax);
+        let selw = self.rng.gen_range(wmin..=wmax) + self.scale.profile().sel_width_bonus;
         let space = 1u64 << selw;
         let arms = ((space as f64 * self.spec.case_arm_fill) as u64)
             .clamp(2, space.saturating_sub(1).max(2));
@@ -550,6 +784,9 @@ impl<'s> Gen<'s> {
         }
         writeln!(out, "  input wire [15:0] sel,").expect("write");
         writeln!(out, "  input wire [7:0] ctl,").expect("write");
+        for (name, width) in &self.extra_ports {
+            writeln!(out, "  input wire [{}:0] {name},", width - 1).expect("write");
+        }
         writeln!(out, "  output wire [{}:0] out_comb,", w - 1).expect("write");
         writeln!(out, "  output wire [{}:0] out_regs", w - 1).expect("write");
         writeln!(out, ");").expect("write");
@@ -587,6 +824,7 @@ enum BlockKind {
     DepCone,
     Case,
     Register,
+    Arith,
 }
 
 #[cfg(test)]
@@ -612,6 +850,7 @@ mod tests {
             redundancy_ops: 8,
             datapath_ops: 10,
             register_banks: 3,
+            arith_cones: 3,
         }
     }
 
@@ -627,9 +866,13 @@ mod tests {
     #[test]
     fn scales_are_ordered() {
         let spec = demo_spec();
-        let tiny = spec.generate(Scale::Tiny).compile().unwrap();
-        let paper = spec.generate(Scale::Paper).compile().unwrap();
-        assert!(tiny.live_cell_count() < paper.live_cell_count());
+        let cells: Vec<usize> = Scale::ALL
+            .iter()
+            .map(|&s| spec.generate(s).compile().unwrap().live_cell_count())
+            .collect();
+        for w in cells.windows(2) {
+            assert!(w[0] < w[1], "size ladder must be strict: {cells:?}");
+        }
     }
 
     #[test]
@@ -637,6 +880,62 @@ mod tests {
         let a = demo_spec().generate(Scale::Small);
         let b = demo_spec().generate(Scale::Small);
         assert_eq!(a.source, b.source);
+    }
+
+    #[test]
+    fn medium_generation_is_deterministic() {
+        let a = demo_spec().generate(Scale::Medium);
+        let b = demo_spec().generate(Scale::Medium);
+        assert_eq!(a.source, b.source);
+        let c = demo_spec().generate(Scale::Large);
+        let d = demo_spec().generate(Scale::Large);
+        assert_eq!(c.source, d.source);
+    }
+
+    #[test]
+    fn arith_cones_only_at_conflict_bearing_scales() {
+        let spec = demo_spec();
+        for &scale in &Scale::ALL {
+            let has_miters = spec.generate(scale).source.contains("wire mc_");
+            assert_eq!(
+                has_miters,
+                scale.conflict_bearing(),
+                "arith cones at {scale:?}"
+            );
+        }
+    }
+
+    /// Adding the Medium/Large features must not perturb the RNG stream
+    /// of the legacy scales: a spec with arith cones and one with none
+    /// generate byte-identical sources at Tiny/Small/Paper.
+    #[test]
+    fn legacy_scales_ignore_arith_cones() {
+        let with = demo_spec();
+        let mut without = demo_spec();
+        without.arith_cones = 0;
+        for scale in [Scale::Tiny, Scale::Small, Scale::Paper] {
+            assert_eq!(
+                with.generate(scale).source,
+                without.generate(scale).source,
+                "{scale:?} must be unaffected by arith_cones"
+            );
+        }
+    }
+
+    #[test]
+    fn scale_names_round_trip() {
+        for &scale in &Scale::ALL {
+            assert_eq!(Scale::from_name(scale.name()), Some(scale));
+        }
+        assert_eq!(Scale::from_name("huge"), None);
+    }
+
+    #[test]
+    fn medium_compiles_and_validates() {
+        let case = demo_spec().generate(Scale::Medium);
+        let m = case.compile().expect("medium-scale source compiles");
+        m.validate().unwrap();
+        assert!(m.stats().mux_like() > 10);
     }
 
     #[test]

@@ -8,6 +8,23 @@
 //! generator dials in exactly those traits — selection-dominated designs
 //! whose control conditions are all *derived* (`|`/`&` chains) rather
 //! than reused verbatim — at a laptop-friendly scale.
+//!
+//! Like the public corpus, the industrial points are scale-polymorphic:
+//! at [`Scale::Medium`]/[`Scale::Large`] they grow the structural-depth
+//! features (wider selects, deeper nesting, adder-identity miter cones)
+//! and so join the conflict-bearing regime of the scaling curve.
+//!
+//! # Example
+//!
+//! ```
+//! use smartly_workloads::{industrial_corpus, IndustrialSpec, Scale};
+//!
+//! let spec = IndustrialSpec { points: 2, scale: Scale::Tiny, ..Default::default() };
+//! let corpus = industrial_corpus(&spec);
+//! assert_eq!(corpus.len(), 2);
+//! // deterministic: the same spec regenerates byte-identical sources
+//! assert_eq!(corpus[0].source, industrial_corpus(&spec)[0].source);
+//! ```
 
 use crate::generator::{DesignSpec, Scale};
 use crate::BenchCase;
@@ -66,6 +83,7 @@ pub fn industrial_corpus(spec: &IndustrialSpec) -> Vec<BenchCase> {
                 redundancy_ops: 4,
                 datapath_ops: 6 * mult,
                 register_banks: 5 * mult,
+                arith_cones: 5 * mult,
             };
             d.generate(spec.scale)
         })

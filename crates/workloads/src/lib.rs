@@ -19,6 +19,21 @@
 //! wins where, and by roughly what factor — is the reproduction target.
 //! All generation is seeded and deterministic.
 //!
+//! # The scale ladder
+//!
+//! Every corpus is generated at one of five [`Scale`]s, strictly ordered
+//! by live-cell count: `Tiny < Small < Paper < Medium < Large`.
+//! Tiny/Small/Paper are fractional block counts of the same structural
+//! recipe (1/12, 1/3, 1/1) and drive essentially zero CDCL conflicts —
+//! every equivalence query is settled by simulation or a conflict-free
+//! SAT probe. `Medium`/`Large` are the *conflict-bearing* scales: on top
+//! of the Paper block counts they widen case selects, deepen shared-cone
+//! nesting, and inject adder-identity miter cones whose UNSAT proofs
+//! force real conflict/propagation work in the solver
+//! ([`Scale::conflict_bearing`]). Sources at Tiny/Small/Paper are
+//! byte-identical to what pre-Medium versions of this crate generated:
+//! the new features draw nothing from the RNG at legacy scales.
+//!
 //! # Example
 //!
 //! ```

@@ -1,6 +1,25 @@
 //! The synthetic public corpus: ten cases named after the paper's
 //! Table II rows (IWLS-2005 + RISC-V), with per-case structural mixes
 //! tuned to the Table III behavior.
+//!
+//! One set of specs describes the whole size ladder: [`Scale`] picks
+//! the block multiplier and (at [`Scale::Medium`]/[`Scale::Large`])
+//! switches on the conflict-driving structural features. Generation is
+//! deterministic — the same `(case, scale)` pair is byte-identical on
+//! every machine.
+//!
+//! # Example
+//!
+//! ```
+//! use smartly_workloads::{public_corpus, Scale};
+//!
+//! let corpus = public_corpus(Scale::Medium);
+//! assert_eq!(corpus.len(), 10);
+//! assert_eq!(corpus[0].name, "top_cache_axi");
+//! // Medium-scale circuits carry the adder-identity miters that force
+//! // real CDCL conflicts (absent at Tiny/Small/Paper)
+//! assert!(corpus.iter().all(|c| c.source.contains("wire mc_")));
+//! ```
 
 use crate::generator::{DesignSpec, Scale};
 use crate::BenchCase;
@@ -8,7 +27,10 @@ use crate::BenchCase;
 /// Builds the 10-case public corpus at the requested scale.
 ///
 /// Case order matches the paper's Table II. Per-case tuning (all numbers
-/// are block counts at [`Scale::Paper`]):
+/// are block counts at [`Scale::Paper`]; `arith_cones` are per unit of
+/// the scale's arith multiplier — datapath-heavy circuits carry more,
+/// so the Medium/Large conflict load lands where real arithmetic
+/// lives):
 ///
 /// | case | tilt | paper SAT / Rebuild |
 /// |------|------|---------------------|
@@ -46,6 +68,7 @@ pub(crate) fn specs() -> Vec<DesignSpec> {
         redundancy_ops: 0,
         datapath_ops: 0,
         register_banks: 0,
+        arith_cones: 6,
     };
     vec![
         DesignSpec {
@@ -66,6 +89,7 @@ pub(crate) fn specs() -> Vec<DesignSpec> {
             redundancy_ops: 160,
             datapath_ops: 60,
             register_banks: 10,
+            arith_cones: 4,
         },
         DesignSpec {
             name: "pci_bridge32".into(),
@@ -98,6 +122,7 @@ pub(crate) fn specs() -> Vec<DesignSpec> {
             redundancy_ops: 90,
             datapath_ops: 25,
             register_banks: 8,
+            arith_cones: 8,
             ..base.clone()
         },
         DesignSpec {
@@ -115,6 +140,7 @@ pub(crate) fn specs() -> Vec<DesignSpec> {
             redundancy_ops: 300,
             datapath_ops: 180,
             register_banks: 24,
+            arith_cones: 14,
             ..base.clone()
         },
         DesignSpec {
@@ -131,6 +157,7 @@ pub(crate) fn specs() -> Vec<DesignSpec> {
             redundancy_ops: 80,
             datapath_ops: 45,
             register_banks: 10,
+            arith_cones: 8,
             ..base.clone()
         },
         DesignSpec {
@@ -149,6 +176,7 @@ pub(crate) fn specs() -> Vec<DesignSpec> {
             redundancy_ops: 220,
             datapath_ops: 140,
             register_banks: 16,
+            arith_cones: 12,
             ..base.clone()
         },
         DesignSpec {
@@ -182,6 +210,7 @@ pub(crate) fn specs() -> Vec<DesignSpec> {
             redundancy_ops: 340,
             datapath_ops: 200,
             register_banks: 30,
+            arith_cones: 16,
             ..base.clone()
         },
         DesignSpec {
@@ -202,6 +231,7 @@ pub(crate) fn specs() -> Vec<DesignSpec> {
             redundancy_ops: 200,
             datapath_ops: 120,
             register_banks: 20,
+            arith_cones: 10,
         },
         DesignSpec {
             name: "ac97_ctrl".into(),
@@ -219,6 +249,7 @@ pub(crate) fn specs() -> Vec<DesignSpec> {
             redundancy_ops: 45,
             datapath_ops: 25,
             register_banks: 6,
+            arith_cones: 4,
             ..base
         },
     ]

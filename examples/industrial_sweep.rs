@@ -6,11 +6,11 @@ use smartly_core::{OptLevel, Pipeline};
 use smartly_workloads::{industrial_corpus, IndustrialSpec, Scale};
 
 fn main() {
-    let scale = match std::env::args().nth(1).as_deref() {
-        Some("tiny") => Scale::Tiny,
-        Some("small") => Scale::Small,
-        _ => Scale::Paper,
-    };
+    let scale = std::env::args()
+        .nth(1)
+        .as_deref()
+        .and_then(Scale::from_name)
+        .unwrap_or(Scale::Paper);
     let spec = IndustrialSpec {
         scale,
         ..Default::default()

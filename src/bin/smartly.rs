@@ -6,9 +6,10 @@
 //!             [--max-cells N] [--timeout-ms N] [--no-memo]
 //!             [--trace trace.json] [--digest digest.json] [--quiet|-v]
 //! smartly stats <file.v> [--solver] [--level L] [--knowledge-file F]
-//! smartly corpus [--scale tiny|small|paper] [--jobs N] [--verify]
-//!                [--json BENCH_driver.json] [--digest digest.json]
-//!                [--trace-dir DIR] [--quiet]
+//! smartly corpus [--scale tiny|small|paper|medium|large] [--jobs N]
+//!                [--cases N] [--verify] [--json BENCH_driver.json]
+//!                [--digest digest.json] [--trace-dir DIR] [--quiet]
+//!                [--curve curve.json [--curve-scales a,b,c]]
 //! smartly trace <trace.json>
 //! smartly serve [--socket F] [--journal F] [--queue N] [--workers N]
 //!               [--jobs N] [--timeout-ms N] [--drain-grace-ms N]
@@ -17,8 +18,8 @@
 
 use smartly_driver::{
     chrome_trace_json, level_from_str, optimize_design, optimize_source, run_public_corpus,
-    scale_from_str, CorpusOptions, DriverOptions, KnowledgeState, StoreKey, TraceSummary,
-    Verbosity,
+    run_scaling_curve, scale_from_str, CorpusOptions, CurveOptions, DriverOptions, KnowledgeState,
+    StoreKey, TraceSummary, Verbosity,
 };
 use smartly_netlist::CellStats;
 use std::process::ExitCode;
@@ -108,7 +109,18 @@ OPT OPTIONS:
                                      lines to the summary
 
 CORPUS OPTIONS:
-  --scale <tiny|small|paper>         corpus size (default: tiny)
+  --scale <tiny|small|paper|medium|large>  corpus size (default: tiny);
+                                     medium/large are the conflict-
+                                     bearing scales
+  --cases <N>                        run only the first N circuits (CI
+                                     bound; stamped into the artifact)
+  --curve <path>                     run the scaling-curve sweep instead:
+                                     Full-level wall time + funnel
+                                     attribution per (scale, jobs) point
+                                     across a doubling jobs ladder, as a
+                                     timing-only JSON artifact
+  --curve-scales <a,b,c>             scales swept by --curve (default:
+                                     tiny,small,paper,medium)
   --digest <path>                    write the timing-free artifact
                                      (byte-identical across runs,
                                      --jobs settings, and knowledge-file
@@ -509,11 +521,16 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
     let mut opts = CorpusOptions::default();
     if let Some(scale) = take_value(&mut args, &["--scale"])? {
         opts.scale = scale_from_str(&scale)
-            .ok_or_else(|| format!("unknown scale '{scale}' (tiny|small|paper)"))?;
+            .ok_or_else(|| format!("unknown scale '{scale}' (tiny|small|paper|medium|large)"))?;
     }
     if let Some(jobs) = take_value(&mut args, &["--jobs", "-j"])? {
         opts.jobs = parse_number(&jobs, "--jobs")? as usize;
     }
+    if let Some(cases) = take_value(&mut args, &["--cases"])? {
+        opts.cases = Some(parse_number(&cases, "--cases")? as usize);
+    }
+    let curve_path = take_value(&mut args, &["--curve"])?;
+    let curve_scales = take_value(&mut args, &["--curve-scales"])?;
     opts.verify = take_flag(&mut args, "--verify");
     opts.share_knowledge = !take_flag(&mut args, "--no-knowledge");
     let knowledge_file = take_value(&mut args, &["--knowledge-file"])?;
@@ -525,6 +542,38 @@ fn cmd_corpus(args: &[String]) -> Result<(), String> {
     let verbosity = take_verbosity(&mut args);
     if let Some(extra) = args.first() {
         return Err(format!("unexpected argument '{extra}'"));
+    }
+
+    // --curve switches to the scaling-curve sweep: wall time + funnel
+    // attribution vs. design size at jobs 1→N. Timing-only by design,
+    // so it cannot be combined with the digest gate.
+    if let Some(path) = curve_path {
+        if digest_path.is_some() {
+            return Err("--curve is a timing-only artifact; drop --digest".into());
+        }
+        let mut curve_opts = CurveOptions {
+            max_jobs: opts.jobs,
+            cases: opts.cases,
+            ..Default::default()
+        };
+        if let Some(list) = curve_scales {
+            curve_opts.scales = list
+                .split(',')
+                .map(|s| {
+                    scale_from_str(s.trim()).ok_or_else(|| {
+                        format!("unknown scale '{s}' (tiny|small|paper|medium|large)")
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+        }
+        let report = run_scaling_curve(&curve_opts).map_err(|e| e.to_string())?;
+        outln!("{report}");
+        std::fs::write(&path, report.to_json().render_pretty(2))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        outln!("curve artifact written to {path}");
+        return Ok(());
+    } else if curve_scales.is_some() {
+        return Err("--curve-scales requires --curve <path>".into());
     }
 
     let driver_defaults = DriverOptions::default();
