@@ -475,7 +475,15 @@ pub(crate) fn solver_counters(s: &SatPassStats) -> Counters {
         .add("reduces", s.solver_reduces)
         .add("arena_gcs", s.solver_arena_gcs)
         .add("rephases", s.solver_rephases)
-        .add("deadline_checks", s.solver_deadline_checks);
+        .add("deadline_checks", s.solver_deadline_checks)
+        .add("ema_forced", s.solver_ema_forced)
+        .add("ema_blocked", s.solver_ema_blocked)
+        .add("vivified_clauses", s.solver_vivified_clauses)
+        .add("vivified_lits", s.solver_vivified_lits)
+        .add("subsumed", s.solver_subsumed)
+        .add("strengthened", s.solver_strengthened)
+        .add("chrono_backjumps", s.solver_chrono_backjumps)
+        .add("promoted", s.solver_promoted);
     c
 }
 

@@ -198,6 +198,83 @@ fn forced_deadline_reverts_module_as_timed_out() {
     assert_eq!(again_report.digest(), clean_report.digest());
 }
 
+/// Deadline trips landing *inside inprocessing* revert digest-safe. The
+/// stress module demonstrably runs vivification and subsumption (the
+/// clean run's counters prove it), and those passes poll the deadline
+/// every few work items — so sweeping the forced trip point across the
+/// run's ~170 polls lands expiries in CDCL search, mid-vivification, and
+/// mid-subsumption-sweep. Wherever the poll lands, the contract is the
+/// same: the module degrades to `TimedOut` with its pristine netlist — a
+/// half-vivified clause database must never leak into a kept result.
+#[test]
+fn deadline_trips_during_inprocessing_revert_digest_safe() {
+    let _g = armed_guard();
+    let _d = DisarmOnDrop;
+    let mk = || Design::from_modules(smartly_workloads::solver_stress(4, 10));
+    let base = || DriverOptions {
+        jobs: 1,
+        level: smartly_core::OptLevel::SatOnly,
+        ..Default::default()
+    };
+
+    // clean reference: this workload must actually cross inprocessing
+    // boundaries, otherwise the sweep below never trips inside a pass
+    let mut clean = mk();
+    let clean_report = run(&mut clean, &base());
+    let totals = clean_report.sat_totals();
+    assert!(
+        totals.solver_vivified_clauses > 0 && totals.solver_subsumed > 0,
+        "stress workload must exercise vivification and subsumption: {}",
+        totals.solver_summary()
+    );
+
+    // an armed deadline that never expires is invisible: same digest,
+    // and the solver's poll counter shows inprocessing was being polled
+    let counting = DriverOptions {
+        external_deadline: Some(smartly_core::Deadline::after_checks(u64::MAX / 2)),
+        ..base()
+    };
+    let mut counted = mk();
+    let counted_report = run(&mut counted, &counting);
+    assert_eq!(counted_report.digest(), clean_report.digest());
+    let polls = counted_report.sat_totals().solver_deadline_checks;
+    let search_polls = counted_report.sat_totals().solver_conflicts / 16;
+    assert!(
+        polls > search_polls,
+        "inprocessing passes must contribute deadline polls beyond the \
+         search loop's every-16-conflicts cadence: {polls} vs {search_polls}"
+    );
+
+    // sweep the trip point across the poll sequence
+    let original = mk();
+    for checks in [3u64, 40, 80, 110, 140, 165] {
+        let opts = DriverOptions {
+            external_deadline: Some(smartly_core::Deadline::after_checks(checks)),
+            ..base()
+        };
+        let mut faulted = mk();
+        let report = run(&mut faulted, &opts);
+        let m = &report.modules[0];
+        assert_eq!(
+            m.outcome,
+            ModuleOutcome::TimedOut {
+                budget: Duration::ZERO
+            },
+            "trip at poll {checks} must surface as the timeout ladder"
+        );
+        assert_eq!(m.cells_after, m.cells_before, "trip at poll {checks}");
+        assert_eq!(
+            emit_verilog(&faulted.modules()[0]),
+            emit_verilog(&original.modules()[0]),
+            "trip at poll {checks} must revert to the pristine netlist"
+        );
+    }
+
+    // disarmed rerun: digest-identical to the fault-free reference
+    let mut again = mk();
+    assert_eq!(run(&mut again, &base()).digest(), clean_report.digest());
+}
+
 /// The crash-safe save path: a hard IO fault fails the save but leaves
 /// no temp litter and no damaged store; a transient fault is absorbed by
 /// the retry ladder; the reload-after-save verification passes on a real

@@ -190,6 +190,14 @@ fn module_timing_json_schema_snapshot() {
             "arena_gcs",
             "rephases",
             "deadline_checks",
+            "ema_forced",
+            "ema_blocked",
+            "vivified_clauses",
+            "vivified_lits",
+            "subsumed",
+            "strengthened",
+            "chrono_backjumps",
+            "promoted",
             "rephase_kind",
             "resets",
         ]
